@@ -1,0 +1,18 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures; the
+regenerated table is printed into the pytest output (run with ``-s``
+to see it inline) and also asserted against the paper's qualitative
+shape, so ``pytest benchmarks/ --benchmark-only`` both times the
+models and re-derives the published rows.
+"""
+
+import pytest
+
+from repro.experiments.common import characterization
+
+
+@pytest.fixture(scope="session")
+def char_table():
+    """The shared characterisation table (one gate-level run)."""
+    return characterization().table

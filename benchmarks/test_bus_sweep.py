@@ -1,0 +1,20 @@
+"""Extension bench: the Givargis-style fetch-path parameter sweep the
+paper's related work opens with, run natively on this substrate."""
+
+from repro.experiments.bus_sweep import run_bus_sweep
+
+
+def test_bus_sweep_regeneration(benchmark):
+    result = benchmark.pedantic(run_bus_sweep, rounds=1, iterations=1)
+    print()
+    print(result.format())
+    # larger fetch bursts with a reasonable buffer dominate the
+    # word-at-a-time configuration on both axes
+    word_at_a_time = result.point(1, 1)
+    line_fill = result.point(4, 4)
+    assert line_fill.cycles < word_at_a_time.cycles
+    assert line_fill.bus_energy_pj < word_at_a_time.bus_energy_pj
+    assert line_fill.fetch_transactions < word_at_a_time.fetch_transactions
+    # a tiny buffer with big bursts over-fetches: traffic exceeds the
+    # same buffer with smaller bursts
+    assert result.point(4, 1).fetch_words > result.point(2, 1).fetch_words

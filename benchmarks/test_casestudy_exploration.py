@@ -1,0 +1,31 @@
+"""Benchmark regenerating the §4.3 case study (Figure 7): the Java
+Card VM HW/SW interface exploration.
+
+The paper reports the methodology; the reproduced artefact is the
+exploration table (cycles / energy / transactions per interface
+configuration) and the winning configuration.
+"""
+
+from repro.experiments.casestudy import run_casestudy
+from repro.javacard import (InterfaceConfig, SfrLayout,
+                            evaluate_configuration)
+from repro.javacard.explore import STACK_BASE_NEAR
+from repro.ec import MergePattern
+
+
+def test_casestudy_regeneration(benchmark):
+    result = benchmark.pedantic(run_casestudy, rounds=1, iterations=1)
+    print()
+    print(result.format())
+    exploration = result.exploration
+    assert all(row.results_correct for row in exploration.rows)
+    best = exploration.best_by_energy()
+    # the winning interface uses the pop2 accelerator
+    assert best.config.layout is SfrLayout.PACKED
+
+
+def test_single_configuration_speed(benchmark, char_table):
+    config = InterfaceConfig("bench", SfrLayout.DEDICATED,
+                             STACK_BASE_NEAR, MergePattern.HALFWORD)
+    result = benchmark(lambda: evaluate_configuration(config, char_table))
+    assert result.results_correct

@@ -1,0 +1,26 @@
+"""Extension bench: the crypto coprocessor HW/SW interface study.
+
+Quantifies the paper's opening motivation (§1): software cipher vs
+PIO-driven coprocessor vs DMA-driven coprocessor, on the energy-aware
+layer-1 bus behind one arbiter.
+"""
+
+from repro.experiments.coprocessor import run_coprocessor_study
+
+
+def test_coprocessor_study_regeneration(benchmark):
+    result = benchmark.pedantic(lambda: run_coprocessor_study(blocks=4),
+                                rounds=1, iterations=1)
+    print()
+    print(result.format())
+    software = result.row("software")
+    pio = result.row("pio")
+    dma = result.row("dma")
+    assert all(row.correct for row in result.rows)
+    # the qualitative ordering the intro of the paper predicts
+    assert software.cycles > pio.cycles > dma.cycles
+    assert software.bus_energy_pj > pio.bus_energy_pj > dma.bus_energy_pj
+    assert software.bus_transactions > pio.bus_transactions \
+        > dma.bus_transactions
+    # the CPU is almost idle in DMA mode
+    assert dma.cpu_instructions < pio.cpu_instructions / 2

@@ -1,0 +1,27 @@
+"""Extension bench: accuracy robustness across workload classes.
+
+One characterisation table, six workload classes.  The shape that
+validates the paper's hierarchy: layer 1's energy error stays inside a
+narrow negative band everywhere; layer 2's error swings class to
+class; layer-2 timing error appears only under dynamic wait states.
+"""
+
+from repro.experiments.robustness import run_robustness
+
+
+def test_robustness_regeneration(benchmark):
+    result = benchmark.pedantic(run_robustness, rounds=1, iterations=1)
+    print()
+    print(result.format())
+    l1_energy = [row.layer1_energy_error for row in result.rows]
+    l2_energy = [row.layer2_energy_error for row in result.rows]
+    # layer 1: always an under-estimate, in a tight band
+    assert all(error < 0 for error in l1_energy)
+    assert max(l1_energy) - min(l1_energy) < 10.0
+    # layer 2: much wider spread
+    assert max(l2_energy) - min(l2_energy) > 20.0
+    # layer 1 timing is always exact
+    assert all(row.layer1_timing_error == 0.0 for row in result.rows)
+    # layer 2 timing errs only under dynamic (EEPROM) wait states
+    assert result.row("eeprom_contention").layer2_timing_error != 0.0
+    assert result.row("sparse").layer2_timing_error == 0.0

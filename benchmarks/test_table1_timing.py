@@ -1,0 +1,36 @@
+"""Benchmark regenerating Table 1 (timing accuracy vs gate level).
+
+Paper row / reproduced row:
+
+    gate level   100%   -        |  100%    -
+    layer one    100%   0%       |  100%    0%
+    layer two    100.5% 0.5%     |  ~100.4% ~+0.4%
+"""
+
+from repro.experiments.common import evaluation_script, run_on_layer, \
+    run_on_rtl
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_regeneration(benchmark):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    print()
+    print(result.format())
+    assert result.row("Layer one model").error_percent == 0.0
+    assert 0.0 < result.row("Layer two model").error_percent < 2.0
+
+
+def test_gate_level_run(benchmark):
+    result = benchmark(lambda: run_on_rtl(evaluation_script(),
+                                          estimate_power=False))
+    assert result.cycles > 0
+
+
+def test_layer1_run(benchmark):
+    result = benchmark(lambda: run_on_layer(1, evaluation_script()))
+    assert result.cycles > 0
+
+
+def test_layer2_run(benchmark):
+    result = benchmark(lambda: run_on_layer(2, evaluation_script()))
+    assert result.cycles > 0

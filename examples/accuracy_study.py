@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Hierarchical accuracy study: the paper's Tables 1 and 2 end to end.
+
+Walks the full §4.1 methodology:
+
+1. characterise the TLM energy models against the gate-level reference
+   (EC-spec suite + random mix through the RTL bus + Diesel),
+2. execute the assembly test program on the platform and trace the bus,
+3. replay the trace on all three model layers,
+4. print timing and energy accuracy tables next to the paper's rows.
+
+Run:  python examples/accuracy_study.py
+"""
+
+from repro.experiments import (characterization, run_table1, run_table2)
+from repro.experiments.common import test_program_trace
+from repro.experiments.report import PAPER_TABLE1, PAPER_TABLE2
+from repro.power.characterize import coefficient_report
+
+
+def main() -> None:
+    print("=== step 1: gate-level power characterisation ===")
+    result = characterization()
+    print(result.report.format_summary())
+    print()
+    print(coefficient_report(result.table))
+    print()
+    print("=== step 2: trace the assembly test program ===")
+    trace = test_program_trace()
+    print(f"captured {len(trace)} transactions: {trace.summary()}")
+    print()
+    print("=== step 3/4: replay on every layer and compare ===")
+    table1 = run_table1()
+    print(table1.format())
+    print(PAPER_TABLE1)
+    print()
+    table2 = run_table2()
+    print(table2.format())
+    print(PAPER_TABLE2)
+
+
+if __name__ == "__main__":
+    main()

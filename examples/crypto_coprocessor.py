@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""The coprocessor question the paper opens with, answered in numbers.
+
+"Algorithms with high computational effort, like cryptographic
+algorithms, are often supported by dedicated coprocessors.  The chosen
+HW/SW interface to control these coprocessors influences both system
+performance and power consumption" (§1).
+
+Three ways to XTEA-encrypt a message on the smart card platform, all
+measured on the energy-aware layer-1 bus behind the same arbiter:
+
+1. pure software (MIPS assembly, 32 Feistel rounds per block),
+2. the crypto coprocessor driven by the CPU (PIO),
+3. the crypto coprocessor fetching its own data (DMA bus master).
+
+Run:  python examples/crypto_coprocessor.py
+"""
+
+from repro.experiments.coprocessor import run_coprocessor_study
+
+
+def main() -> None:
+    print("characterising the bus energy models (one-time, ~2 s)...")
+    result = run_coprocessor_study(blocks=8)
+    print()
+    print(result.format())
+    print()
+    software = result.row("software")
+    dma = result.row("dma")
+    speedup = software.cycles / dma.cycles
+    energy_saving = software.total_energy_pj / dma.total_energy_pj
+    print(f"offloading to the DMA-driven coprocessor is "
+          f"{speedup:.1f}x faster and uses {energy_saving:.1f}x less "
+          f"energy (bus + engine) than the software cipher —")
+    print("the HW/SW-interface trade-off the hierarchical bus models "
+          "exist to quantify early.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Power-analysis case study: why cycle-accurate energy profiles matter.
+
+The paper motivates its cycle-accurate layer-1 energy model with smart
+card security: "Estimation of power consumption over time is important
+to reduce the probability of a successful power analysis attack" (§1).
+
+This example makes that concrete.  A PIN comparison routine runs on
+the platform twice — once as a naive early-exit loop, once as a
+constant-time (balanced) loop — while the layer-1 power model records
+a per-cycle power trace.  Simple-power-analysis distinguishability
+shows the early-exit version leaks how many digits of a guess are
+correct; the balanced version does not.
+
+Run:  python examples/power_analysis.py
+"""
+
+import typing
+
+from repro.power import Layer1PowerModel, SignalStateRecorder, default_table
+from repro.power.security import spa_distinguishability
+from repro.soc import EEPROM_BASE, RAM_BASE, SmartCardPlatform
+
+PIN = [3, 1, 4, 1]
+
+EARLY_EXIT_COMPARE = """
+        lui   $s0, 0x0030          # RAM: the guess
+        lui   $s1, 0x0020          # EEPROM: the stored PIN
+        addiu $t0, $zero, 0        # digit index
+        addiu $t1, $zero, 4
+loop:   sll   $t2, $t0, 2
+        addu  $t3, $t2, $s0
+        lw    $t4, 0($t3)          # guess digit
+        addu  $t5, $t2, $s1
+        lw    $t6, 0($t5)          # stored digit
+        bne   $t4, $t6, fail       # EARLY EXIT: leaks the match count
+        addiu $t0, $t0, 1
+        bne   $t0, $t1, loop
+        addiu $v0, $zero, 1        # success
+        j     done
+fail:   addiu $v0, $zero, 0
+done:   sw    $v0, 64($s0)
+        halt
+"""
+
+BALANCED_COMPARE = """
+        lui   $s0, 0x0030
+        lui   $s1, 0x0020
+        addiu $t0, $zero, 0
+        addiu $t1, $zero, 4
+        addiu $t7, $zero, 0        # accumulated difference
+loop:   sll   $t2, $t0, 2
+        addu  $t3, $t2, $s0
+        lw    $t4, 0($t3)
+        addu  $t5, $t2, $s1
+        lw    $t6, 0($t5)
+        xor   $t4, $t4, $t6        # constant-time digit compare
+        or    $t7, $t7, $t4
+        addiu $t0, $t0, 1
+        bne   $t0, $t1, loop
+        sltu  $v0, $zero, $t7      # v0 = any difference?
+        xori  $v0, $v0, 1
+        sw    $v0, 64($s0)
+        halt
+"""
+
+
+def run_guess(program: str, guess: typing.Sequence[int]
+              ) -> typing.Tuple[typing.List[float], int]:
+    """Run one PIN check; returns (per-cycle trace, accept flag).
+
+    The trace is trimmed at the last bus activity — an attacker's
+    oscilloscope sees exactly where the card goes quiet.
+    """
+    recorder = SignalStateRecorder()
+    table = default_table()
+    model = Layer1PowerModel(table, recorder=recorder)
+    platform = SmartCardPlatform(bus_layer=1, power_model=model,
+                                 with_cpu=True)
+    platform.eeprom.load(0, PIN)
+    platform.ram.load(0, list(guess))
+    platform.load_assembly(program)
+    platform.cpu.run_to_halt(100_000)
+    energies = list(recorder.energies)
+    baseline = table.clock_energy_per_cycle_pj
+    last_active = max((i for i, e in enumerate(energies)
+                       if abs(e - baseline) > 1e-9), default=0)
+    return energies[:last_active + 1], platform.ram.peek(64)
+
+
+def pad(traces: typing.List[typing.List[float]]) -> None:
+    length = max(len(trace) for trace in traces)
+    for trace in traces:
+        trace.extend([0.0] * (length - len(trace)))
+
+
+def divergence_cycle(a: typing.Sequence[float],
+                     b: typing.Sequence[float]) -> int:
+    """First cycle where two traces measurably differ (-1: never)."""
+    for cycle, (x, y) in enumerate(zip(a, b)):
+        if abs(x - y) > 1e-9:
+            return cycle
+    return -1
+
+
+def analyse(label: str, program: str) -> None:
+    guesses = {
+        "all wrong": [9, 9, 9, 9],
+        "1 correct": [3, 9, 9, 9],
+        "3 correct": [3, 1, 4, 9],
+        "correct": list(PIN),
+    }
+    traces = {}
+    lengths = {}
+    print(f"--- {label} ---")
+    for name, guess in guesses.items():
+        trace, accepted = run_guess(program, guess)
+        lengths[name] = len(trace)
+        traces[name] = trace
+        expected = guess == PIN
+        assert bool(accepted) == expected, (name, accepted)
+        print(f"  guess {name:<10}: busy for {len(trace)} cycles")
+    trace_list = list(traces.values())
+    pad(trace_list)
+    baseline = traces["all wrong"]
+    for name in ("1 correct", "3 correct", "correct"):
+        score = spa_distinguishability(baseline, traces[name])
+        diverge = divergence_cycle(baseline, traces[name])
+        print(f"  vs 'all wrong', {name:<10}: SPA score {score:.3f}, "
+              f"divergence at cycle {diverge}")
+    length_leak = len(set(lengths.values())) > 1
+    print(f"  execution time leaks the match count: "
+          f"{'YES' if length_leak else 'no'}")
+    print()
+
+
+def main() -> None:
+    print("=== simple power analysis on the PIN check ===")
+    print(f"stored PIN: {PIN} (in EEPROM)\n")
+    analyse("early-exit compare (naive)", EARLY_EXIT_COMPARE)
+    analyse("constant-time compare (balanced)", BALANCED_COMPARE)
+    print("the early-exit loop's traces diverge as soon as a digit")
+    print("matches: one trace reveals the match count.  The balanced")
+    print("loop executes the same bus activity regardless of the guess")
+    print("digits' positions — only the data values leak (a much")
+    print("harder, differential attack).")
+
+
+if __name__ == "__main__":
+    main()

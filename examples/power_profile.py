@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Power-over-time profiling and the contact-less current budget.
+
+The paper's first power motivation (§1): "the GSM standard limits the
+[current] to 10 mA at 5 V.  More critical is power consumption for
+contact-less smart cards that are supplied by [the] RF field."
+
+This example runs a card transaction on the platform with the layer-1
+energy model recording a per-cycle trace, renders the power profile as
+an ASCII chart, and checks a contact-less current budget over a
+sliding window — flagging the EEPROM programming section that needs
+smoothing.
+
+Run:  python examples/power_profile.py
+"""
+
+import typing
+
+from repro.power import (Layer1PowerModel, PowerTrace,
+                         SignalStateRecorder, default_table)
+from repro.soc import SmartCardPlatform
+
+PROGRAM = """
+        lui   $s0, 0x0030          # RAM
+        lui   $s1, 0x0020          # EEPROM
+
+        # phase 1: compute in RAM (low power)
+        addiu $t0, $zero, 0
+        addiu $t1, $zero, 12
+calc:   sll   $t2, $t0, 3
+        xori  $t2, $t2, 0x5A5A
+        sll   $t3, $t0, 2
+        addu  $t3, $t3, $s0
+        sw    $t2, 0($t3)
+        addiu $t0, $t0, 1
+        bne   $t0, $t1, calc
+
+        # phase 2: persist to EEPROM (bursty, high power)
+        addiu $t0, $zero, 0
+save:   sll   $t3, $t0, 2
+        addu  $t4, $t3, $s0
+        lw    $t2, 0($t4)
+        addu  $t5, $t3, $s1
+        sw    $t2, 0($t5)
+        addiu $t0, $t0, 1
+        bne   $t0, $t1, save
+        halt
+"""
+
+CHART_ROWS = 8
+BUCKETS = 72
+
+
+def render_chart(values: typing.Sequence[float], unit: str) -> str:
+    """A small ASCII area chart (max per bucket)."""
+    if not values:
+        return "(empty trace)"
+    bucket_size = max(1, len(values) // BUCKETS)
+    buckets = [max(values[i:i + bucket_size])
+               for i in range(0, len(values), bucket_size)]
+    peak = max(buckets) or 1.0
+    lines = []
+    for row in range(CHART_ROWS, 0, -1):
+        threshold = peak * row / CHART_ROWS
+        line = "".join("#" if value >= threshold else " "
+                       for value in buckets)
+        label = f"{threshold:8.4f} {unit} |"
+        lines.append(label + line)
+    lines.append(" " * 12 + "+" + "-" * len(buckets))
+    lines.append(" " * 13 + f"0 .. {len(values)} cycles "
+                            f"({bucket_size} cycles/column)")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    recorder = SignalStateRecorder()
+    model = Layer1PowerModel(default_table(), recorder=recorder)
+    platform = SmartCardPlatform(bus_layer=1, power_model=model,
+                                 with_cpu=True)
+    platform.load_assembly(PROGRAM)
+    platform.cpu.run_to_halt(100_000)
+
+    trace = PowerTrace(platform.clock.period, recorder.energies)
+    print("=== per-cycle bus power profile ===")
+    from repro.power.units import average_power_mw
+    milliwatts = [average_power_mw(energy, platform.clock.period)
+                  for energy in trace.energies_pj]
+    print(render_chart(milliwatts, "mW"))
+    print()
+    print(f"total energy        : {trace.total_energy_pj:9.1f} pJ")
+    print(f"average power       : {trace.average_power_mw():9.4f} mW")
+    print(f"peak cycle power    : {trace.peak_cycle_power_mw():9.4f} mW")
+    print(f"peak supply current : {trace.peak_supply_current_ma():9.4f} mA")
+    print()
+    budget_ma = 0.025  # a (scaled) contact-less budget for the bus alone
+    window = 8
+    violations = trace.check_current_limit(budget_ma, window)
+    print(f"=== contact-less budget check: {budget_ma} mA over "
+          f"{window}-cycle windows ===")
+    if violations:
+        first, last = violations[0], violations[-1]
+        print(f"{len(violations)} window(s) exceed the budget "
+              f"(cycles {first}..{last + window}) — the EEPROM")
+        print("persist phase needs current smoothing (or a slower "
+              "programming clock).")
+    else:
+        print("no violations — the workload fits the RF field budget.")
+
+
+if __name__ == "__main__":
+    main()

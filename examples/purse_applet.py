@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""A complete smart card application: an electronic purse over UART.
+
+Everything in one run: firmware in MIPS assembly executing from ROM,
+the balance persisted in EEPROM (programming-busy wait states and
+all), command/response bytes over the UART, and the layer-1 bus with
+its energy model underneath — the full Figure-1 platform doing the job
+smart cards exist for.
+
+Protocol (1-byte opcodes over the UART):
+
+=====  =============  =====================================
+0x10   GET_BALANCE    respond: balance_hi, balance_lo, 0x90
+0x20   DEBIT <n>      respond: 0x90 ok / 0x6A insufficient
+0x30   CREDIT <n>     respond: 0x90
+other                 respond: 0x6D (unknown instruction)
+=====  =============  =====================================
+
+Run:  python examples/purse_applet.py
+"""
+
+import typing
+
+from repro.power import Layer1PowerModel, default_table
+from repro.soc import EEPROM_BASE, SmartCardPlatform, UART_BASE
+
+INITIAL_BALANCE = 250
+
+#: UART register byte offsets (word registers)
+UART_DATA, UART_STATUS, UART_CTRL = 0, 4, 8
+STATUS_RX_AVAIL = 2
+
+FIRMWARE = f"""
+        lui   $s1, {EEPROM_BASE >> 16:#x}   # balance lives at EEPROM[0]
+        lui   $s2, {UART_BASE >> 16:#x}
+        addiu $t0, $zero, 1
+        sw    $t0, {UART_CTRL}($s2)         # enable the UART
+
+main:   lw    $t0, {UART_STATUS}($s2)
+        andi  $t0, $t0, {STATUS_RX_AVAIL}
+        beq   $t0, $zero, main              # poll for a command byte
+        lw    $t1, {UART_DATA}($s2)         # the opcode
+
+        addiu $t2, $zero, 0x10
+        beq   $t1, $t2, balance
+        addiu $t2, $zero, 0x20
+        beq   $t1, $t2, debit
+        addiu $t2, $zero, 0x30
+        beq   $t1, $t2, credit
+        addiu $t3, $zero, 0x6D              # unknown instruction
+        sw    $t3, {UART_DATA}($s2)
+        j     main
+
+balance:
+        lw    $t3, 0($s1)
+        srl   $t4, $t3, 8
+        andi  $t4, $t4, 0xFF
+        sw    $t4, {UART_DATA}($s2)         # balance high byte
+        andi  $t4, $t3, 0xFF
+        sw    $t4, {UART_DATA}($s2)         # balance low byte
+        addiu $t4, $zero, 0x90
+        sw    $t4, {UART_DATA}($s2)
+        j     main
+
+debit:  jal   getbyte                       # amount -> $v0
+        lw    $t3, 0($s1)
+        sltu  $t5, $t3, $v0                 # balance < amount?
+        bne   $t5, $zero, refuse
+        subu  $t3, $t3, $v0
+        sw    $t3, 0($s1)                   # persist (EEPROM busy!)
+        addiu $t4, $zero, 0x90
+        sw    $t4, {UART_DATA}($s2)
+        j     main
+refuse: addiu $t4, $zero, 0x6A
+        sw    $t4, {UART_DATA}($s2)
+        j     main
+
+credit: jal   getbyte
+        lw    $t3, 0($s1)
+        addu  $t3, $t3, $v0
+        sw    $t3, 0($s1)
+        addiu $t4, $zero, 0x90
+        sw    $t4, {UART_DATA}($s2)
+        j     main
+
+getbyte:
+        lw    $t0, {UART_STATUS}($s2)
+        andi  $t0, $t0, {STATUS_RX_AVAIL}
+        beq   $t0, $zero, getbyte
+        lw    $v0, {UART_DATA}($s2)
+        jr    $ra
+"""
+
+
+class HostReader:
+    """The card reader side: sends commands, collects responses."""
+
+    def __init__(self, platform: SmartCardPlatform) -> None:
+        self.platform = platform
+        self._consumed = 0
+
+    def command(self, *tx_bytes: int,
+                expect: int, max_cycles: int = 10_000) -> typing.List[int]:
+        """Send bytes, run the card, return *expect* response bytes."""
+        for value in tx_bytes:
+            self.platform.uart.receive_byte(value)
+        for _ in range(max_cycles // 64):
+            self.platform.run_cycles(64)
+            available = (len(self.platform.uart.transmitted)
+                         - self._consumed)
+            if available >= expect:
+                break
+        response = self.platform.uart.transmitted[
+            self._consumed:self._consumed + expect]
+        self._consumed += len(response)
+        return response
+
+
+def main() -> None:
+    model = Layer1PowerModel(default_table())
+    platform = SmartCardPlatform(bus_layer=1, power_model=model,
+                                 with_cpu=True)
+    platform.eeprom.load(0, [INITIAL_BALANCE])
+    platform.load_assembly(FIRMWARE)
+    host = HostReader(platform)
+
+    print("=== electronic purse over UART (full platform) ===")
+    hi, lo, status = host.command(0x10, expect=3)
+    balance = (hi << 8) | lo
+    print(f"GET_BALANCE      -> {balance}  (status {status:#04x})")
+    assert balance == INITIAL_BALANCE and status == 0x90
+
+    (status,) = host.command(0x20, 100, expect=1)
+    print(f"DEBIT 100        -> status {status:#04x}")
+    assert status == 0x90
+
+    hi, lo, status = host.command(0x10, expect=3)
+    print(f"GET_BALANCE      -> {(hi << 8) | lo}")
+    assert (hi << 8) | lo == INITIAL_BALANCE - 100
+
+    (status,) = host.command(0x20, 200, expect=1)
+    print(f"DEBIT 200        -> status {status:#04x} "
+          f"(insufficient funds)")
+    assert status == 0x6A
+
+    (status,) = host.command(0x30, 60, expect=1)
+    print(f"CREDIT 60        -> status {status:#04x}")
+    assert status == 0x90
+
+    hi, lo, status = host.command(0x10, expect=3)
+    final = (hi << 8) | lo
+    print(f"GET_BALANCE      -> {final}")
+    assert final == INITIAL_BALANCE - 100 + 60
+
+    (status,) = host.command(0x42, expect=1)
+    print(f"unknown opcode   -> status {status:#04x}")
+    assert status == 0x6D
+
+    print()
+    print(f"persisted balance in EEPROM : {platform.eeprom.peek(0)}")
+    print(f"EEPROM programming cycles   : "
+          f"{platform.eeprom.programming_operations}")
+    print(f"bus energy for the session  : "
+          f"{model.total_energy_pj:10.1f} pJ")
+    print(f"UART energy ledger          : "
+          f"{platform.uart.energy_pj:10.1f} pJ")
+    print("all responses correct.")
+
+
+if __name__ == "__main__":
+    main()

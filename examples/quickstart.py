@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: a smart card platform, a bus, and an energy estimate.
+
+Builds the Figure-1 smart card platform around the cycle-accurate
+layer-1 EC bus with its energy model attached, runs a short assembly
+program on the MIPS-like core, and prints what a designer gets out:
+cycle counts, per-group bus energy, and the peripherals' ledgers.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.power import Layer1PowerModel, default_table
+from repro.power.units import supply_current_ma
+from repro.soc import SmartCardPlatform
+
+PROGRAM = """
+        lui   $s0, 0x0030          # scratchpad RAM
+        lui   $s1, 0x0020          # EEPROM
+
+        # fill eight RAM words with a pattern
+        addiu $t0, $zero, 0
+        addiu $t1, $zero, 8
+fill:   sll   $t2, $t0, 4
+        xori  $t2, $t2, 0x00FF
+        sll   $t3, $t0, 2
+        addu  $t3, $t3, $s0
+        sw    $t2, 0($t3)
+        addiu $t0, $t0, 1
+        bne   $t0, $t1, fill
+
+        # persist the first two words into EEPROM
+        lw    $t4, 0($s0)
+        sw    $t4, 0($s1)
+        lw    $t5, 4($s0)
+        sw    $t5, 4($s1)
+        halt
+"""
+
+
+def main() -> None:
+    power_model = Layer1PowerModel(default_table())
+    platform = SmartCardPlatform(bus_layer=1, power_model=power_model,
+                                 with_cpu=True)
+    platform.load_assembly(PROGRAM)
+    platform.cpu.run_to_halt(max_cycles=100_000)
+
+    bus = platform.bus
+    print("=== quickstart: smart card transaction on the layer-1 bus ===")
+    print(f"instructions executed : {platform.cpu.instructions_executed}")
+    print(f"bus cycles simulated  : {bus.cycle}")
+    print(f"bus transactions      : {bus.transactions_completed}")
+    print(f"EEPROM programmings   : {platform.eeprom.programming_operations}")
+    print()
+    print("bus energy by signal group:")
+    for group, energy in sorted(power_model.group_energy_pj.items(),
+                                key=lambda item: -item[1]):
+        print(f"  {group.value:<10} {energy:10.2f} pJ")
+    total = power_model.total_energy_pj
+    print(f"  {'total':<10} {total:10.2f} pJ")
+    duration_ps = bus.cycle * platform.clock.period
+    print(f"average bus supply current: "
+          f"{supply_current_ma(total, duration_ps):.4f} mA "
+          f"(contact-less budget check)")
+    print()
+    print("peripheral energy ledgers:")
+    for peripheral in (platform.uart, platform.timers, platform.rng,
+                       platform.intc):
+        print(f"  {peripheral.name:<8} {peripheral.energy_pj:10.2f} pJ "
+              f"({sum(peripheral.event_counts.values())} events)")
+
+
+if __name__ == "__main__":
+    main()

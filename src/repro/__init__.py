@@ -1,0 +1,8 @@
+"""Hierarchical bus models with energy estimation for smart cards.
+
+Reproduction of Neffe et al., "Energy Estimation Based on Hierarchical
+Bus Models for Power-Aware Smart Cards" (DATE 2004).  See DESIGN.md for
+the system inventory and EXPERIMENTS.md for the reproduced results.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,213 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the library's main entry points so the reproduction is
+usable without writing Python:
+
+========================  ==============================================
+``report``                every table and figure, printed
+``table1`` / ``table2``   one accuracy table
+``table3``                simulation performance
+``figure6``               the energy-sampling profile
+``casestudy``             the §4.3 Java Card exploration
+``coprocessor``           the §1 crypto HW/SW interface study
+``characterize``          run the characterisation flow; optionally save
+                          the table as JSON
+``trace``                 run the §4.1 test program and dump its bus
+                          trace
+========================  ==============================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import full_report
+    print(full_report(transactions=args.transactions,
+                      include_gate_level=not args.no_gate_level,
+                      extended=args.extended))
+    if args.csv:
+        from repro.experiments.export import write_csv_reports
+        paths = write_csv_reports(args.csv,
+                                  transactions=args.transactions)
+        print(f"\nCSV results written: "
+              f"{', '.join(str(p) for p in paths)}")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments import run_table1
+    print(run_table1().format())
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.experiments import run_table2
+    print(run_table2().format())
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from repro.experiments import run_table3
+    print(run_table3(transactions=args.transactions,
+                     include_gate_level=not args.no_gate_level).format())
+    return 0
+
+
+def _cmd_figure6(args: argparse.Namespace) -> int:
+    from repro.experiments import run_figure6
+    print(run_figure6().format())
+    return 0
+
+
+def _cmd_casestudy(args: argparse.Namespace) -> int:
+    from repro.experiments import run_casestudy
+    print(run_casestudy().format())
+    return 0
+
+
+def _cmd_coprocessor(args: argparse.Namespace) -> int:
+    from repro.experiments import run_coprocessor_study
+    print(run_coprocessor_study(blocks=args.blocks).format())
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.power.characterize import (coefficient_report,
+                                          default_characterization)
+    result = default_characterization(seed=args.seed)
+    print(result.report.format_summary())
+    print()
+    print(coefficient_report(result.table))
+    if args.output:
+        result.table.save(args.output)
+        print(f"\ntable written to {args.output}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import run_bus_sweep
+    print(run_bus_sweep().format())
+    return 0
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    from repro.experiments import run_robustness
+    print(run_robustness().format())
+    return 0
+
+
+def _cmd_vcd(args: argparse.Namespace) -> int:
+    from repro.kernel import Clock, Simulator
+    from repro.power import (Layer1PowerModel, SignalStateRecorder,
+                             save_vcd)
+    from repro.experiments.common import (CLOCK_PERIOD, characterization,
+                                          fresh_memory_map,
+                                          test_program_trace)
+    from repro.tlm import EcBusLayer1, PipelinedMaster, run_script
+    simulator = Simulator("vcd")
+    clock = Clock(simulator, "clk", period=CLOCK_PERIOD)
+    memory_map = fresh_memory_map()
+    recorder = SignalStateRecorder()
+    model = Layer1PowerModel(characterization().table, recorder=recorder)
+    bus = EcBusLayer1(simulator, clock, memory_map, power_model=model)
+    master = PipelinedMaster(simulator, clock, bus,
+                             test_program_trace().to_script())
+    run_script(simulator, master, 1_000_000, clock)
+    save_vcd(recorder, args.output, clock_period_ps=CLOCK_PERIOD)
+    print(f"{len(recorder)} cycles of bus waveform + energy written "
+          f"to {args.output}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.experiments.common import test_program_trace
+    trace = test_program_trace()
+    text = trace.to_text()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"{len(trace)} transactions written to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Energy Estimation Based on "
+                    "Hierarchical Bus Models for Power-Aware Smart "
+                    "Cards' (DATE 2004)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="all tables and figures")
+    report.add_argument("--transactions", type=int, default=2_000,
+                        help="Table-3 workload size")
+    report.add_argument("--no-gate-level", action="store_true",
+                        help="skip the slow gate-level speed row")
+    report.add_argument("--csv", metavar="DIR",
+                        help="also write one CSV per artefact to DIR")
+    report.add_argument("--extended", action="store_true",
+                        help="append the beyond-the-paper studies")
+    report.set_defaults(func=_cmd_report)
+
+    sub.add_parser("table1", help="timing accuracy"
+                   ).set_defaults(func=_cmd_table1)
+    sub.add_parser("table2", help="energy estimation accuracy"
+                   ).set_defaults(func=_cmd_table2)
+
+    table3 = sub.add_parser("table3", help="simulation performance")
+    table3.add_argument("--transactions", type=int, default=2_000)
+    table3.add_argument("--no-gate-level", action="store_true")
+    table3.set_defaults(func=_cmd_table3)
+
+    sub.add_parser("figure6", help="energy sampling profile"
+                   ).set_defaults(func=_cmd_figure6)
+    sub.add_parser("casestudy", help="java card HW/SW exploration"
+                   ).set_defaults(func=_cmd_casestudy)
+
+    coproc = sub.add_parser("coprocessor",
+                            help="crypto HW/SW interface study")
+    coproc.add_argument("--blocks", type=int, default=4)
+    coproc.set_defaults(func=_cmd_coprocessor)
+
+    characterize = sub.add_parser(
+        "characterize", help="run the power characterisation flow")
+    characterize.add_argument("--seed", type=int, default=2004)
+    characterize.add_argument("-o", "--output",
+                              help="write the table as JSON")
+    characterize.set_defaults(func=_cmd_characterize)
+
+    trace = sub.add_parser("trace",
+                           help="dump the test program's bus trace")
+    trace.add_argument("-o", "--output", help="write to a file")
+    trace.set_defaults(func=_cmd_trace)
+
+    sub.add_parser(
+        "sweep", help="fetch-path (burst x line-buffer) sweep"
+    ).set_defaults(func=_cmd_sweep)
+
+    sub.add_parser(
+        "robustness",
+        help="accuracy errors across workload classes"
+    ).set_defaults(func=_cmd_robustness)
+
+    vcd = sub.add_parser(
+        "vcd", help="dump the test program's bus waveform as VCD")
+    vcd.add_argument("-o", "--output", default="bus.vcd")
+    vcd.set_defaults(func=_cmd_vcd)
+    return parser
+
+
+def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

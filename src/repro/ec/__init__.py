@@ -1,0 +1,65 @@
+"""EC-style bus protocol: the shared vocabulary of every model layer.
+
+Reconstructs the externally documented features of the MIPS EC
+interface the paper builds on: 36-bit address and 32-bit data buses,
+separate unidirectional read/write paths, slave wait states, pipelined
+address/data phases, merge patterns and the 4/4/4 outstanding budgets.
+"""
+
+from .checker import ProtocolChecker, Violation, check_recorder
+from .decoder import DecodeError, MapConflictError, MemoryMap, Region
+from .interfaces import (BusMasterInterface, Slave, SlaveControlInterface,
+                         SlaveDataInterface, SlaveResponse, WaitStates)
+from .limits import OutstandingBudget
+from .signals import (EC_SIGNALS, SIGNALS_BY_GROUP, SIGNALS_BY_NAME,
+                      SignalGroup, SignalSpec, hamming_distance,
+                      total_interface_bits)
+from .transaction import (Transaction, data_read, data_write,
+                          instruction_fetch)
+from .types import (ADDRESS_BITS, ADDRESS_MASK, BYTES_PER_WORD, DATA_BITS,
+                    DATA_MASK, LEGAL_BURST_LENGTHS,
+                    MAX_OUTSTANDING_PER_KIND, AccessRights, BusState,
+                    Direction, MergePattern, MisalignedAccessError,
+                    ProtocolError, TransactionKind)
+
+__all__ = [
+    "ADDRESS_BITS",
+    "ADDRESS_MASK",
+    "AccessRights",
+    "BusMasterInterface",
+    "BusState",
+    "BYTES_PER_WORD",
+    "DATA_BITS",
+    "DATA_MASK",
+    "DecodeError",
+    "Direction",
+    "EC_SIGNALS",
+    "LEGAL_BURST_LENGTHS",
+    "MapConflictError",
+    "MAX_OUTSTANDING_PER_KIND",
+    "MemoryMap",
+    "MergePattern",
+    "MisalignedAccessError",
+    "OutstandingBudget",
+    "ProtocolChecker",
+    "ProtocolError",
+    "Region",
+    "SIGNALS_BY_GROUP",
+    "SIGNALS_BY_NAME",
+    "SignalGroup",
+    "SignalSpec",
+    "Slave",
+    "SlaveControlInterface",
+    "SlaveDataInterface",
+    "SlaveResponse",
+    "Transaction",
+    "Violation",
+    "TransactionKind",
+    "WaitStates",
+    "check_recorder",
+    "data_read",
+    "data_write",
+    "hamming_distance",
+    "instruction_fetch",
+    "total_interface_bits",
+]

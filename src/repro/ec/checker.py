@@ -1,0 +1,170 @@
+"""Bus protocol checker (assertion-based verification IP).
+
+Audits a recorded cycle-by-cycle trace of the EC interface wires —
+from the layer-1 reconstruction or the RTL bus — against the signal
+rules of ``docs/PROTOCOL.md``.  This is the passive monitor every bus
+verification environment carries: it does not influence the models, it
+only reports violations, so any new bus implementation (or a refactor
+of an existing one) can be checked against the written contract.
+
+Checked rules:
+
+* ``BFIRST_SCOPE``   — EB_BFirst only asserted while EB_AValid is high,
+* ``BLAST_SCOPE``    — EB_BLast only asserted while EB_AValid is high,
+* ``TENURE_FRAMING`` — every address tenure starts with EB_BFirst and
+  ends with EB_BLast (tenure boundaries inferred from EB_AValid and
+  EB_BLast/EB_BFirst edges),
+* ``ARDY_IDLE``      — EB_ARdy is high whenever the address channel is
+  idle (the slave is ready by default),
+* ``QUALIFIER_STABLE`` — EB_A/EB_Instr/EB_Write/EB_Burst/EB_BE hold
+  their values for the whole tenure,
+* ``RDVAL_RBERR_EXCLUSIVE`` / ``WDRDY_WBERR_EXCLUSIVE`` — a data beat
+  cannot complete and error in the same cycle,
+* ``BUS_HOLD``       — data/address buses only change in cycles where
+  their channel is active (buses hold when idle).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One protocol rule broken at one cycle."""
+
+    rule: str
+    cycle: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.rule}] cycle {self.cycle}: {self.message}"
+
+
+class ProtocolChecker:
+    """Feeds on per-cycle value dicts; accumulates violations."""
+
+    QUALIFIERS = ("EB_A", "EB_Instr", "EB_Write", "EB_Burst", "EB_BE")
+
+    def __init__(self) -> None:
+        self.violations: typing.List[Violation] = []
+        self.cycles_checked = 0
+        self._previous: typing.Optional[typing.Dict[str, int]] = None
+        self._tenure_open = False
+        self._tenure_start: typing.Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def check_cycle(self, cycle: int,
+                    values: typing.Mapping[str, int]) -> None:
+        """Audit one cycle's committed wire values."""
+        self.cycles_checked += 1
+        avalid = values["EB_AValid"]
+        bfirst = values["EB_BFirst"]
+        blast = values["EB_BLast"]
+
+        if bfirst and not avalid:
+            self._report("BFIRST_SCOPE", cycle,
+                         "EB_BFirst asserted outside a tenure")
+        if blast and not avalid:
+            self._report("BLAST_SCOPE", cycle,
+                         "EB_BLast asserted outside a tenure")
+        if not avalid and not values["EB_ARdy"]:
+            self._report("ARDY_IDLE", cycle,
+                         "EB_ARdy low while the address channel is idle")
+        if values["EB_RdVal"] and values["EB_RBErr"]:
+            self._report("RDVAL_RBERR_EXCLUSIVE", cycle,
+                         "read beat both valid and in error")
+        if values["EB_WDRdy"] and values["EB_WBErr"]:
+            self._report("WDRDY_WBERR_EXCLUSIVE", cycle,
+                         "write beat both accepted and in error")
+
+        self._check_tenure(cycle, values, avalid, bfirst, blast)
+        self._check_holds(cycle, values, avalid)
+        self._previous = dict(values)
+
+    def _check_tenure(self, cycle, values, avalid, bfirst, blast):
+        if avalid and not self._tenure_open:
+            # a tenure begins this cycle: it must carry EB_BFirst
+            if not bfirst:
+                self._report("TENURE_FRAMING", cycle,
+                             "tenure started without EB_BFirst")
+            self._tenure_open = True
+            self._tenure_start = {name: values[name]
+                                  for name in self.QUALIFIERS}
+        elif avalid and self._tenure_open and bfirst:
+            # back-to-back tenures: previous one must have closed with
+            # EB_BLast in the preceding cycle
+            previous = self._previous or {}
+            if not previous.get("EB_BLast", 0):
+                self._report("TENURE_FRAMING", cycle,
+                             "new tenure while the previous one never "
+                             "asserted EB_BLast")
+            self._tenure_start = {name: values[name]
+                                  for name in self.QUALIFIERS}
+        elif avalid and self._tenure_open:
+            # mid-tenure: qualifiers must not move
+            for name in self.QUALIFIERS:
+                if values[name] != self._tenure_start[name]:
+                    self._report(
+                        "QUALIFIER_STABLE", cycle,
+                        f"{name} changed mid-tenure "
+                        f"({self._tenure_start[name]:#x} -> "
+                        f"{values[name]:#x})")
+        if not avalid and self._tenure_open:
+            previous = self._previous or {}
+            if not previous.get("EB_BLast", 0):
+                self._report("TENURE_FRAMING", cycle,
+                             "tenure ended without EB_BLast")
+            self._tenure_open = False
+        if avalid and blast:
+            # the tenure closes this cycle; a new one may follow
+            self._tenure_open = False
+
+    def _check_holds(self, cycle, values, avalid):
+        if self._previous is None:
+            return
+        if not avalid and values["EB_A"] != self._previous["EB_A"]:
+            self._report("BUS_HOLD", cycle,
+                         "EB_A changed while the address channel idle")
+        read_active = values["EB_RdVal"] or self._previous["EB_RdVal"]
+        if not read_active and values["EB_RData"] != \
+                self._previous["EB_RData"]:
+            self._report("BUS_HOLD", cycle,
+                         "EB_RData changed without EB_RdVal activity")
+
+    def _report(self, rule: str, cycle: int, message: str) -> None:
+        self.violations.append(Violation(rule, cycle, message))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def check_trace(self, cycles: typing.Sequence[int],
+                    values: typing.Sequence[typing.Mapping[str, int]]
+                    ) -> "ProtocolChecker":
+        """Audit a whole recorded trace; returns self for chaining."""
+        for cycle, cycle_values in zip(cycles, values):
+            self.check_cycle(cycle, cycle_values)
+        return self
+
+    def summary(self) -> str:
+        if self.clean:
+            return (f"protocol check: {self.cycles_checked} cycles, "
+                    f"no violations")
+        lines = [f"protocol check: {len(self.violations)} violation(s) "
+                 f"in {self.cycles_checked} cycles:"]
+        lines.extend(f"  {violation}" for violation in
+                     self.violations[:20])
+        if len(self.violations) > 20:
+            lines.append(f"  ... and {len(self.violations) - 20} more")
+        return "\n".join(lines)
+
+
+def check_recorder(recorder) -> ProtocolChecker:
+    """Convenience: audit a :class:`SignalStateRecorder`."""
+    checker = ProtocolChecker()
+    return checker.check_trace(recorder.cycles, recorder.values)

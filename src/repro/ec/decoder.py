@@ -1,0 +1,123 @@
+"""Address decoding and the system memory map.
+
+The bus controller the paper models "contains the address decoder and
+bus control logic" (§3).  :class:`MemoryMap` is the behavioural address
+decoder shared by the TLM layers; the gate-level model synthesises the
+equivalent comparator network in :mod:`repro.rtl.bus_rtl`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+import typing
+
+from .interfaces import Slave
+from .types import ADDRESS_MASK, AccessRights, TransactionKind
+
+
+class DecodeError(LookupError):
+    """No slave claims the address (decoded as a bus error)."""
+
+
+class MapConflictError(ValueError):
+    """Two slaves claim overlapping address ranges."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Region:
+    """One decoded window of the memory map."""
+
+    base: int
+    size: int
+    slave: Slave
+    name: str
+
+    @property
+    def end(self) -> int:
+        """One past the last address of the window."""
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+
+class MemoryMap:
+    """The address decoder: sorted, non-overlapping slave windows."""
+
+    def __init__(self) -> None:
+        self._regions: typing.List[Region] = []
+        self._bases: typing.List[int] = []
+
+    def add_slave(self, slave: Slave,
+                  name: typing.Optional[str] = None) -> Region:
+        """Register *slave* at its own base address/size window."""
+        base = slave.base_address
+        size = slave.size
+        if size <= 0:
+            raise MapConflictError(f"slave {name!r} has non-positive size")
+        if base < 0 or base + size - 1 > ADDRESS_MASK:
+            raise MapConflictError(
+                f"slave window [{base:#x}, {base + size:#x}) exceeds "
+                f"the 36-bit address space")
+        region = Region(base, size, slave, name or type(slave).__name__)
+        index = bisect.bisect_left(self._bases, base)
+        if index > 0 and self._regions[index - 1].end > base:
+            raise MapConflictError(
+                f"{region.name} overlaps {self._regions[index - 1].name}")
+        if index < len(self._regions) and region.end > self._bases[index]:
+            raise MapConflictError(
+                f"{region.name} overlaps {self._regions[index].name}")
+        self._regions.insert(index, region)
+        self._bases.insert(index, base)
+        return region
+
+    def decode(self, address: int) -> Region:
+        """Return the region containing *address*.
+
+        Raises :class:`DecodeError` when no slave claims it — the bus
+        turns this into a bus-error response.
+        """
+        index = bisect.bisect_right(self._bases, address) - 1
+        if index >= 0 and self._regions[index].contains(address):
+            return self._regions[index]
+        raise DecodeError(f"no slave at address {address:#x}")
+
+    def decode_checked(self, address: int, kind: TransactionKind,
+                       num_bytes: int) -> Region:
+        """Decode and enforce rights + window containment for a burst.
+
+        Raises :class:`DecodeError` when the address misses, the burst
+        crosses out of the window, or the slave's access rights forbid
+        the transaction kind.
+        """
+        region = self.decode(address)
+        if address + num_bytes > region.end:
+            raise DecodeError(
+                f"access [{address:#x}, {address + num_bytes:#x}) "
+                f"crosses out of {region.name}")
+        if not region.slave.access_rights.permits(kind):
+            raise DecodeError(
+                f"{kind.value} not permitted on {region.name} "
+                f"(rights: {region.slave.access_rights})")
+        return region
+
+    @property
+    def regions(self) -> typing.Tuple[Region, ...]:
+        """All windows in ascending base-address order."""
+        return tuple(self._regions)
+
+    def rights_of(self, address: int) -> AccessRights:
+        """Access rights at *address* (``NONE`` if unmapped)."""
+        try:
+            return self.decode(address).slave.access_rights
+        except DecodeError:
+            return AccessRights.NONE
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def __repr__(self) -> str:
+        windows = ", ".join(
+            f"{r.name}@[{r.base:#x},{r.end:#x})" for r in self._regions)
+        return f"MemoryMap({windows})"

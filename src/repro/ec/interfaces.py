@@ -1,0 +1,145 @@
+"""Abstract master/slave interfaces of the bus models.
+
+The paper's bus talks to the master over two dedicated interfaces (one
+for instruction fetch, one for data read/write) and to each slave over
+a data interface plus a *slave control interface* exposing the address
+range, the per-phase wait states and the access-right bits (§3.1).
+All interface methods are non-blocking.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+
+from .types import AccessRights, BusState, TransactionKind
+from .transaction import Transaction
+
+
+@dataclasses.dataclass(frozen=True)
+class WaitStates:
+    """Slave-inserted wait states per protocol phase (§3.1)."""
+
+    address: int = 0
+    read: int = 0
+    write: int = 0
+
+    def __post_init__(self) -> None:
+        for field in ("address", "read", "write"):
+            value = getattr(self, field)
+            if value < 0:
+                raise ValueError(f"{field} wait states must be >= 0")
+
+    def for_kind(self, kind: TransactionKind) -> int:
+        """Data-phase wait states for a transaction of *kind*."""
+        if kind is TransactionKind.DATA_WRITE:
+            return self.write
+        return self.read
+
+
+class SlaveControlInterface(abc.ABC):
+    """Properties the bus reads from every slave (``getSlaveState()``)."""
+
+    @property
+    @abc.abstractmethod
+    def base_address(self) -> int:
+        """First address the slave responds to."""
+
+    @property
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Number of addressable bytes."""
+
+    @property
+    @abc.abstractmethod
+    def wait_states(self) -> WaitStates:
+        """Current wait states for address, read and write phases."""
+
+    @property
+    @abc.abstractmethod
+    def access_rights(self) -> AccessRights:
+        """Read/write/execute permission bits."""
+
+
+class SlaveDataInterface(abc.ABC):
+    """Non-blocking per-beat data interface invoked by the bus process.
+
+    The bus calls :meth:`read_beat` / :meth:`write_beat` every cycle of
+    the corresponding data phase "until it responses error or ok"
+    (§3.1).  *offset* is the byte offset within the slave.
+    """
+
+    @abc.abstractmethod
+    def read_beat(self, offset: int, byte_enables: int) -> "SlaveResponse":
+        """One read access; returns state + data when state is OK."""
+
+    @abc.abstractmethod
+    def write_beat(self, offset: int, byte_enables: int,
+                   data: int) -> "SlaveResponse":
+        """One write access; returns the completion state."""
+
+
+@dataclasses.dataclass(frozen=True)
+class SlaveResponse:
+    """Result of a slave data-interface invocation."""
+
+    state: BusState
+    data: int = 0
+
+    @classmethod
+    def ok(cls, data: int = 0) -> "SlaveResponse":
+        return cls(BusState.OK, data)
+
+    @classmethod
+    def wait(cls) -> "SlaveResponse":
+        return cls(BusState.WAIT)
+
+    @classmethod
+    def error(cls) -> "SlaveResponse":
+        return cls(BusState.ERROR)
+
+
+class Slave(SlaveControlInterface, SlaveDataInterface):
+    """A complete bus slave: control properties plus data access."""
+
+    def contains(self, address: int) -> bool:
+        """True if *address* falls inside this slave's window."""
+        return self.base_address <= address < self.base_address + self.size
+
+    def offset_of(self, address: int) -> int:
+        """Byte offset of *address* within the slave's window."""
+        if not self.contains(address):
+            raise ValueError(
+                f"address {address:#x} outside slave window "
+                f"[{self.base_address:#x}, "
+                f"{self.base_address + self.size:#x})")
+        return address - self.base_address
+
+
+class BusMasterInterface(abc.ABC):
+    """What a bus offers its master: instruction + data interfaces.
+
+    Each method is non-blocking and must be re-invoked every clock
+    cycle with the same transaction until the return state is ``OK`` or
+    ``ERROR`` (§3.1).  Several requests may be started in one cycle.
+    """
+
+    @abc.abstractmethod
+    def instruction_fetch(self, transaction: Transaction) -> BusState:
+        """Advance an instruction-read transaction by one master call."""
+
+    @abc.abstractmethod
+    def data_read(self, transaction: Transaction) -> BusState:
+        """Advance a data-read transaction by one master call."""
+
+    @abc.abstractmethod
+    def data_write(self, transaction: Transaction) -> BusState:
+        """Advance a data-write transaction by one master call."""
+
+    def issue(self, transaction: Transaction) -> BusState:
+        """Dispatch on the transaction kind (convenience for masters)."""
+        if transaction.kind is TransactionKind.INSTRUCTION_READ:
+            return self.instruction_fetch(transaction)
+        if transaction.kind is TransactionKind.DATA_READ:
+            return self.data_read(transaction)
+        return self.data_write(transaction)

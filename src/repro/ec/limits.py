@@ -1,0 +1,62 @@
+"""Outstanding-transaction accounting.
+
+The 4KSc core "limits the number of possible outstanding transactions
+to four burst instruction reads, four burst data reads, and four burst
+writes" (§1).  The bus models enforce the same budgets: a request that
+would exceed its category's budget is not accepted (the interface call
+returns ``WAIT`` and the master retries next cycle).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from .types import MAX_OUTSTANDING_PER_KIND, TransactionKind
+from .transaction import Transaction
+
+
+class OutstandingBudget:
+    """Tracks in-flight transactions per :class:`TransactionKind`."""
+
+    def __init__(self,
+                 limit: int = MAX_OUTSTANDING_PER_KIND) -> None:
+        if limit <= 0:
+            raise ValueError("limit must be positive")
+        self.limit = limit
+        self._in_flight: typing.Dict[TransactionKind, set] = {
+            kind: set() for kind in TransactionKind
+        }
+        self.peak: typing.Dict[TransactionKind, int] = {
+            kind: 0 for kind in TransactionKind
+        }
+        self.rejected: int = 0
+
+    def try_acquire(self, transaction: Transaction) -> bool:
+        """Admit *transaction* if its category has budget left."""
+        bucket = self._in_flight[transaction.kind]
+        if transaction.txn_id in bucket:
+            return True  # already admitted; re-invocation is free
+        if len(bucket) >= self.limit:
+            self.rejected += 1
+            return False
+        bucket.add(transaction.txn_id)
+        self.peak[transaction.kind] = max(
+            self.peak[transaction.kind], len(bucket))
+        return True
+
+    def release(self, transaction: Transaction) -> None:
+        """Return the budget slot of a finished transaction."""
+        bucket = self._in_flight[transaction.kind]
+        bucket.discard(transaction.txn_id)
+
+    def in_flight(self, kind: TransactionKind) -> int:
+        """Number of admitted, unfinished transactions of *kind*."""
+        return len(self._in_flight[kind])
+
+    def total_in_flight(self) -> int:
+        return sum(len(bucket) for bucket in self._in_flight.values())
+
+    def __repr__(self) -> str:
+        counts = {kind.value: len(bucket)
+                  for kind, bucket in self._in_flight.items()}
+        return f"OutstandingBudget(limit={self.limit}, in_flight={counts})"

@@ -1,0 +1,186 @@
+"""Bus transaction descriptors.
+
+A :class:`Transaction` is the unit of work that travels through the
+paper's queues (request → read/write → finish).  At layer 1 it is
+processed beat-by-beat; at layer 2 the whole burst is a single
+transaction whose payload is passed by reference ("pointer passing",
+§3.2).  Both layers and the gate-level reference use this one class, so
+traces recorded at one layer replay at every other.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing
+
+from .types import (ADDRESS_MASK, BYTES_PER_WORD, DATA_MASK,
+                    LEGAL_BURST_LENGTHS, BusState, Direction, MergePattern,
+                    ProtocolError, TransactionKind)
+
+_ids = itertools.count(1)
+
+
+@dataclasses.dataclass
+class Transaction:
+    """One EC bus request: a single transfer or a burst.
+
+    Parameters
+    ----------
+    kind:
+        Instruction read, data read or data write — also selects which
+        outstanding-transaction budget it consumes.
+    address:
+        36-bit start address; bursts increment by the word size.
+    burst_length:
+        Number of beats (1, 2 or 4).  Bursts are word-wide.
+    pattern:
+        Merge pattern of a single transfer; bursts must use ``WORD``.
+    data:
+        For writes: the payload, one word per beat.  For reads: filled
+        in by the slave as beats complete.
+    """
+
+    kind: TransactionKind
+    address: int
+    burst_length: int = 1
+    pattern: MergePattern = MergePattern.WORD
+    data: typing.Optional[list] = None
+    txn_id: int = dataclasses.field(default_factory=lambda: next(_ids))
+
+    # progress bookkeeping (owned by the bus models)
+    state: BusState = BusState.REQUEST
+    beats_done: int = 0
+    error: bool = False
+    issue_cycle: typing.Optional[int] = None
+    address_done_cycle: typing.Optional[int] = None
+    data_done_cycle: typing.Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.address <= ADDRESS_MASK:
+            raise ProtocolError(
+                f"address {self.address:#x} exceeds 36 bits")
+        if self.burst_length not in LEGAL_BURST_LENGTHS:
+            raise ProtocolError(
+                f"illegal burst length {self.burst_length}; "
+                f"legal: {LEGAL_BURST_LENGTHS}")
+        if self.burst_length > 1:
+            if self.pattern is not MergePattern.WORD:
+                raise ProtocolError("bursts must use WORD merge pattern")
+            if self.address % BYTES_PER_WORD:
+                raise ProtocolError(
+                    f"burst start address {self.address:#x} not word aligned")
+        elif not self.pattern.alignment_ok(self.address):
+            raise ProtocolError(
+                f"address {self.address:#x} misaligned for "
+                f"{self.pattern.name}")
+        if self.kind is TransactionKind.DATA_WRITE:
+            if self.data is None or len(self.data) != self.burst_length:
+                raise ProtocolError(
+                    "write transaction needs one data word per beat")
+            for word in self.data:
+                if not 0 <= word <= DATA_MASK:
+                    raise ProtocolError(f"data word {word:#x} exceeds 32 bits")
+        elif self.data is None:
+            self.data = [0] * self.burst_length
+        # beat enables are the same for every beat (bursts are whole
+        # words); cache them — the bus models read this per cycle
+        self._enables = (0b1111 if self.burst_length > 1
+                         else self.pattern.byte_enables(self.address))
+
+    # -- derived properties ----------------------------------------------
+
+    @property
+    def direction(self) -> Direction:
+        return self.kind.direction
+
+    @property
+    def is_burst(self) -> bool:
+        return self.burst_length > 1
+
+    @property
+    def finished(self) -> bool:
+        return self.state.finished
+
+    @property
+    def num_bytes(self) -> int:
+        """Total bytes moved by this transaction."""
+        if self.is_burst:
+            return self.burst_length * BYTES_PER_WORD
+        return self.pattern.num_bytes
+
+    def beat_address(self, beat: int) -> int:
+        """Address of the *beat*-th transfer of the burst."""
+        if not 0 <= beat < self.burst_length:
+            raise IndexError(f"beat {beat} out of range")
+        return (self.address + beat * BYTES_PER_WORD) & ADDRESS_MASK
+
+    def byte_enables(self, beat: int = 0) -> int:
+        """Byte-enable pattern driven during *beat*."""
+        return self._enables
+
+    # -- progress helpers (used by the bus models) -------------------------
+
+    def complete_beat(self, cycle: int, value: typing.Optional[int] = None
+                      ) -> None:
+        """Record one finished data beat (reads store *value*)."""
+        if self.beats_done >= self.burst_length:
+            raise ProtocolError(
+                f"transaction {self.txn_id} already completed all beats")
+        if value is not None:
+            self.data[self.beats_done] = value & DATA_MASK
+        self.beats_done += 1
+        if self.beats_done == self.burst_length:
+            self.data_done_cycle = cycle
+            self.state = BusState.OK
+
+    def fail(self, cycle: int) -> None:
+        """Terminate the transaction with a bus error."""
+        self.error = True
+        self.state = BusState.ERROR
+        self.data_done_cycle = cycle
+
+    @property
+    def latency_cycles(self) -> typing.Optional[int]:
+        """Cycles from issue to completion, if both were recorded."""
+        if self.issue_cycle is None or self.data_done_cycle is None:
+            return None
+        return self.data_done_cycle - self.issue_cycle
+
+    def clone(self) -> "Transaction":
+        """A fresh, un-started copy (new id, reset progress)."""
+        return Transaction(
+            kind=self.kind,
+            address=self.address,
+            burst_length=self.burst_length,
+            pattern=self.pattern,
+            data=(list(self.data)
+                  if self.kind is TransactionKind.DATA_WRITE else None),
+        )
+
+    def __repr__(self) -> str:
+        return (f"Transaction(#{self.txn_id} {self.kind.value} "
+                f"@{self.address:#010x} x{self.burst_length} "
+                f"{self.pattern.name} {self.state.value})")
+
+
+def instruction_fetch(address: int, burst_length: int = 1) -> Transaction:
+    """Convenience constructor for an instruction read."""
+    return Transaction(TransactionKind.INSTRUCTION_READ, address,
+                       burst_length=burst_length)
+
+
+def data_read(address: int, pattern: MergePattern = MergePattern.WORD,
+              burst_length: int = 1) -> Transaction:
+    """Convenience constructor for a data read."""
+    return Transaction(TransactionKind.DATA_READ, address,
+                       burst_length=burst_length, pattern=pattern)
+
+
+def data_write(address: int, data: typing.Sequence[int],
+               pattern: MergePattern = MergePattern.WORD) -> Transaction:
+    """Convenience constructor for a (possibly burst) data write."""
+    words = list(data)
+    return Transaction(TransactionKind.DATA_WRITE, address,
+                       burst_length=len(words) if len(words) > 1 else 1,
+                       pattern=pattern, data=words)

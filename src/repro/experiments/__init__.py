@@ -1,0 +1,54 @@
+"""Paper-reproduction experiments: one module per table/figure.
+
+* :mod:`repro.experiments.table1` — timing accuracy,
+* :mod:`repro.experiments.table2` — energy estimation accuracy,
+* :mod:`repro.experiments.table3` — simulation performance,
+* :mod:`repro.experiments.figure6` — energy sampling profile,
+* :mod:`repro.experiments.casestudy` — §4.3 HW/SW interface
+  exploration,
+* :mod:`repro.experiments.coprocessor` — the §1 coprocessor HW/SW
+  interface study (extension),
+* :mod:`repro.experiments.report` — everything at once.
+"""
+
+from .bus_sweep import BusSweepResult, run_bus_sweep
+from .casestudy import CaseStudyResult, run_casestudy
+from .coprocessor import CoprocessorStudyResult, run_coprocessor_study
+from .common import (RunResult, characterization, evaluation_script,
+                     percent_error, run_on_layer, run_on_rtl,
+                     test_program_trace)
+from .export import write_csv_reports
+from .figure6 import Figure6Result, run_figure6
+from .report import full_report
+from .robustness import RobustnessResult, run_robustness
+from .table1 import Table1Result, run_table1
+from .table2 import Table2Result, run_table2
+from .table3 import Table3Result, run_table3
+
+__all__ = [
+    "BusSweepResult",
+    "CaseStudyResult",
+    "CoprocessorStudyResult",
+    "Figure6Result",
+    "RobustnessResult",
+    "RunResult",
+    "Table1Result",
+    "Table2Result",
+    "Table3Result",
+    "characterization",
+    "evaluation_script",
+    "full_report",
+    "percent_error",
+    "run_bus_sweep",
+    "run_casestudy",
+    "run_coprocessor_study",
+    "run_figure6",
+    "run_on_layer",
+    "run_on_rtl",
+    "run_robustness",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "test_program_trace",
+    "write_csv_reports",
+]

@@ -1,0 +1,155 @@
+"""Accuracy robustness across workload classes (extension).
+
+Table 1 and Table 2 report one number each, on one workload.  A model
+is only useful if its error is *stable*, so this study re-measures the
+layer-1 and layer-2 timing and energy errors across qualitatively
+different workload classes — with one characterisation table held
+fixed (the realistic deployment: characterise once, estimate forever):
+
+* ``traced_program`` — the §4.1 CPU trace (the paper's evaluation),
+* ``random_mix``     — seeded uniform single/burst read/write mix,
+* ``burst_heavy``    — cache-line-fill style burst streams,
+* ``subword``        — 8/16-bit merge-pattern traffic,
+* ``eeprom_contention`` — write/read interleaving inside
+  programming-busy windows (the layer-2 worst case),
+* ``apdu_session``   — an ISO-7816-style card command session,
+* ``sparse``         — isolated transactions with long idle gaps.
+
+Expected shape: layer-1 energy error stays in a narrow negative band
+on every class (it misses the same structurally-invisible share);
+layer-2 errors swing class to class (its per-phase averages fit some
+traffic shapes better than others); layer-2 timing error is zero
+except under dynamic wait states.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import typing
+
+from repro.ec import data_read, data_write
+from repro.soc.smartcard import EEPROM_BASE, RAM_BASE, ROM_BASE
+from repro.workloads import (Mix, Window, apdu_session,
+                             generate_script, sub_word_script)
+
+from .common import (characterization, percent_error, run_on_layer,
+                     run_on_rtl, test_program_trace)
+
+
+def _traced_program() -> list:
+    return test_program_trace().to_script()
+
+
+def _random_mix() -> list:
+    rng = random.Random(77)
+    windows = [Window(RAM_BASE, 0x1000), Window(EEPROM_BASE, 0x1000)]
+    return generate_script(rng, 150, windows)
+
+
+def _burst_heavy() -> list:
+    rng = random.Random(78)
+    windows = [Window(RAM_BASE, 0x1000),
+               Window(ROM_BASE, 0x1000, executable=True, writable=False)]
+    mix = Mix(single_read=0.2, single_write=0.2, burst_read=2.0,
+              burst_write=1.0, instruction_burst=2.0)
+    return generate_script(rng, 120, windows, mix)
+
+
+def _subword() -> list:
+    return sub_word_script(random.Random(79), 120, RAM_BASE)
+
+
+def _eeprom_contention() -> list:
+    script: list = []
+    for i in range(12):
+        script.append(data_write(EEPROM_BASE + 64 * i, [0xA5000000 + i]))
+        script.append((10, data_read(EEPROM_BASE + 64 * i + 4)))
+        script.append(data_read(EEPROM_BASE + 64 * i + 8))
+        script.append(data_read(RAM_BASE + 4 * i))
+    return script
+
+
+def _apdu_session() -> list:
+    return apdu_session(random.Random(81), commands=8).script
+
+
+def _sparse() -> list:
+    rng = random.Random(80)
+    windows = [Window(RAM_BASE, 0x1000)]
+    return generate_script(rng, 60, windows, gap_probability=0.9,
+                           max_gap=12)
+
+
+WORKLOAD_CLASSES: typing.Dict[str, typing.Callable[[], list]] = {
+    "traced_program": _traced_program,
+    "random_mix": _random_mix,
+    "burst_heavy": _burst_heavy,
+    "subword": _subword,
+    "eeprom_contention": _eeprom_contention,
+    "apdu_session": _apdu_session,
+    "sparse": _sparse,
+}
+
+
+@dataclasses.dataclass
+class RobustnessRow:
+    workload: str
+    cycles: int
+    layer1_timing_error: float
+    layer2_timing_error: float
+    layer1_energy_error: float
+    layer2_energy_error: float
+
+
+@dataclasses.dataclass
+class RobustnessResult:
+    rows: typing.List[RobustnessRow]
+
+    def row(self, workload: str) -> RobustnessRow:
+        for row in self.rows:
+            if row.workload == workload:
+                return row
+        raise KeyError(workload)
+
+    def format(self) -> str:
+        lines = [
+            "Accuracy robustness across workload classes "
+            "(one fixed characterisation):",
+            f"{'workload':<20}{'cycles':>8}{'L1 t-err':>10}"
+            f"{'L2 t-err':>10}{'L1 E-err':>10}{'L2 E-err':>10}",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.workload:<20}{row.cycles:>8}"
+                f"{row.layer1_timing_error:>+9.2f}%"
+                f"{row.layer2_timing_error:>+9.2f}%"
+                f"{row.layer1_energy_error:>+9.2f}%"
+                f"{row.layer2_energy_error:>+9.2f}%")
+        l1_errors = [row.layer1_energy_error for row in self.rows]
+        l2_errors = [row.layer2_energy_error for row in self.rows]
+        lines.append(
+            f"L1 energy error band: [{min(l1_errors):+.2f}%, "
+            f"{max(l1_errors):+.2f}%]   "
+            f"L2: [{min(l2_errors):+.2f}%, {max(l2_errors):+.2f}%]")
+        return "\n".join(lines)
+
+
+def run_robustness(classes: typing.Optional[
+        typing.Sequence[str]] = None) -> RobustnessResult:
+    """Measure all four errors on every workload class."""
+    table = characterization().table
+    names = list(classes or WORKLOAD_CLASSES)
+    rows = []
+    for name in names:
+        factory = WORKLOAD_CLASSES[name]
+        gate = run_on_rtl(factory(), estimate_power=True)
+        layer1 = run_on_layer(1, factory(), table=table)
+        layer2 = run_on_layer(2, factory(), table=table)
+        rows.append(RobustnessRow(
+            name, gate.cycles,
+            percent_error(layer1.cycles, gate.cycles),
+            percent_error(layer2.cycles, gate.cycles),
+            percent_error(layer1.energy_pj, gate.energy_pj),
+            percent_error(layer2.energy_pj, gate.energy_pj)))
+    return RobustnessResult(rows)

@@ -1,0 +1,77 @@
+"""Table 1 — timing accuracy of the transaction-level models.
+
+Paper (DATE 2004, §4.1):
+
+    ==================  ======  =====
+    Abstraction level   Cycles  Error
+    ==================  ======  =====
+    Gate-level model      100%      -
+    Layer one model       100%     0%
+    Layer two model     100.5%   0.5%
+    ==================  ======  =====
+
+The reproduction replays the traced assembly test program (plus the
+EEPROM-contention epilogue) on the gate-level bus, the layer-1 bus and
+the layer-2 bus, and compares total cycle counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from .common import (RunResult, evaluation_script, percent_error,
+                     run_on_layer, run_on_rtl)
+
+
+@dataclasses.dataclass
+class Table1Row:
+    """One row of the reproduced table."""
+
+    abstraction_level: str
+    cycles: int
+    cycles_relative: float      # percent of the gate-level count
+    error_percent: typing.Optional[float]  # None for the reference
+
+
+@dataclasses.dataclass
+class Table1Result:
+    rows: typing.List[Table1Row]
+    runs: typing.List[RunResult]
+
+    def row(self, name: str) -> Table1Row:
+        for row in self.rows:
+            if row.abstraction_level == name:
+                return row
+        raise KeyError(name)
+
+    def format(self) -> str:
+        lines = [
+            "Table 1: timing error vs gate-level simulation",
+            f"{'Abstraction Level':<22}{'Cycles':>10}{'Error':>10}",
+        ]
+        for row in self.rows:
+            error = ("-" if row.error_percent is None
+                     else f"{row.error_percent:+.2f}%")
+            lines.append(f"{row.abstraction_level:<22}"
+                         f"{row.cycles_relative:>9.2f}%{error:>10}")
+        return "\n".join(lines)
+
+
+def run_table1(script_factory: typing.Callable[[], list] = None
+               ) -> Table1Result:
+    """Reproduce Table 1; returns rows in the paper's order."""
+    factory = script_factory or evaluation_script
+    gate = run_on_rtl(factory(), estimate_power=False)
+    layer1 = run_on_layer(1, factory())
+    layer2 = run_on_layer(2, factory())
+    rows = [
+        Table1Row("Gate-level model", gate.cycles, 100.0, None),
+        Table1Row("Layer one model", layer1.cycles,
+                  100.0 * layer1.cycles / gate.cycles,
+                  percent_error(layer1.cycles, gate.cycles)),
+        Table1Row("Layer two model", layer2.cycles,
+                  100.0 * layer2.cycles / gate.cycles,
+                  percent_error(layer2.cycles, gate.cycles)),
+    ]
+    return Table1Result(rows, [gate, layer1, layer2])

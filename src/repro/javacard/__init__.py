@@ -1,0 +1,41 @@
+"""Java Card VM case study (Figure 7, §4.3): functional bytecode
+interpreter, hardware stack coprocessor, communication-refinement
+adapters and the HW/SW interface design-space exploration."""
+
+from .adapters import StackMasterAdapter, StaticsBusPort
+from .bytecode import (BytecodeError, Instruction, Method, Package,
+                       assemble_method, package, to_short)
+from .explore import (ConfigResult, ExplorationResult, InterfaceConfig,
+                      default_configurations, evaluate_configuration,
+                      run_exploration)
+from .interpreter import BytecodeInterpreter, InterpreterError
+from .stack import (FunctionalStack, HardwareStack, SfrLayout,
+                    StackError, StackInterface)
+from .workloads import BENCHMARKS, benchmark_package
+
+__all__ = [
+    "BENCHMARKS",
+    "BytecodeError",
+    "BytecodeInterpreter",
+    "ConfigResult",
+    "ExplorationResult",
+    "FunctionalStack",
+    "HardwareStack",
+    "Instruction",
+    "InterfaceConfig",
+    "InterpreterError",
+    "Method",
+    "Package",
+    "SfrLayout",
+    "StackError",
+    "StackInterface",
+    "StackMasterAdapter",
+    "StaticsBusPort",
+    "assemble_method",
+    "benchmark_package",
+    "default_configurations",
+    "evaluate_configuration",
+    "package",
+    "run_exploration",
+    "to_short",
+]

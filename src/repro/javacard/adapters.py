@@ -1,0 +1,171 @@
+"""Communication refinement: the master adapter of Figure 7(b).
+
+"The bytecode interpreter invokes the same interface functions as in
+the pure functional model.  The master adapter translates them into
+bus transactions. ... Communication is performed by using special
+function register[s]."
+
+:class:`StackMasterAdapter` implements :class:`StackInterface` on top
+of an energy-aware TLM bus: each stack call becomes one or more SFR
+accesses whose count, width and addresses depend on the explored
+configuration.  The untimed interpreter calls are synchronous, so the
+adapter co-simulates: it steps the kernel cycle by cycle, re-invoking
+the non-blocking bus interface until the transaction completes —
+exactly what a bus-functional model does for an untimed caller.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.ec import (BusState, MergePattern, Transaction, data_read,
+                      data_write)
+from repro.ec.interfaces import BusMasterInterface
+from repro.kernel import Clock, Simulator
+
+from .stack import (CMD_POP, CMD_PUSH, CMD_TOP, REG_COMMAND, REG_DATA,
+                    REG_POP, REG_POP2, REG_PUSH, REG_TOP, SfrLayout,
+                    StackError, StackInterface)
+
+STATUS_CHECK_NONE = "none"
+STATUS_CHECK_EVERY_OP = "every_op"
+
+
+class StackMasterAdapter(StackInterface):
+    """Translates stack interface calls into SFR bus transactions."""
+
+    def __init__(self, simulator: Simulator, clock: Clock,
+                 bus: BusMasterInterface, base_address: int,
+                 layout: SfrLayout = SfrLayout.DEDICATED,
+                 access_pattern: MergePattern = MergePattern.HALFWORD,
+                 ) -> None:
+        self.simulator = simulator
+        self.clock = clock
+        self.bus = bus
+        self.base_address = base_address
+        self.layout = layout
+        self.access_pattern = access_pattern
+        self.bus_transactions = 0
+        self._shadow_depth = 0
+
+    # ------------------------------------------------------------------
+    # synchronous transfer: step the kernel until the bus answers
+    # ------------------------------------------------------------------
+
+    def _transfer(self, transaction: Transaction) -> Transaction:
+        state = self.bus.issue(transaction)
+        guard = 10_000
+        while not state.finished:
+            guard -= 1
+            if guard == 0:
+                raise RuntimeError("bus transaction wedged")
+            self.simulator.run(self.clock.period)
+            state = self.bus.issue(transaction)
+        if state is BusState.ERROR:
+            raise StackError(
+                f"bus error accessing stack SFR {transaction.address:#x}")
+        self.bus_transactions += 1
+        return transaction
+
+    def _register_address(self, register: int) -> int:
+        return self.base_address + 4 * register
+
+    def _write_register(self, register: int, value: int) -> None:
+        address = self._register_address(register)
+        if self.access_pattern is MergePattern.WORD:
+            self._transfer(data_write(address, [value & 0xFFFFFFFF]))
+        else:
+            # 16-bit access on the low lanes of the register word
+            self._transfer(data_write(address, [value & 0xFFFF],
+                                      MergePattern.HALFWORD))
+
+    def _read_register(self, register: int,
+                       pattern: typing.Optional[MergePattern] = None
+                       ) -> int:
+        address = self._register_address(register)
+        pattern = pattern or self.access_pattern
+        transaction = self._transfer(data_read(address, pattern))
+        value = transaction.data[0]
+        if pattern is MergePattern.HALFWORD:
+            value &= 0xFFFF
+        return value
+
+    # ------------------------------------------------------------------
+    # StackInterface -> SFR traffic, per layout
+    # ------------------------------------------------------------------
+
+    def push(self, value: int) -> None:
+        if self.layout is SfrLayout.COMMAND:
+            self._write_register(REG_DATA, value)
+            self._write_register(REG_COMMAND, CMD_PUSH)
+        else:
+            self._write_register(REG_PUSH, value)
+        self._shadow_depth += 1
+
+    def pop(self) -> int:
+        self._require_depth(1)
+        self._shadow_depth -= 1
+        if self.layout is SfrLayout.COMMAND:
+            self._write_register(REG_COMMAND, CMD_POP)
+            return _sign16(self._read_register(REG_DATA))
+        return _sign16(self._read_register(REG_POP))
+
+    def top(self) -> int:
+        self._require_depth(1)
+        if self.layout is SfrLayout.COMMAND:
+            self._write_register(REG_COMMAND, CMD_TOP)
+            return _sign16(self._read_register(REG_DATA))
+        return _sign16(self._read_register(REG_TOP))
+
+    def pop2(self) -> typing.Tuple[int, int]:
+        """Binary-operator accelerator: one 32-bit read on PACKED."""
+        if self.layout is SfrLayout.PACKED:
+            self._require_depth(2)
+            packed = self._read_register(REG_POP2, MergePattern.WORD)
+            self._shadow_depth -= 2
+            return _sign16(packed & 0xFFFF), _sign16(packed >> 16)
+        return StackInterface.pop2(self)
+
+    def depth(self) -> int:
+        return self._shadow_depth
+
+    def _require_depth(self, needed: int) -> None:
+        if self._shadow_depth < needed:
+            raise StackError("operand stack underflow (adapter shadow)")
+
+
+class StaticsBusPort:
+    """Refined static-field storage: fields live in RAM behind the bus.
+
+    Refining the statics as well makes the *address map* exploration
+    dimension real: every switch between stack-SFR traffic and
+    static-field traffic toggles the address bus by the Hamming
+    distance between the two regions — which depends on where the
+    stack coprocessor is mapped.
+    """
+
+    def __init__(self, adapter: StackMasterAdapter,
+                 ram_base: int, num_statics: int = 16) -> None:
+        self.adapter = adapter
+        self.ram_base = ram_base
+        self.num_statics = num_statics
+
+    def read(self, index: int) -> int:
+        self._check(index)
+        transaction = self.adapter._transfer(
+            data_read(self.ram_base + 4 * index))
+        return _sign16(transaction.data[0])
+
+    def write(self, index: int, value: int) -> None:
+        self._check(index)
+        self.adapter._transfer(
+            data_write(self.ram_base + 4 * index, [value & 0xFFFF]))
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.num_statics:
+            raise IndexError(f"static field {index} out of range")
+
+
+def _sign16(value: int) -> int:
+    value &= 0xFFFF
+    return value - 0x10000 if value & 0x8000 else value

@@ -1,0 +1,143 @@
+"""Java Card bytecode subset.
+
+The paper's case study is "a java card virtual machine implemented as
+functional, un-timed SystemC model" whose bytecode interpreter talks
+to a hardware stack (§4.3).  This module defines the instruction
+subset the interpreter executes — the stack-centric core of the Java
+Card VM spec: short (16-bit) constants, locals, arithmetic, stack
+manipulation, branches, static fields and static method invocation.
+
+Programs are written as ``(mnemonic, *operands)`` tuples and assembled
+into :class:`Method` objects; branch targets are label strings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+#: value range of the Java Card ``short`` type
+SHORT_MIN = -0x8000
+SHORT_MAX = 0x7FFF
+
+
+def to_short(value: int) -> int:
+    """Wrap *value* to the signed 16-bit range (JCVM arithmetic)."""
+    value &= 0xFFFF
+    return value - 0x10000 if value & 0x8000 else value
+
+
+#: mnemonic -> number of immediate operands
+OPCODES: typing.Dict[str, int] = {
+    # constants
+    "sconst": 1,      # push immediate short
+    # locals
+    "sload": 1,       # push local[i]
+    "sstore": 1,      # local[i] = pop
+    "sinc": 2,        # local[i] += const
+    # operand stack
+    "dup": 0, "pop": 0, "swap": 0,
+    # arithmetic / logic (binary ops pop two, push one)
+    "sadd": 0, "ssub": 0, "smul": 0, "sdiv": 0, "srem": 0,
+    "sand": 0, "sor": 0, "sxor": 0, "sshl": 0, "sshr": 0,
+    "sneg": 0,
+    # static fields
+    "getstatic": 1, "putstatic": 1,
+    # control flow (operand: label)
+    "goto": 1, "ifeq": 1, "ifne": 1, "iflt": 1, "ifge": 1,
+    "if_scmpeq": 1, "if_scmpne": 1, "if_scmplt": 1, "if_scmpge": 1,
+    # methods
+    "invokestatic": 1,
+    "sreturn": 0, "return": 0,
+}
+
+BINARY_OPS = {"sadd", "ssub", "smul", "sdiv", "srem", "sand", "sor",
+              "sxor", "sshl", "sshr", "if_scmpeq", "if_scmpne",
+              "if_scmplt", "if_scmpge"}
+
+
+class BytecodeError(ValueError):
+    """Malformed bytecode program."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Instruction:
+    """One assembled instruction."""
+
+    mnemonic: str
+    operands: typing.Tuple[typing.Any, ...] = ()
+
+
+@dataclasses.dataclass
+class Method:
+    """An assembled method: instructions + resolved branch targets."""
+
+    name: str
+    instructions: typing.List[Instruction]
+    num_locals: int
+    labels: typing.Dict[str, int]
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+Statement = typing.Union[str, typing.Tuple]
+
+
+def assemble_method(name: str, statements: typing.Sequence[Statement],
+                    num_locals: int = 8) -> Method:
+    """Assemble *statements* into a :class:`Method`.
+
+    A statement is a mnemonic string (no operands), a tuple
+    ``(mnemonic, operand...)``, or a ``("label", name)`` marker.
+    """
+    labels: typing.Dict[str, int] = {}
+    pending: typing.List[typing.Tuple[str, typing.Tuple]] = []
+    for statement in statements:
+        if isinstance(statement, str):
+            mnemonic, operands = statement, ()
+        else:
+            mnemonic, operands = statement[0], tuple(statement[1:])
+        if mnemonic == "label":
+            (label,) = operands
+            if label in labels:
+                raise BytecodeError(f"duplicate label {label!r}")
+            labels[label] = len(pending)
+            continue
+        if mnemonic not in OPCODES:
+            raise BytecodeError(f"unknown mnemonic {mnemonic!r}")
+        if len(operands) != OPCODES[mnemonic]:
+            raise BytecodeError(
+                f"{mnemonic} expects {OPCODES[mnemonic]} operands, "
+                f"got {len(operands)}")
+        pending.append((mnemonic, operands))
+    instructions = [Instruction(m, ops) for m, ops in pending]
+    # validate branch targets
+    for instruction in instructions:
+        if instruction.mnemonic in ("goto", "ifeq", "ifne", "iflt",
+                                    "ifge", "if_scmpeq", "if_scmpne",
+                                    "if_scmplt", "if_scmpge"):
+            target = instruction.operands[0]
+            if target not in labels:
+                raise BytecodeError(f"undefined label {target!r}")
+    return Method(name, instructions, num_locals, labels)
+
+
+@dataclasses.dataclass
+class Package:
+    """A set of methods plus static fields — a minimal applet image."""
+
+    methods: typing.Dict[str, Method]
+    num_statics: int = 16
+
+    def method(self, name: str) -> Method:
+        try:
+            return self.methods[name]
+        except KeyError:
+            raise BytecodeError(f"undefined method {name!r}") from None
+
+
+def package(*methods: Method, num_statics: int = 16) -> Package:
+    """Bundle assembled methods into a :class:`Package`."""
+    return Package({method.name: method for method in methods},
+                   num_statics)

@@ -1,0 +1,189 @@
+"""The Java Card bytecode interpreter (functional, untimed).
+
+The paper's case study model: "The used application is a java card
+virtual machine implemented as functional, un-timed SystemC model"
+whose bytecode interpreter "invokes the same interface functions as in
+the pure functional model" after refinement (§4.3).  Exactly so here:
+the interpreter is written once against :class:`StackInterface`; pass
+a :class:`FunctionalStack` for the untimed model of Figure 7(a) or a
+bus master adapter for the refined model of Figure 7(b).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from .bytecode import (BINARY_OPS, BytecodeError, Instruction, Method,
+                       Package, to_short)
+from .stack import StackInterface
+
+
+class InterpreterError(RuntimeError):
+    """Runtime failure of the bytecode program."""
+
+
+class BytecodeInterpreter:
+    """Executes :class:`Package` methods against a stack interface."""
+
+    def __init__(self, package: Package, stack: StackInterface,
+                 max_steps: int = 1_000_000,
+                 statics_port: typing.Optional[typing.Any] = None) -> None:
+        self.package = package
+        self.stack = stack
+        self.statics = [0] * package.num_statics
+        #: optional refined static-field storage (read/write methods);
+        #: None keeps statics in the interpreter (functional model)
+        self.statics_port = statics_port
+        self.max_steps = max_steps
+        self.instructions_executed = 0
+        self.bytecode_counts: typing.Dict[str, int] = {}
+
+    def _get_static(self, index: int) -> int:
+        if self.statics_port is not None:
+            return self.statics_port.read(index)
+        return self.statics[index]
+
+    def _put_static(self, index: int, value: int) -> None:
+        if self.statics_port is not None:
+            self.statics_port.write(index, value)
+        else:
+            self.statics[index] = value
+
+    # ------------------------------------------------------------------
+
+    def run(self, method_name: str,
+            arguments: typing.Sequence[int] = ()) -> typing.Optional[int]:
+        """Invoke *method_name* with *arguments*; returns the popped
+        short for ``sreturn`` methods, None for ``return`` methods."""
+        method = self.package.method(method_name)
+        return self._invoke(method, list(arguments), depth=0)
+
+    def _invoke(self, method: Method, arguments: typing.List[int],
+                depth: int) -> typing.Optional[int]:
+        if depth > 64:
+            raise InterpreterError("method call depth exceeded")
+        local_variables = [0] * method.num_locals
+        for index, argument in enumerate(arguments):
+            local_variables[index] = to_short(argument)
+        pc = 0
+        stack = self.stack
+        while pc < len(method.instructions):
+            if self.instructions_executed >= self.max_steps:
+                raise InterpreterError(
+                    f"step budget exhausted in {method.name}")
+            instruction = method.instructions[pc]
+            self.instructions_executed += 1
+            mnemonic = instruction.mnemonic
+            self.bytecode_counts[mnemonic] = \
+                self.bytecode_counts.get(mnemonic, 0) + 1
+            pc += 1
+            if mnemonic == "sconst":
+                stack.push(instruction.operands[0])
+            elif mnemonic == "sload":
+                stack.push(local_variables[instruction.operands[0]])
+            elif mnemonic == "sstore":
+                local_variables[instruction.operands[0]] = stack.pop()
+            elif mnemonic == "sinc":
+                index, constant = instruction.operands
+                local_variables[index] = to_short(
+                    local_variables[index] + constant)
+            elif mnemonic == "dup":
+                stack.dup()
+            elif mnemonic == "pop":
+                stack.pop()
+            elif mnemonic == "swap":
+                stack.swap()
+            elif mnemonic == "sneg":
+                stack.push(to_short(-stack.pop()))
+            elif mnemonic in BINARY_OPS:
+                first, second = stack.pop2()
+                if mnemonic.startswith("if_"):
+                    pc = self._compare_branch(method, mnemonic, second,
+                                              first, instruction, pc)
+                else:
+                    stack.push(self._binary(mnemonic, second, first))
+            elif mnemonic in ("ifeq", "ifne", "iflt", "ifge"):
+                value = stack.pop()
+                if self._condition(mnemonic, value):
+                    pc = method.labels[instruction.operands[0]]
+            elif mnemonic == "goto":
+                pc = method.labels[instruction.operands[0]]
+            elif mnemonic == "getstatic":
+                stack.push(self._get_static(instruction.operands[0]))
+            elif mnemonic == "putstatic":
+                self._put_static(instruction.operands[0], stack.pop())
+            elif mnemonic == "invokestatic":
+                callee = self.package.method(instruction.operands[0])
+                called_arguments = [stack.pop() for _ in
+                                    range(self._arity(callee))][::-1]
+                result = self._invoke(callee, called_arguments, depth + 1)
+                if result is not None:
+                    stack.push(result)
+            elif mnemonic == "sreturn":
+                return stack.pop()
+            elif mnemonic == "return":
+                return None
+            else:  # pragma: no cover - assembler rejects unknowns
+                raise BytecodeError(f"unhandled mnemonic {mnemonic!r}")
+        raise InterpreterError(
+            f"fell off the end of method {method.name!r}")
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _arity(method: Method) -> int:
+        """Calling convention: methods declare arity via name suffix
+        ``/N`` (e.g. ``"max/2"``); otherwise zero arguments."""
+        if "/" in method.name:
+            return int(method.name.rsplit("/", 1)[1])
+        return 0
+
+    @staticmethod
+    def _binary(mnemonic: str, a: int, b: int) -> int:
+        if mnemonic == "sadd":
+            return to_short(a + b)
+        if mnemonic == "ssub":
+            return to_short(a - b)
+        if mnemonic == "smul":
+            return to_short(a * b)
+        if mnemonic == "sdiv":
+            if b == 0:
+                raise InterpreterError("division by zero")
+            return to_short(int(a / b))
+        if mnemonic == "srem":
+            if b == 0:
+                raise InterpreterError("division by zero")
+            return to_short(a - int(a / b) * b)
+        if mnemonic == "sand":
+            return to_short(a & b)
+        if mnemonic == "sor":
+            return to_short(a | b)
+        if mnemonic == "sxor":
+            return to_short(a ^ b)
+        if mnemonic == "sshl":
+            return to_short(a << (b & 0x1F))
+        if mnemonic == "sshr":
+            return to_short(a >> (b & 0x1F))
+        raise BytecodeError(f"not a binary op: {mnemonic!r}")
+
+    @staticmethod
+    def _condition(mnemonic: str, value: int) -> bool:
+        if mnemonic == "ifeq":
+            return value == 0
+        if mnemonic == "ifne":
+            return value != 0
+        if mnemonic == "iflt":
+            return value < 0
+        return value >= 0  # ifge
+
+    def _compare_branch(self, method: Method, mnemonic: str, a: int,
+                        b: int, instruction: Instruction, pc: int) -> int:
+        taken = {
+            "if_scmpeq": a == b,
+            "if_scmpne": a != b,
+            "if_scmplt": a < b,
+            "if_scmpge": a >= b,
+        }[mnemonic]
+        if taken:
+            return method.labels[instruction.operands[0]]
+        return pc

@@ -1,0 +1,218 @@
+"""The Java Card operand stack: functional model and hardware slave.
+
+Figure 7 of the paper: the functional model's bytecode interpreter
+calls a stack interface directly; communication refinement inserts a
+master adapter, the TLM bus and a slave adapter in between, where the
+slave adapter "restores the original stack interface calls and invokes
+the interface method of the functional stack model".
+
+:class:`FunctionalStack` is that functional model;
+:class:`HardwareStack` is the stack coprocessor as a bus slave — the
+slave adapter plus the functional stack behind special-function
+registers.  Its register organisation is an exploration parameter
+(§4.3: "we change the address map, organization of these registers and
+used bus transactions to access them").
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import typing
+
+from repro.ec import WaitStates
+
+from .bytecode import to_short
+from repro.soc.peripheral import Peripheral
+
+
+class StackError(RuntimeError):
+    """Overflow or underflow of the operand stack."""
+
+
+class StackInterface(abc.ABC):
+    """What the bytecode interpreter needs from an operand stack."""
+
+    @abc.abstractmethod
+    def push(self, value: int) -> None:
+        """Push a short."""
+
+    @abc.abstractmethod
+    def pop(self) -> int:
+        """Pop a short."""
+
+    @abc.abstractmethod
+    def top(self) -> int:
+        """Peek the short on top without popping."""
+
+    @abc.abstractmethod
+    def depth(self) -> int:
+        """Number of shorts on the stack."""
+
+    # composite operations the hardware stack can accelerate ----------------
+
+    def pop2(self) -> typing.Tuple[int, int]:
+        """Pop two shorts: returns (top, below-top)."""
+        return self.pop(), self.pop()
+
+    def dup(self) -> None:
+        self.push(self.top())
+
+    def swap(self) -> None:
+        first, second = self.pop(), self.pop()
+        self.push(first)
+        self.push(second)
+
+
+class FunctionalStack(StackInterface):
+    """The untimed functional stack model of Figure 7(a)."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self._values: typing.List[int] = []
+        self.max_depth = 0
+
+    def push(self, value: int) -> None:
+        if len(self._values) >= self.capacity:
+            raise StackError("operand stack overflow")
+        self._values.append(to_short(value))
+        if len(self._values) > self.max_depth:
+            self.max_depth = len(self._values)
+
+    def pop(self) -> int:
+        if not self._values:
+            raise StackError("operand stack underflow")
+        return self._values.pop()
+
+    def top(self) -> int:
+        if not self._values:
+            raise StackError("operand stack underflow")
+        return self._values[-1]
+
+    def depth(self) -> int:
+        return len(self._values)
+
+    def clear(self) -> None:
+        self._values.clear()
+
+
+class SfrLayout(enum.Enum):
+    """Register organisations explored for the HW/SW interface (§4.3).
+
+    * ``COMMAND`` — one DATA register and one COMMAND register; every
+      stack operation costs two bus transactions (write DATA + write
+      CMD, or write CMD + read DATA).
+    * ``DEDICATED`` — dedicated PUSH/POP/TOP addresses; one bus
+      transaction per stack operation.
+    * ``PACKED`` — like DEDICATED plus a POP2 register delivering two
+      16-bit operands in one 32-bit read (binary bytecodes pay one bus
+      read instead of two).
+    """
+
+    COMMAND = "command"
+    DEDICATED = "dedicated"
+    PACKED = "packed"
+
+
+# word-offsets of the special function registers
+REG_DATA = 0
+REG_COMMAND = 1
+REG_STATUS = 2
+REG_PUSH = 3
+REG_POP = 4
+REG_TOP = 5
+REG_POP2 = 6
+
+NUM_REGISTERS = 8
+
+CMD_PUSH = 1
+CMD_POP = 2
+CMD_TOP = 3
+
+STATUS_EMPTY = 1 << 0
+STATUS_FULL = 1 << 1
+STATUS_ERROR = 1 << 2
+
+
+class HardwareStack(Peripheral):
+    """The stack coprocessor: SFR file in front of a functional stack."""
+
+    ENERGY_COSTS_PJ = dict(Peripheral.ENERGY_COSTS_PJ)
+    ENERGY_COSTS_PJ.update({
+        "stack_op": 1.4,    # the coprocessor's own push/pop datapath
+    })
+
+    def __init__(self, base_address: int,
+                 layout: SfrLayout = SfrLayout.DEDICATED,
+                 capacity: int = 256,
+                 wait_states: WaitStates = WaitStates(),
+                 name: str = "hw_stack") -> None:
+        super().__init__(base_address, NUM_REGISTERS, wait_states=wait_states,
+                         name=name)
+        self.layout = layout
+        self.stack = FunctionalStack(capacity)
+        self.error_flag = False
+        self.on_write(REG_COMMAND, self._on_command)
+        self.on_write(REG_PUSH, self._on_push)
+        self.on_read(REG_POP, self._on_pop)
+        self.on_read(REG_TOP, self._on_top)
+        self.on_read(REG_POP2, self._on_pop2)
+        self.on_read(REG_STATUS, self._status)
+
+    # -- slave-adapter behaviour: SFR access -> stack interface calls -------
+
+    def _guard(self, operation: typing.Callable[[], int]) -> int:
+        try:
+            result = operation()
+        except StackError:
+            self.error_flag = True
+            return 0
+        self.book("stack_op")
+        return result & 0xFFFF
+
+    def _on_command(self, command: int) -> None:
+        if command == CMD_PUSH:
+            data = to_short(self.registers[REG_DATA])
+            self._guard(lambda: self.stack.push(data) or 0)
+        elif command == CMD_POP:
+            self.registers[REG_DATA] = self._guard(self.stack.pop)
+        elif command == CMD_TOP:
+            self.registers[REG_DATA] = self._guard(self.stack.top)
+        else:
+            self.error_flag = True
+
+    def _on_push(self, value: int) -> None:
+        if self.layout is SfrLayout.COMMAND:
+            self.error_flag = True  # register absent in this layout
+            return
+        self._guard(lambda: self.stack.push(to_short(value)) or 0)
+
+    def _on_pop(self) -> int:
+        if self.layout is SfrLayout.COMMAND:
+            self.error_flag = True
+            return 0
+        return self._guard(self.stack.pop)
+
+    def _on_top(self) -> int:
+        if self.layout is SfrLayout.COMMAND:
+            self.error_flag = True
+            return 0
+        return self._guard(self.stack.top)
+
+    def _on_pop2(self) -> int:
+        if self.layout is not SfrLayout.PACKED:
+            self.error_flag = True
+            return 0
+        first = self._guard(self.stack.pop)
+        second = self._guard(self.stack.pop)
+        return (second << 16) | first
+
+    def _status(self) -> int:
+        status = 0
+        if self.stack.depth() == 0:
+            status |= STATUS_EMPTY
+        if self.stack.depth() >= self.stack.capacity:
+            status |= STATUS_FULL
+        if self.error_flag:
+            status |= STATUS_ERROR
+        return status

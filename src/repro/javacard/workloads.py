@@ -1,0 +1,98 @@
+"""Benchmark bytecode programs for the HW/SW interface exploration.
+
+Three applet-like kernels with different bytecode mixes:
+
+* ``sum_of_squares`` — arithmetic-heavy (many binary operators, so the
+  PACKED pop2 register pays off),
+* ``fibonacci``      — loads/stores/adds with branches,
+* ``checksum``       — xor/shift over static fields (statics traffic
+  makes the address-map dimension matter).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from .bytecode import Method, Package, assemble_method, package, to_short
+
+
+def sum_of_squares_method() -> Method:
+    """sum(i*i for i in 1..n), argument n in local 0."""
+    return assemble_method("sum_of_squares/1", [
+        ("sconst", 0), ("sstore", 1),        # acc = 0
+        ("sconst", 1), ("sstore", 2),        # i = 1
+        ("label", "loop"),
+        ("sload", 2), ("sload", 2), "smul",  # i*i
+        ("sload", 1), "sadd", ("sstore", 1),  # acc += i*i
+        ("sinc", 2, 1),                      # i += 1
+        ("sload", 2), ("sload", 0),
+        ("if_scmpge", "done"),
+        ("goto", "loop"),
+        ("label", "done"),
+        ("sload", 1), "sreturn",
+    ])
+
+
+def fibonacci_method() -> Method:
+    """Iterative Fibonacci, argument n in local 0."""
+    return assemble_method("fibonacci/1", [
+        ("sconst", 0), ("sstore", 1),        # a = 0
+        ("sconst", 1), ("sstore", 2),        # b = 1
+        ("label", "loop"),
+        ("sload", 0), ("ifeq", "done"),      # while n != 0
+        ("sload", 1), ("sload", 2), "sadd", ("sstore", 3),  # t = a+b
+        ("sload", 2), ("sstore", 1),         # a = b
+        ("sload", 3), ("sstore", 2),         # b = t
+        ("sinc", 0, -1),                     # n -= 1
+        ("goto", "loop"),
+        ("label", "done"),
+        ("sload", 1), "sreturn",
+    ])
+
+
+def checksum_method() -> Method:
+    """XOR/shift checksum over the first 8 static fields."""
+    return assemble_method("checksum/0", [
+        ("sconst", 0), ("sstore", 1),        # acc
+        ("sconst", 0), ("sstore", 2),        # i
+        ("label", "loop"),
+        # acc = (acc << 1) ^ statics[i]  (index unrolled below)
+        ("sload", 1), ("sconst", 1), "sshl",
+        ("getstatic", 0), "sxor", ("sstore", 1),
+        ("sload", 1), ("putstatic", 1),
+        ("sinc", 2, 1),
+        ("sload", 2), ("sconst", 8),
+        ("if_scmplt", "loop"),
+        ("sload", 1), "sreturn",
+    ])
+
+
+def benchmark_package() -> Package:
+    """All benchmark methods bundled as one applet package."""
+    return package(sum_of_squares_method(), fibonacci_method(),
+                   checksum_method())
+
+
+#: (method name, arguments, python reference function)
+BENCHMARKS: typing.List[typing.Tuple[str, typing.Tuple[int, ...],
+                                     typing.Callable[..., int]]] = [
+    ("sum_of_squares/1", (12,),
+     lambda n: to_short(sum(i * i for i in range(1, n)))),
+    ("fibonacci/1", (10,),
+     lambda n: _fib(n)),
+    ("checksum/0", (), lambda: _checksum()),
+]
+
+
+def _fib(n: int) -> int:
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, to_short(a + b)
+    return a
+
+
+def _checksum() -> int:
+    acc = 0
+    for _ in range(8):
+        acc = to_short(to_short(acc << 1) ^ 0)
+    return acc

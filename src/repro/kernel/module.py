@@ -1,0 +1,103 @@
+"""Modules and method processes.
+
+The paper implements its bus processes as ``SC_METHOD`` processes —
+functions executed to completion each time an event in their sensitivity
+list fires (for the bus: the falling edge of the system clock, §3.1).
+:class:`Process` models exactly that, including SystemC's *dynamic
+sensitivity* (``next_trigger``), which the paper cites (via Caldari et
+al.) as the trick that avoids calling processes when not necessary.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from .event import Event
+from .simulator import Simulator
+
+
+class Process:
+    """An SC_METHOD-style process: runs to completion on each trigger."""
+
+    __slots__ = ("name", "func", "simulator", "dont_initialize",
+                 "_static_events", "_dynamic_event", "_runnable_flag",
+                 "run_count")
+
+    def __init__(self, simulator: Simulator, func: typing.Callable[[], None],
+                 name: str, dont_initialize: bool = False) -> None:
+        self.name = name
+        self.func = func
+        self.simulator = simulator
+        self.dont_initialize = dont_initialize
+        self._static_events: list[Event] = []
+        self._dynamic_event: typing.Optional[Event] = None
+        self._runnable_flag = False
+        self.run_count = 0
+        simulator._register_process(self)
+
+    def sensitive(self, *events: Event) -> "Process":
+        """Append *events* to the static sensitivity list."""
+        for event in events:
+            event.add_static_sensitivity(self)
+            self._static_events.append(event)
+        return self
+
+    def next_trigger(self, event: Event) -> None:
+        """Dynamic sensitivity: wait only on *event* for the next run.
+
+        Until that event fires, static sensitivity is suspended —
+        mirroring SystemC's ``next_trigger``.
+        """
+        if self._dynamic_event is not None:
+            self._dynamic_event.remove_dynamic_waiter(self)
+        for static in self._static_events:
+            static.remove_static_sensitivity(self)
+        self._dynamic_event = event
+        event.add_dynamic_waiter(self)
+
+    def _dynamic_trigger_fired(self, event: Event) -> None:
+        if self._dynamic_event is event:
+            self._dynamic_event = None
+            for static in self._static_events:
+                static.add_static_sensitivity(self)
+
+    def _execute(self) -> None:
+        self.run_count += 1
+        self.func()
+
+    def __repr__(self) -> str:
+        return f"Process({self.name!r}, runs={self.run_count})"
+
+
+class Module:
+    """Base class for hardware modules.
+
+    A module owns ports, signals and processes; subclasses register
+    method processes with :meth:`method` in their constructor, exactly
+    as an ``SC_MODULE`` does with ``SC_METHOD`` + ``sensitive``.
+    """
+
+    def __init__(self, simulator: Simulator, name: str) -> None:
+        self.simulator = simulator
+        self.name = name
+        self._module_processes: list[Process] = []
+
+    def method(self, func: typing.Callable[[], None], *,
+               name: typing.Optional[str] = None,
+               sensitive: typing.Sequence[Event] = (),
+               dont_initialize: bool = False) -> Process:
+        """Register *func* as an SC_METHOD-style process of this module."""
+        process_name = f"{self.name}.{name or func.__name__}"
+        process = Process(self.simulator, func, process_name,
+                          dont_initialize=dont_initialize)
+        process.sensitive(*sensitive)
+        self._module_processes.append(process)
+        return process
+
+    @property
+    def processes(self) -> tuple[Process, ...]:
+        """The processes registered by this module, in creation order."""
+        return tuple(self._module_processes)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,176 @@
+"""Signals and clocks.
+
+``Signal`` implements the SystemC ``sc_signal`` primitive channel:
+writes are buffered during the evaluate phase and committed in the
+update phase, so every reader in a delta cycle sees a consistent value.
+``Clock`` generates the two-phase system clock the paper's models hang
+off — masters and slaves trigger on the rising edge, the bus process on
+the falling edge (§3.1).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from .event import Event
+from .simulator import Simulator
+
+T = typing.TypeVar("T")
+
+
+class SignalBase:
+    """Interface the simulator's update phase relies on."""
+
+    def _update(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class Signal(SignalBase, typing.Generic[T]):
+    """A single-driver signal with evaluate/update semantics."""
+
+    __slots__ = ("name", "simulator", "_current", "_next", "_update_pending",
+                 "_changed_event", "last_change_time", "transition_count")
+
+    def __init__(self, simulator: Simulator, name: str,
+                 initial: T) -> None:
+        self.name = name
+        self.simulator = simulator
+        self._current: T = initial
+        self._next: T = initial
+        self._update_pending = False
+        self._changed_event: typing.Optional[Event] = None
+        self.last_change_time: int = -1
+        self.transition_count: int = 0
+        simulator._register_signal(self)
+
+    # -- value access -----------------------------------------------------
+
+    def read(self) -> T:
+        """Current committed value."""
+        return self._current
+
+    @property
+    def value(self) -> T:
+        """Alias for :meth:`read`."""
+        return self._current
+
+    def write(self, value: T) -> None:
+        """Schedule *value* to become current at the next update phase."""
+        self._next = value
+        if not self._update_pending:
+            self._update_pending = True
+            self.simulator._request_update(self)
+
+    def _update(self) -> None:
+        self._update_pending = False
+        if self._next != self._current:
+            self._current = self._next
+            self.last_change_time = self.simulator.now
+            self.transition_count += 1
+            if self._changed_event is not None:
+                self._changed_event.notify_delta()
+
+    # -- events -----------------------------------------------------------
+
+    @property
+    def changed_event(self) -> Event:
+        """Event notified (delta) whenever the committed value changes."""
+        if self._changed_event is None:
+            self._changed_event = Event(self.simulator,
+                                        f"{self.name}.changed")
+        return self._changed_event
+
+    def __repr__(self) -> str:
+        return f"Signal({self.name!r}, value={self._current!r})"
+
+
+class BitSignal(Signal[bool]):
+    """A boolean signal with dedicated edge events."""
+
+    __slots__ = ("_posedge_event", "_negedge_event")
+
+    def __init__(self, simulator: Simulator, name: str,
+                 initial: bool = False) -> None:
+        super().__init__(simulator, name, initial)
+        self._posedge_event: typing.Optional[Event] = None
+        self._negedge_event: typing.Optional[Event] = None
+
+    @property
+    def posedge_event(self) -> Event:
+        """Event notified on a False -> True transition."""
+        if self._posedge_event is None:
+            self._posedge_event = Event(self.simulator,
+                                        f"{self.name}.posedge")
+        return self._posedge_event
+
+    @property
+    def negedge_event(self) -> Event:
+        """Event notified on a True -> False transition."""
+        if self._negedge_event is None:
+            self._negedge_event = Event(self.simulator,
+                                        f"{self.name}.negedge")
+        return self._negedge_event
+
+    def _update(self) -> None:
+        old = self._current
+        super()._update()
+        if self._current != old:
+            if self._current and self._posedge_event is not None:
+                self._posedge_event.notify_delta()
+            if not self._current and self._negedge_event is not None:
+                self._negedge_event.notify_delta()
+
+
+class Clock:
+    """A free-running two-phase clock.
+
+    The clock toggles itself with timed event notifications; consumers
+    use :attr:`posedge_event` / :attr:`negedge_event`, the paper's
+    rising-edge (masters, slaves) and falling-edge (bus process) hooks.
+    """
+
+    def __init__(self, simulator: Simulator, name: str, period: int,
+                 start_high: bool = True) -> None:
+        if period <= 0 or period % 2:
+            raise ValueError(
+                f"clock period must be positive and even, got {period}")
+        self.simulator = simulator
+        self.name = name
+        self.period = period
+        self.half_period = period // 2
+        self.signal = BitSignal(simulator, f"{name}.sig", initial=start_high)
+        self._tick_event = Event(simulator, f"{name}.tick")
+        self._cycles = 0
+        from .module import Process
+        self._process = Process(simulator, self._toggle, f"{name}.driver")
+        self._process.sensitive(self._tick_event)
+
+    def _toggle(self) -> None:
+        if self._process.run_count > 1:
+            new_value = not self.signal.read()
+            self.signal.write(new_value)
+            if new_value:
+                self._cycles += 1
+        self._tick_event.notify_delayed(self.half_period)
+
+    @property
+    def posedge_event(self):
+        """Rising-edge event (masters and slaves trigger here)."""
+        return self.signal.posedge_event
+
+    @property
+    def negedge_event(self):
+        """Falling-edge event (the bus process triggers here)."""
+        return self.signal.negedge_event
+
+    @property
+    def cycles(self) -> int:
+        """Number of rising edges produced so far."""
+        return self._cycles
+
+    def read(self) -> bool:
+        """Current clock level."""
+        return self.signal.read()
+
+    def __repr__(self) -> str:
+        return f"Clock({self.name!r}, period={self.period})"

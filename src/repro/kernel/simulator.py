@@ -1,0 +1,200 @@
+"""Discrete-event scheduler implementing the SystemC 2.0 evaluate/update
+delta-cycle semantics.
+
+The paper's models are written against SystemC 2.0 (``SC_METHOD``
+processes, static sensitivity to clock edges, non-blocking interface
+method calls).  This module provides the minimal kernel those models
+need, structured as the classic three-phase loop:
+
+1. **evaluate** — run every runnable process once,
+2. **update**   — commit primitive-channel (signal) writes,
+3. **delta notification** — turn value changes into newly runnable
+   processes; if any, repeat from 1 without advancing time, otherwise
+   advance to the earliest timed notification.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import typing
+
+from .event import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .module import Process
+    from .signal import SignalBase
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. running a finished simulator)."""
+
+
+class Simulator:
+    """The simulation kernel: owns time, events, signals and processes."""
+
+    def __init__(self, name: str = "sim") -> None:
+        self.name = name
+        self.now: int = 0
+        self.delta_count: int = 0
+        self._events: list[Event] = []
+        self._processes: list["Process"] = []
+        self._signals: list["SignalBase"] = []
+        self._runnable: list["Process"] = []
+        self._update_requests: list["SignalBase"] = []
+        self._delta_events: list[Event] = []
+        self._timed_queue: list[list] = []  # [when, seq, cancelled, event]
+        self._seq = itertools.count()
+        self._stop_requested = False
+        self._started = False
+
+    # -- registration (used by Event/Signal/Module constructors) ---------
+
+    def _register_event(self, event: Event) -> None:
+        self._events.append(event)
+
+    def _register_process(self, process: "Process") -> None:
+        self._processes.append(process)
+
+    def _register_signal(self, signal: "SignalBase") -> None:
+        self._signals.append(signal)
+
+    # -- notification plumbing ------------------------------------------
+
+    def _notify_immediate(self, event: Event) -> None:
+        for process in event._collect_triggered():
+            self._make_runnable(process)
+
+    def _notify_delta(self, event: Event) -> None:
+        if event not in self._delta_events:
+            self._delta_events.append(event)
+
+    def _schedule_event(self, event: Event, when: int) -> list:
+        entry = [when, next(self._seq), False, event]
+        heapq.heappush(self._timed_queue, entry)
+        return entry
+
+    def _request_update(self, signal: "SignalBase") -> None:
+        self._update_requests.append(signal)
+
+    def _make_runnable(self, process: "Process") -> None:
+        if not process._runnable_flag:
+            process._runnable_flag = True
+            self._runnable.append(process)
+
+    # -- control ---------------------------------------------------------
+
+    def stop(self) -> None:
+        """Request the simulation stop at the end of the current delta."""
+        self._stop_requested = True
+
+    def initialize(self) -> None:
+        """Make every process runnable once, as SystemC elaboration does
+        (processes created with ``dont_initialize`` are skipped)."""
+        if self._started:
+            return
+        self._started = True
+        for process in self._processes:
+            if not process.dont_initialize:
+                self._make_runnable(process)
+
+    def _drain_delta_events(self) -> None:
+        """Turn pending delta notifications into runnable processes."""
+        if self._delta_events:
+            events, self._delta_events = self._delta_events, []
+            for event in events:
+                for process in event._collect_triggered():
+                    self._make_runnable(process)
+
+    def _run_delta(self) -> bool:
+        """Run one delta cycle.  Returns True if any process ran."""
+        if not self._runnable:
+            # delta notifications posted from outside a delta cycle
+            # (e.g. test benches priming an event) still need to fire
+            self._drain_delta_events()
+            if not self._runnable:
+                return False
+        self.delta_count += 1
+        # evaluate phase: immediate notifications extend the current
+        # phase, so keep draining until no process is runnable
+        while self._runnable:
+            runnable, self._runnable = self._runnable, []
+            for process in runnable:
+                process._runnable_flag = False
+            for process in runnable:
+                process._execute()
+        # update phase
+        if self._update_requests:
+            updates, self._update_requests = self._update_requests, []
+            for signal in updates:
+                signal._update()
+        # delta notification phase
+        self._drain_delta_events()
+        return True
+
+    def _advance_time(self) -> bool:
+        """Pop the earliest timed notification(s).  Returns False if none."""
+        queue = self._timed_queue
+        while queue and queue[0][2]:
+            heapq.heappop(queue)  # drop cancelled tombstones
+        if not queue:
+            return False
+        when = queue[0][0]
+        if when < self.now:
+            raise SimulationError(
+                f"timed queue went backwards: {when} < {self.now}")
+        self.now = when
+        while queue and queue[0][0] == when:
+            entry = heapq.heappop(queue)
+            if entry[2]:
+                continue
+            event: Event = entry[3]
+            for process in event._collect_triggered():
+                self._make_runnable(process)
+        return True
+
+    def run(self, duration: typing.Optional[int] = None) -> int:
+        """Run the simulation.
+
+        With *duration* (kernel time units) the kernel returns once
+        simulated time would exceed ``start + duration``; without it,
+        runs until no activity remains or :meth:`stop` is called.
+        Returns the simulated time consumed.
+        """
+        start = self.now
+        deadline = None if duration is None else start + duration
+        self.initialize()
+        self._stop_requested = False
+        while True:
+            while self._run_delta():
+                if self._stop_requested:
+                    return self.now - start
+            if self._stop_requested:
+                return self.now - start
+            queue = self._timed_queue
+            while queue and queue[0][2]:
+                heapq.heappop(queue)
+            if not queue:
+                return self.now - start
+            if deadline is not None and queue[0][0] > deadline:
+                self.now = deadline
+                return self.now - start
+            self._advance_time()
+
+    # -- conveniences -----------------------------------------------------
+
+    def event(self, name: str = "event") -> Event:
+        """Create a fresh :class:`Event` bound to this kernel."""
+        return Event(self, name)
+
+    def pending_activity(self) -> bool:
+        """True if any runnable process, delta event or timed event exists."""
+        if self._update_requests:
+            return True
+        if self._runnable or self._delta_events:
+            return True
+        return any(not entry[2] for entry in self._timed_queue)
+
+    def __repr__(self) -> str:
+        return (f"Simulator({self.name!r}, now={self.now}, "
+                f"processes={len(self._processes)})")

@@ -1,0 +1,99 @@
+"""Coroutine (SC_THREAD-style) processes.
+
+The paper's models use ``SC_METHOD`` processes exclusively, but
+SystemC test benches are usually written as threads that suspend with
+``wait(...)``.  :class:`ThreadProcess` provides the same authoring
+style on this kernel using Python generators: the process function
+``yield``-s what it wants to wait for and is resumed when it fires.
+
+Yieldable values:
+
+* an :class:`~repro.kernel.Event` — resume when the event fires,
+* an ``int`` — resume after that many kernel time units,
+* ``None`` — resume in the next delta cycle.
+
+Example::
+
+    def stimulus():
+        yield clock.posedge_event          # wait one rising edge
+        bus_request.notify()
+        yield 250                          # wait 250 time units
+        yield done_event
+
+    ThreadProcess(simulator, stimulus, "stimulus")
+"""
+
+from __future__ import annotations
+
+import typing
+
+from .event import Event
+from .module import Process
+from .simulator import SimulationError, Simulator
+
+Yieldable = typing.Union[Event, int, None]
+ThreadFunction = typing.Callable[[], typing.Generator[Yieldable, None,
+                                                      typing.Any]]
+
+
+class ThreadProcess:
+    """A generator-based process resumed by what it yields."""
+
+    def __init__(self, simulator: Simulator, func: ThreadFunction,
+                 name: str = "thread") -> None:
+        self.simulator = simulator
+        self.name = name
+        self.finished = False
+        self.result: typing.Any = None
+        self.resume_count = 0
+        self.finished_event = Event(simulator, f"{name}.finished")
+        self._generator = func()
+        self._timer = Event(simulator, f"{name}.timer")
+        # the driving engine: a method process whose dynamic
+        # sensitivity is re-targeted to whatever the generator yields
+        self._engine = Process(simulator, self._step, f"{name}.engine")
+
+    def _step(self) -> None:
+        if self.finished:
+            return
+        self.resume_count += 1
+        try:
+            wanted = next(self._generator)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self.finished_event.notify_delta()
+            # park the engine so static/dynamic triggers stop firing
+            self._engine.next_trigger(self._timer)
+            return
+        self._wait_on(wanted)
+
+    def _wait_on(self, wanted: Yieldable) -> None:
+        if wanted is None:
+            self._timer.cancel()
+            self._timer.notify_delta()
+            self._engine.next_trigger(self._timer)
+        elif isinstance(wanted, Event):
+            self._engine.next_trigger(wanted)
+        elif isinstance(wanted, int):
+            if wanted < 0:
+                raise SimulationError(
+                    f"thread {self.name!r} yielded a negative delay")
+            self._timer.cancel()
+            self._timer.notify_delayed(wanted)
+            self._engine.next_trigger(self._timer)
+        else:
+            raise SimulationError(
+                f"thread {self.name!r} yielded {wanted!r}; expected an "
+                f"Event, an int delay or None")
+
+    def __repr__(self) -> str:
+        state = "finished" if self.finished else "running"
+        return f"ThreadProcess({self.name!r}, {state})"
+
+
+def wait_cycles(clock, cycles: int
+                ) -> typing.Generator[Yieldable, None, None]:
+    """Helper: ``yield from wait_cycles(clock, n)`` inside a thread."""
+    for _ in range(cycles):
+        yield clock.posedge_event

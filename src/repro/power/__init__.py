@@ -1,0 +1,31 @@
+"""Power modelling stack: characterisation table, hierarchical energy
+models for TLM layers 1 and 2, gate-level estimation (Diesel
+substitute), traces and SPA/DPA leakage metrics."""
+
+from .interfaces import (CycleAccuratePowerInterface, EnergyAccumulator,
+                         PowerInterface)
+from .layer1 import Layer1PowerModel, SignalStateRecorder, popcount
+from .layer2 import Layer2PowerModel
+from .table import CharacterizationTable, default_table
+from .trace import EnergySample, PowerTrace, SamplingProfiler
+from .vcd import dump_vcd, save_vcd
+from . import security, units
+
+__all__ = [
+    "CharacterizationTable",
+    "CycleAccuratePowerInterface",
+    "EnergyAccumulator",
+    "EnergySample",
+    "Layer1PowerModel",
+    "Layer2PowerModel",
+    "PowerInterface",
+    "PowerTrace",
+    "SamplingProfiler",
+    "SignalStateRecorder",
+    "default_table",
+    "dump_vcd",
+    "popcount",
+    "save_vcd",
+    "security",
+    "units",
+]

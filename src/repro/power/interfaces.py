@@ -1,0 +1,54 @@
+"""The power interface of the bus models (§3.3).
+
+Layer 1 exposes both methods — "a method returning the energy
+dissipated during the last clock cycle and a second method which
+returns the dissipated energy since the last method call" — enabling
+cycle-accurate energy profiling.  Layer 2 "comprises only one method to
+get the energy consumed since the last method call", because its
+energy is booked per finished phase, not per cycle.
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+class PowerInterface(abc.ABC):
+    """Accumulated-energy view every energy model provides."""
+
+    @property
+    @abc.abstractmethod
+    def total_energy_pj(self) -> float:
+        """Total energy booked since construction (pJ)."""
+
+    @abc.abstractmethod
+    def energy_since_last_call_pj(self) -> float:
+        """Energy since the previous invocation of this method (pJ)."""
+
+
+class CycleAccuratePowerInterface(PowerInterface):
+    """Adds the per-cycle method only layer 1 can support."""
+
+    @abc.abstractmethod
+    def energy_last_cycle_pj(self) -> float:
+        """Energy dissipated during the most recent clock cycle (pJ)."""
+
+
+class EnergyAccumulator:
+    """Small helper implementing the since-last-call bookkeeping."""
+
+    def __init__(self) -> None:
+        self._total = 0.0
+        self._last_sample = 0.0
+
+    def add(self, energy_pj: float) -> None:
+        self._total += energy_pj
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    def since_last_call(self) -> float:
+        delta = self._total - self._last_sample
+        self._last_sample = self._total
+        return delta

@@ -1,0 +1,225 @@
+"""Layer-1 energy model: the transaction-level to RTL adapter (§3.3).
+
+"The power estimation unit is implemented as a dedicated module.  It
+defines for each bus interface signal a member variable for the new and
+old value.  The new values for all signals are set by the different bus
+phases.  The bus process calls the energy calculation method after the
+write phase ... Based on these new values and the old signal values bit
+transitions can be recognized and energy consumption estimated."
+
+The reconstruction rules below define, for every cycle, the value of
+every EC interface wire implied by the bus phases.  The gate-level
+model in :mod:`repro.rtl.bus_rtl` drives its real signals by the same
+rules, which is what makes the characterisation coefficients
+transferable and is verified by the layer-1-vs-RTL equivalence tests.
+
+Reconstruction contract (per cycle):
+
+* Address channel — during an address tenure ``EB_A``/``EB_Instr``/
+  ``EB_Write``/``EB_Burst``/``EB_BE`` carry the transaction's values and
+  ``EB_AValid`` is high; ``EB_BFirst`` marks the tenure's first cycle,
+  ``EB_BLast`` its last; ``EB_ARdy`` is low during slave address wait
+  states, high otherwise.  Idle: ``EB_AValid``/framing low, buses hold.
+* Read channel — ``EB_RdVal`` pulses with each completing beat while
+  ``EB_RData`` carries that beat; ``EB_RBErr`` pulses on error; buses
+  hold when idle.
+* Write channel — ``EB_WData`` is driven for every active write-beat
+  cycle (wait states included); ``EB_WDRdy`` pulses per accepted beat;
+  ``EB_WBErr`` pulses on error.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.ec import (BusState, EC_SIGNALS, SignalGroup, SlaveResponse,
+                      Transaction)
+
+from .interfaces import CycleAccuratePowerInterface, EnergyAccumulator
+from .table import CharacterizationTable
+
+_POPCOUNT = [bin(i).count("1") for i in range(1 << 16)]
+
+
+def popcount(value: int) -> int:
+    """Number of set bits (fast path for <= 48-bit signal XORs)."""
+    if value < (1 << 16):
+        return _POPCOUNT[value]
+    count = 0
+    while value:
+        count += _POPCOUNT[value & 0xFFFF]
+        value >>= 16
+    return count
+
+
+class SignalStateRecorder:
+    """Optional per-cycle sink receiving the reconstructed signal values.
+
+    Used by the layer-1-vs-RTL equivalence tests, the characterisation
+    flow and the SPA/DPA power-trace tooling.
+    """
+
+    def __init__(self) -> None:
+        self.cycles: typing.List[int] = []
+        self.values: typing.List[typing.Dict[str, int]] = []
+        self.energies: typing.List[float] = []
+
+    def record(self, cycle: int, values: typing.Dict[str, int],
+               energy_pj: float) -> None:
+        self.cycles.append(cycle)
+        self.values.append(dict(values))
+        self.energies.append(energy_pj)
+
+    def __len__(self) -> int:
+        return len(self.cycles)
+
+
+class Layer1PowerModel(CycleAccuratePowerInterface):
+    """Cycle-accurate transition-counting energy model for layer 1."""
+
+    #: index of each signal in the value arrays (hot-path layout)
+    _INDEX = {spec.name: i for i, spec in enumerate(EC_SIGNALS)}
+
+    def __init__(self, table: CharacterizationTable,
+                 recorder: typing.Optional[SignalStateRecorder] = None
+                 ) -> None:
+        self.table = table
+        self.recorder = recorder
+        self._acc = EnergyAccumulator()
+        self._last_cycle_energy = 0.0
+        self._names = [spec.name for spec in EC_SIGNALS]
+        self._coeffs = [table.coefficient(spec.name)
+                        for spec in EC_SIGNALS]
+        self._groups = [spec.group for spec in EC_SIGNALS]
+        self.group_energy_pj = {group: 0.0 for group in SignalGroup}
+        self._counts = [0] * len(EC_SIGNALS)
+        # old and new signal values; reset state: controls low, ARdy high
+        self._old = [0] * len(EC_SIGNALS)
+        self._new = [0] * len(EC_SIGNALS)
+        self._old[self._INDEX["EB_ARdy"]] = 1
+        self._new[self._INDEX["EB_ARdy"]] = 1
+        self._current_tenure_id: typing.Optional[int] = None
+
+    @property
+    def transition_counts(self) -> typing.Dict[str, int]:
+        """Per-signal bit-transition counts (reporting view)."""
+        return dict(zip(self._names, self._counts))
+
+    # ------------------------------------------------------------------
+    # phase hooks invoked by EcBusLayer1 (exactly one address, one read
+    # and one write hook per cycle)
+    # ------------------------------------------------------------------
+
+    # signal indices, resolved once for the hot path
+    _A = _INDEX["EB_A"]; _AVALID = _INDEX["EB_AValid"]
+    _INSTR = _INDEX["EB_Instr"]; _WRITE = _INDEX["EB_Write"]
+    _BURST = _INDEX["EB_Burst"]; _BE = _INDEX["EB_BE"]
+    _BFIRST = _INDEX["EB_BFirst"]; _BLAST = _INDEX["EB_BLast"]
+    _ARDY = _INDEX["EB_ARdy"]
+    _RDATA = _INDEX["EB_RData"]; _RDVAL = _INDEX["EB_RdVal"]
+    _RBERR = _INDEX["EB_RBErr"]
+    _WDATA = _INDEX["EB_WData"]; _WDRDY = _INDEX["EB_WDRdy"]
+    _WBERR = _INDEX["EB_WBErr"]
+
+    def address_phase_idle(self) -> None:
+        new = self._new
+        new[self._AVALID] = 0
+        new[self._BFIRST] = 0
+        new[self._BLAST] = 0
+        new[self._ARDY] = 1
+        self._current_tenure_id = None
+        # EB_A / EB_Instr / EB_Write / EB_Burst / EB_BE hold their values
+
+    def address_phase_active(self, transaction: Transaction,
+                             completing: bool) -> None:
+        new = self._new
+        first_cycle = self._current_tenure_id != transaction.txn_id
+        self._current_tenure_id = (None if completing
+                                   else transaction.txn_id)
+        new[self._A] = transaction.address
+        new[self._AVALID] = 1
+        new[self._INSTR] = int(transaction.kind.is_instruction)
+        new[self._WRITE] = int(transaction.direction.value == "write")
+        new[self._BURST] = int(transaction.is_burst)
+        new[self._BE] = transaction.byte_enables(0)
+        new[self._BFIRST] = int(first_cycle)
+        new[self._BLAST] = int(completing)
+        new[self._ARDY] = int(completing)
+
+    def read_phase_idle(self) -> None:
+        new = self._new
+        new[self._RDVAL] = 0
+        new[self._RBERR] = 0
+        # EB_RData holds
+
+    def read_phase_active(self, transaction: Transaction,
+                          response: SlaveResponse) -> None:
+        new = self._new
+        if response.state is BusState.OK:
+            new[self._RDATA] = response.data
+            new[self._RDVAL] = 1
+            new[self._RBERR] = 0
+        elif response.state is BusState.ERROR:
+            new[self._RDVAL] = 0
+            new[self._RBERR] = 1
+        else:  # WAIT
+            new[self._RDVAL] = 0
+            new[self._RBERR] = 0
+
+    def write_phase_idle(self) -> None:
+        new = self._new
+        new[self._WDRDY] = 0
+        new[self._WBERR] = 0
+        # EB_WData holds
+
+    def write_phase_active(self, transaction: Transaction, data: int,
+                           response: SlaveResponse) -> None:
+        new = self._new
+        new[self._WDATA] = data
+        new[self._WDRDY] = int(response.state is BusState.OK)
+        new[self._WBERR] = int(response.state is BusState.ERROR)
+
+    def end_of_cycle(self, cycle: int) -> None:
+        """Count transitions old -> new and book the cycle's energy."""
+        energy = self.table.clock_energy_per_cycle_pj
+        self.group_energy_pj[SignalGroup.CLOCK] += energy
+        old = self._old
+        new = self._new
+        if old != new:
+            coeffs = self._coeffs
+            counts = self._counts
+            groups = self._groups
+            group_energy = self.group_energy_pj
+            pop = popcount
+            for index, new_value in enumerate(new):
+                toggled = old[index] ^ new_value
+                if toggled:
+                    transitions = pop(toggled)
+                    counts[index] += transitions
+                    signal_energy = transitions * coeffs[index]
+                    energy += signal_energy
+                    group_energy[groups[index]] += signal_energy
+                    old[index] = new_value
+        self._last_cycle_energy = energy
+        self._acc.add(energy)
+        if self.recorder is not None:
+            self.recorder.record(
+                cycle, dict(zip(self._names, new)), energy)
+
+    # ------------------------------------------------------------------
+    # PowerInterface
+    # ------------------------------------------------------------------
+
+    @property
+    def total_energy_pj(self) -> float:
+        return self._acc.total
+
+    def energy_last_cycle_pj(self) -> float:
+        return self._last_cycle_energy
+
+    def energy_since_last_call_pj(self) -> float:
+        return self._acc.since_last_call()
+
+    def total_transitions(self) -> int:
+        """All bit transitions counted so far, across all signals."""
+        return sum(self._counts)

@@ -1,0 +1,105 @@
+"""Power-analysis (SPA/DPA) leakage metrics.
+
+The paper's second motivation for accurate power-over-time estimation
+is resistance against simple and differential power analysis (§1):
+"Estimation of power consumption over time is important to reduce the
+probability of a successful power analysis attack."  This module makes
+that motivation executable: given per-cycle power traces produced by
+the layer-1 model (or the gate-level estimator), it quantifies how
+distinguishable secret-dependent operations are.
+
+This is the paper's future-work direction implemented as an extension;
+the metrics are the standard first-order ones:
+
+* SPA distinguishability — normalised maximum trace difference,
+* DPA difference of means — split traces by a selection bit,
+* CPA correlation — Pearson correlation of a leakage hypothesis
+  (e.g. Hamming weight of key-dependent data) against each cycle.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+Trace = typing.Sequence[float]
+
+
+def _check_equal_length(traces: typing.Sequence[Trace]) -> int:
+    lengths = {len(trace) for trace in traces}
+    if len(lengths) != 1:
+        raise ValueError(f"traces differ in length: {sorted(lengths)}")
+    return lengths.pop()
+
+
+def spa_distinguishability(trace_a: Trace, trace_b: Trace) -> float:
+    """Normalised maximum pointwise difference of two traces in [0, 1].
+
+    0 means the operations are indistinguishable by simple power
+    analysis; values near 1 mean a single trace reveals which operation
+    ran.
+    """
+    _check_equal_length([trace_a, trace_b])
+    peak = max(max(trace_a, default=0.0), max(trace_b, default=0.0))
+    if peak <= 0.0:
+        return 0.0
+    worst = max(abs(a - b) for a, b in zip(trace_a, trace_b))
+    return worst / peak
+
+
+def dpa_difference_of_means(traces: typing.Sequence[Trace],
+                            selection_bits: typing.Sequence[int]
+                            ) -> typing.List[float]:
+    """Classic DPA: per-cycle difference of the two selection groups.
+
+    *selection_bits* holds the attacker's 0/1 hypothesis per trace; the
+    result is the per-cycle mean(group 1) - mean(group 0).  Peaks
+    indicate cycles whose power depends on the selected bit.
+    """
+    if len(traces) != len(selection_bits):
+        raise ValueError("one selection bit per trace required")
+    length = _check_equal_length(traces)
+    ones = [t for t, bit in zip(traces, selection_bits) if bit]
+    zeros = [t for t, bit in zip(traces, selection_bits) if not bit]
+    if not ones or not zeros:
+        raise ValueError("both selection groups must be non-empty")
+    result = []
+    for cycle in range(length):
+        mean_one = sum(t[cycle] for t in ones) / len(ones)
+        mean_zero = sum(t[cycle] for t in zeros) / len(zeros)
+        result.append(mean_one - mean_zero)
+    return result
+
+
+def _pearson(xs: typing.Sequence[float], ys: typing.Sequence[float]
+             ) -> float:
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0.0 or var_y == 0.0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+def cpa_correlation(traces: typing.Sequence[Trace],
+                    hypothesis: typing.Sequence[float]
+                    ) -> typing.List[float]:
+    """Correlation power analysis: per-cycle Pearson r against a
+    leakage hypothesis (one value per trace, e.g. Hamming weights)."""
+    if len(traces) != len(hypothesis):
+        raise ValueError("one hypothesis value per trace required")
+    if len(traces) < 3:
+        raise ValueError("need at least 3 traces for correlation")
+    length = _check_equal_length(traces)
+    return [
+        _pearson([trace[cycle] for trace in traces], hypothesis)
+        for cycle in range(length)
+    ]
+
+
+def max_abs(values: typing.Sequence[float]) -> float:
+    """Convenience: the attack figure of merit max |value|."""
+    return max((abs(v) for v in values), default=0.0)

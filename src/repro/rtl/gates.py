@@ -1,0 +1,121 @@
+"""Gate and net primitives for the gate-level ("layer 0") model.
+
+The paper's reference is a real gate-level netlist with layout
+parasitics, simulated by a gate-level simulator and measured by the
+Diesel power estimator.  These primitives substitute for that: nets
+carry a capacitance, gates have a unit propagation delay, and the
+evaluation engine in :mod:`repro.rtl.netlist` counts *every* output
+change — including transient ones — so glitch energy exists, which is
+one of the contributions the transaction-level models cannot see.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+#: Default net capacitance (fF): gate output + local wiring.
+DEFAULT_NET_CAP_FF = 3.0
+#: Extra capacitance per fanout connection (fF).
+FANOUT_CAP_FF = 1.2
+
+
+class GateKind(enum.Enum):
+    """Supported combinational cell types."""
+
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    NAND = "nand"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    MUX2 = "mux2"  # inputs: (select, a, b) -> b if select else a
+
+
+_EVALUATORS: typing.Dict[GateKind, typing.Callable[..., int]] = {
+    GateKind.BUF: lambda a: a,
+    GateKind.NOT: lambda a: 1 - a,
+    GateKind.AND: lambda *ins: int(all(ins)),
+    GateKind.OR: lambda *ins: int(any(ins)),
+    GateKind.NAND: lambda *ins: 1 - int(all(ins)),
+    GateKind.NOR: lambda *ins: 1 - int(any(ins)),
+    GateKind.XOR: lambda *ins: sum(ins) & 1,
+    GateKind.XNOR: lambda *ins: 1 - (sum(ins) & 1),
+    GateKind.MUX2: lambda sel, a, b: b if sel else a,
+}
+
+_ARITY: typing.Dict[GateKind, typing.Optional[int]] = {
+    GateKind.BUF: 1,
+    GateKind.NOT: 1,
+    GateKind.AND: None,   # variadic (>= 2)
+    GateKind.OR: None,
+    GateKind.NAND: None,
+    GateKind.NOR: None,
+    GateKind.XOR: None,
+    GateKind.XNOR: None,
+    GateKind.MUX2: 3,
+}
+
+
+@dataclasses.dataclass
+class Net:
+    """One wire of the netlist."""
+
+    index: int
+    name: str
+    cap_ff: float = DEFAULT_NET_CAP_FF
+    value: int = 0
+    #: transitions committed this simulation (includes glitches)
+    transitions: int = 0
+    rise_count: int = 0
+    fall_count: int = 0
+    #: transitions that were later reversed within the same cycle
+    glitches: int = 0
+
+    def record_change(self, new_value: int) -> None:
+        if new_value == self.value:
+            return
+        if new_value:
+            self.rise_count += 1
+        else:
+            self.fall_count += 1
+        self.transitions += 1
+        self.value = new_value
+
+
+@dataclasses.dataclass
+class Gate:
+    """One combinational cell: output = f(inputs), delay 1 time unit."""
+
+    kind: GateKind
+    inputs: typing.Tuple[int, ...]
+    output: int
+    delay: int = 1
+
+    def __post_init__(self) -> None:
+        arity = _ARITY[self.kind]
+        if arity is not None and len(self.inputs) != arity:
+            raise ValueError(
+                f"{self.kind.value} gate needs {arity} inputs, "
+                f"got {len(self.inputs)}")
+        if arity is None and len(self.inputs) < 2:
+            raise ValueError(
+                f"{self.kind.value} gate needs at least 2 inputs")
+        if self.delay < 1:
+            raise ValueError("gate delay must be at least 1")
+
+    def evaluate(self, input_values: typing.Sequence[int]) -> int:
+        """Compute the output from the already-extracted input values."""
+        return _EVALUATORS[self.kind](*input_values)
+
+
+@dataclasses.dataclass
+class Flop:
+    """A D flip-flop: output updates at the clock edge only."""
+
+    data: int      # D input net
+    output: int    # Q output net
+    clock_pin_cap_ff: float = 1.5

@@ -1,0 +1,238 @@
+"""Netlist container and glitch-aware cycle evaluation.
+
+Each :meth:`Netlist.step` models one clock cycle:
+
+1. flops latch their D inputs (outputs change at time 0),
+2. external inputs take their new values (time 0),
+3. combinational gates propagate event-driven with unit delays —
+   a gate whose inputs change at time *t* updates its output at
+   *t + delay*; every output change is committed to the net's activity
+   counters, so transient changes that are later reversed in the same
+   cycle are counted too and reported as glitches.
+
+The per-net activity (transitions, rises/falls, glitches) is exactly
+what the Diesel-style estimator consumes.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from .gates import (DEFAULT_NET_CAP_FF, FANOUT_CAP_FF, Flop, Gate, GateKind,
+                    Net)
+
+
+class NetlistError(ValueError):
+    """Structural problem in the netlist (cycles, double drive...)."""
+
+
+class Netlist:
+    """A flat gate-level netlist with activity accounting."""
+
+    def __init__(self, name: str = "netlist",
+                 default_net_cap_ff: float = DEFAULT_NET_CAP_FF,
+                 fanout_cap_ff: float = FANOUT_CAP_FF) -> None:
+        self.name = name
+        self.default_net_cap_ff = default_net_cap_ff
+        self.fanout_cap_ff = fanout_cap_ff
+        self.nets: typing.List[Net] = []
+        self.gates: typing.List[Gate] = []
+        self.flops: typing.List[Flop] = []
+        self._inputs: typing.Dict[str, int] = {}
+        self._outputs: typing.Dict[str, int] = {}
+        self._driven: typing.Set[int] = set()
+        self._fanout: typing.Dict[int, typing.List[int]] = \
+            collections.defaultdict(list)  # net -> gate indices
+        self.cycles_run = 0
+        self._initialized = False
+
+    # -- construction ---------------------------------------------------
+
+    def net(self, name: str,
+            cap_ff: typing.Optional[float] = None) -> int:
+        """Create a new net; returns its index."""
+        index = len(self.nets)
+        if cap_ff is None:
+            cap_ff = self.default_net_cap_ff
+        self.nets.append(Net(index, name, cap_ff))
+        return index
+
+    def input(self, name: str,
+              cap_ff: typing.Optional[float] = None) -> int:
+        """Create an external input net."""
+        if name in self._inputs:
+            raise NetlistError(f"duplicate input {name!r}")
+        index = self.net(name, cap_ff)
+        self._inputs[name] = index
+        self._driven.add(index)
+        return index
+
+    def set_output(self, name: str, net: int) -> None:
+        """Expose *net* as a named output."""
+        self._outputs[name] = net
+
+    def gate(self, kind: GateKind, inputs: typing.Sequence[int],
+             output_name: typing.Optional[str] = None) -> int:
+        """Add a gate; returns its (new) output net index."""
+        output = self.net(output_name or
+                          f"{kind.value}_{len(self.gates)}")
+        if output in self._driven:
+            raise NetlistError(f"net {output} already driven")
+        gate = Gate(kind, tuple(inputs), output)
+        gate_index = len(self.gates)
+        self.gates.append(gate)
+        self._driven.add(output)
+        for net in gate.inputs:
+            self._fanout[net].append(gate_index)
+            self.nets[net].cap_ff += self.fanout_cap_ff
+        return output
+
+    def flop(self, data: int, output_name: typing.Optional[str] = None
+             ) -> int:
+        """Add a D flip-flop fed by net *data*; returns the Q net."""
+        output = self.net(output_name or f"ff_{len(self.flops)}")
+        if output in self._driven:
+            raise NetlistError(f"net {output} already driven")
+        self.flops.append(Flop(data, output))
+        self._driven.add(output)
+        return output
+
+    # convenience wrappers ------------------------------------------------
+
+    def not_gate(self, a: int) -> int:
+        return self.gate(GateKind.NOT, [a])
+
+    def and_gate(self, *ins: int) -> int:
+        return self.gate(GateKind.AND, ins)
+
+    def or_gate(self, *ins: int) -> int:
+        return self.gate(GateKind.OR, ins)
+
+    def xor_gate(self, a: int, b: int) -> int:
+        return self.gate(GateKind.XOR, [a, b])
+
+    def xnor_gate(self, a: int, b: int) -> int:
+        return self.gate(GateKind.XNOR, [a, b])
+
+    def mux2(self, select: int, a: int, b: int) -> int:
+        return self.gate(GateKind.MUX2, [select, a, b])
+
+    # -- evaluation -------------------------------------------------------
+
+    def initialize(self) -> None:
+        """Settle the netlist from the all-zero reset state.
+
+        Gates are evaluated without activity accounting until stable —
+        the power-up settle a real simulator performs before time 0.
+        """
+        if self._initialized:
+            return
+        self._initialized = True
+        for _ in range(len(self.gates) + 2):
+            changed = False
+            for gate in self.gates:
+                value = gate.evaluate(
+                    [self.nets[i].value for i in gate.inputs])
+                if value != self.nets[gate.output].value:
+                    self.nets[gate.output].value = value
+                    changed = True
+            if not changed:
+                return
+        raise NetlistError(
+            f"netlist {self.name!r} did not settle at initialisation")
+
+    def step(self, inputs: typing.Dict[str, int]
+             ) -> typing.Dict[str, int]:
+        """Simulate one clock cycle; returns the named output values."""
+        if not self._initialized:
+            self.initialize()
+        events: typing.Dict[int, typing.Dict[int, int]] = \
+            collections.defaultdict(dict)  # time -> {net: value}
+        # 1. flops latch
+        for flop in self.flops:
+            new_q = self.nets[flop.data].value
+            if new_q != self.nets[flop.output].value:
+                events[0][flop.output] = new_q
+        # 2. external inputs
+        for name, value in inputs.items():
+            try:
+                net = self._inputs[name]
+            except KeyError:
+                raise NetlistError(f"unknown input {name!r}") from None
+            if value not in (0, 1):
+                raise NetlistError(
+                    f"input {name!r} must be 0 or 1, got {value}")
+            if value != self.nets[net].value:
+                events[0][net] = value
+        # 3. event-driven settle with glitch counting
+        values_before = [net.value for net in self.nets]
+        toggle_log: typing.Dict[int, int] = collections.defaultdict(int)
+        time = 0
+        guard = 4 * (len(self.gates) + 4)
+        while events:
+            if time > guard:
+                raise NetlistError(
+                    f"netlist {self.name!r} did not settle "
+                    f"(combinational loop?)")
+            changes = events.pop(time, None)
+            if changes is None:
+                time += 1
+                continue
+            touched_gates: typing.Set[int] = set()
+            for net, value in changes.items():
+                if value != self.nets[net].value:
+                    self.nets[net].record_change(value)
+                    toggle_log[net] += 1
+                    touched_gates.update(self._fanout[net])
+            for gate_index in touched_gates:
+                gate = self.gates[gate_index]
+                new_value = gate.evaluate(
+                    [self.nets[i].value for i in gate.inputs])
+                when = time + gate.delay
+                if new_value != self.nets[gate.output].value:
+                    events[when][gate.output] = new_value
+                else:
+                    # cancel a previously scheduled change if the gate
+                    # re-converged to its old value
+                    events.get(when, {}).pop(gate.output, None)
+            time += 1
+        # glitch accounting: a net that toggled more than the net
+        # difference between start and end values glitched
+        for net_index, toggles in toggle_log.items():
+            net = self.nets[net_index]
+            net_difference = int(values_before[net_index] != net.value)
+            if toggles > net_difference:
+                net.glitches += toggles - net_difference
+        self.cycles_run += 1
+        return {name: self.nets[net].value
+                for name, net in self._outputs.items()}
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def input_names(self) -> typing.Tuple[str, ...]:
+        return tuple(self._inputs)
+
+    @property
+    def output_names(self) -> typing.Tuple[str, ...]:
+        return tuple(self._outputs)
+
+    def output_value(self, name: str) -> int:
+        return self.nets[self._outputs[name]].value
+
+    def total_transitions(self) -> int:
+        return sum(net.transitions for net in self.nets)
+
+    def total_glitches(self) -> int:
+        return sum(net.glitches for net in self.nets)
+
+    def internal_nets(self) -> typing.List[Net]:
+        """Nets that are not external inputs (gate/flop outputs)."""
+        input_indices = set(self._inputs.values())
+        return [net for net in self.nets
+                if net.index not in input_indices]
+
+    def __repr__(self) -> str:
+        return (f"Netlist({self.name!r}, nets={len(self.nets)}, "
+                f"gates={len(self.gates)}, flops={len(self.flops)})")

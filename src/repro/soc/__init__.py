@@ -1,0 +1,55 @@
+"""Smart card SoC substrate: the Figure-1 target architecture.
+
+MIPS-like core (trace generator for the bus), memories with realistic
+wait-state behaviour, and the smart card peripherals with per-event
+energy ledgers.
+"""
+
+from .assembler import AssemblerError, assemble, load_words
+from .cpu import CpuFault, MipsCore
+from .crypto import (CryptoCoprocessor, DmaDriver, xtea_decrypt,
+                     xtea_encrypt)
+from .dma import DmaController
+from . import firmware
+from .interrupt import InterruptController
+from .memory import Eeprom, Flash, Rom, ScratchpadRam
+from .peripheral import Peripheral
+from .rng import TrueRandomNumberGenerator
+from .smartcard import (DEFAULT_CLOCK_HZ, EEPROM_BASE, FLASH_BASE,
+                        INTC_BASE, RAM_BASE, RNG_BASE, ROM_BASE,
+                        SmartCardPlatform, TIMER_BASE, UART_BASE)
+from .timer import TimerUnit
+from .uart import Uart
+
+__all__ = [
+    "AssemblerError",
+    "CpuFault",
+    "CryptoCoprocessor",
+    "DmaController",
+    "DmaDriver",
+    "DEFAULT_CLOCK_HZ",
+    "EEPROM_BASE",
+    "Eeprom",
+    "FLASH_BASE",
+    "Flash",
+    "INTC_BASE",
+    "InterruptController",
+    "MipsCore",
+    "Peripheral",
+    "RAM_BASE",
+    "RNG_BASE",
+    "ROM_BASE",
+    "Rom",
+    "ScratchpadRam",
+    "SmartCardPlatform",
+    "TIMER_BASE",
+    "TimerUnit",
+    "TrueRandomNumberGenerator",
+    "UART_BASE",
+    "Uart",
+    "assemble",
+    "firmware",
+    "load_words",
+    "xtea_decrypt",
+    "xtea_encrypt",
+]

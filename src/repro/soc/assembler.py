@@ -1,0 +1,224 @@
+"""A tiny two-pass assembler for the MIPS-like core.
+
+The paper generated its bus traces from "an assembly language test
+program" executed on the RTL core (§4.1); this assembler plus the ISS
+in :mod:`repro.soc.cpu` reproduce that flow.  The accepted syntax is a
+practical MIPS subset::
+
+    loop:   addiu $t0, $t0, 1
+            lw    $t1, 4($s0)
+            bne   $t0, $t1, loop
+            sw    $t0, 0($s0)
+            halt
+
+Registers use the conventional names ($zero, $at, $v0-$v1, $a0-$a3,
+$t0-$t9, $s0-$s7, $k0-$k1, $gp, $sp, $fp, $ra) or $0..$31.
+"""
+
+from __future__ import annotations
+
+import re
+import typing
+
+REGISTER_NAMES = {
+    "$zero": 0, "$at": 1, "$v0": 2, "$v1": 3,
+    "$a0": 4, "$a1": 5, "$a2": 6, "$a3": 7,
+    "$t0": 8, "$t1": 9, "$t2": 10, "$t3": 11,
+    "$t4": 12, "$t5": 13, "$t6": 14, "$t7": 15,
+    "$s0": 16, "$s1": 17, "$s2": 18, "$s3": 19,
+    "$s4": 20, "$s5": 21, "$s6": 22, "$s7": 23,
+    "$t8": 24, "$t9": 25, "$k0": 26, "$k1": 27,
+    "$gp": 28, "$sp": 29, "$fp": 30, "$ra": 31,
+}
+REGISTER_NAMES.update({f"${i}": i for i in range(32)})
+
+# opcode/function encodings (MIPS I where a standard encoding exists)
+R_TYPE_FUNCTS = {
+    "addu": 0x21, "subu": 0x23, "and": 0x24, "or": 0x25,
+    "xor": 0x26, "nor": 0x27, "slt": 0x2A, "sltu": 0x2B,
+    "sll": 0x00, "srl": 0x02, "sra": 0x03, "jr": 0x08,
+    "jalr": 0x09, "mult": 0x18, "multu": 0x19, "div": 0x1A,
+    "divu": 0x1B, "mfhi": 0x10, "mflo": 0x12,
+}
+I_TYPE_OPCODES = {
+    "addiu": 0x09, "slti": 0x0A, "sltiu": 0x0B, "andi": 0x0C,
+    "ori": 0x0D, "xori": 0x0E, "lui": 0x0F,
+    "lw": 0x23, "lh": 0x21, "lhu": 0x25, "lb": 0x20, "lbu": 0x24,
+    "sw": 0x2B, "sh": 0x29, "sb": 0x28,
+    "beq": 0x04, "bne": 0x05,
+}
+J_TYPE_OPCODES = {"j": 0x02, "jal": 0x03}
+LOADS_STORES = {"lw", "lh", "lhu", "lb", "lbu", "sw", "sh", "sb"}
+BRANCHES = {"beq", "bne"}
+
+#: BREAK, used as the halt instruction by the ISS
+HALT_WORD = 0x0000000D
+#: COP0 ERET: return from interrupt handler
+ERET_WORD = 0x42000018
+#: COP0-space pseudo instructions: enable / disable interrupts
+EI_WORD = 0x42000020
+DI_WORD = 0x42000021
+
+
+class AssemblerError(ValueError):
+    """Syntax or semantic error in an assembly source."""
+
+
+def parse_register(token: str) -> int:
+    token = token.strip()
+    try:
+        return REGISTER_NAMES[token]
+    except KeyError:
+        raise AssemblerError(f"unknown register {token!r}") from None
+
+
+def parse_immediate(token: str,
+                    labels: typing.Mapping[str, int]) -> int:
+    token = token.strip()
+    if token in labels:
+        return labels[token]
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"bad immediate {token!r}") from None
+
+
+_MEM_OPERAND = re.compile(r"^(?P<offset>[^()]*)\((?P<base>\$\w+)\)$")
+
+
+def _strip(line: str) -> str:
+    comment = line.find("#")
+    if comment >= 0:
+        line = line[:comment]
+    return line.strip()
+
+
+def assemble(source: str, origin: int = 0) -> typing.List[int]:
+    """Assemble *source* into a list of instruction words.
+
+    *origin* is the load address of the first instruction (used for
+    branch/jump target computation).
+    """
+    # pass 1: labels
+    labels: typing.Dict[str, int] = {}
+    statements: typing.List[typing.Tuple[str, typing.List[str]]] = []
+    for raw in source.splitlines():
+        line = _strip(raw)
+        if not line:
+            continue
+        while ":" in line:
+            label, _, line = line.partition(":")
+            label = label.strip()
+            if not label.isidentifier():
+                raise AssemblerError(f"bad label {label!r}")
+            if label in labels:
+                raise AssemblerError(f"duplicate label {label!r}")
+            labels[label] = origin + 4 * len(statements)
+            line = line.strip()
+        if not line:
+            continue
+        mnemonic, _, rest = line.partition(" ")
+        operands = [op.strip() for op in rest.split(",")] if rest else []
+        statements.append((mnemonic.lower(), operands))
+    # pass 2: encode
+    words = []
+    for index, (mnemonic, operands) in enumerate(statements):
+        pc = origin + 4 * index
+        words.append(_encode(mnemonic, operands, pc, labels))
+    return words
+
+
+def _encode(mnemonic: str, ops: typing.List[str], pc: int,
+            labels: typing.Mapping[str, int]) -> int:
+    if mnemonic == "halt":
+        return HALT_WORD
+    if mnemonic == "nop":
+        return 0
+    if mnemonic == "eret":
+        return ERET_WORD
+    if mnemonic == "ei":
+        return EI_WORD
+    if mnemonic == "di":
+        return DI_WORD
+    if mnemonic in R_TYPE_FUNCTS:
+        funct = R_TYPE_FUNCTS[mnemonic]
+        if mnemonic == "jr":
+            _expect(mnemonic, ops, 1)
+            rs = parse_register(ops[0])
+            return (rs << 21) | funct
+        if mnemonic == "jalr":
+            # jalr $rd, $rs (or the 1-operand form with rd = $ra)
+            if len(ops) == 1:
+                rd, rs = 31, parse_register(ops[0])
+            else:
+                _expect(mnemonic, ops, 2)
+                rd, rs = parse_register(ops[0]), parse_register(ops[1])
+            return (rs << 21) | (rd << 11) | funct
+        if mnemonic in ("mult", "multu", "div", "divu"):
+            _expect(mnemonic, ops, 2)
+            rs, rt = parse_register(ops[0]), parse_register(ops[1])
+            return (rs << 21) | (rt << 16) | funct
+        if mnemonic in ("mfhi", "mflo"):
+            _expect(mnemonic, ops, 1)
+            rd = parse_register(ops[0])
+            return (rd << 11) | funct
+        if mnemonic in ("sll", "srl", "sra"):
+            _expect(mnemonic, ops, 3)
+            rd, rt = parse_register(ops[0]), parse_register(ops[1])
+            shamt = parse_immediate(ops[2], labels)
+            if not 0 <= shamt < 32:
+                raise AssemblerError(f"shift amount {shamt} out of range")
+            return (rt << 16) | (rd << 11) | (shamt << 6) | funct
+        _expect(mnemonic, ops, 3)
+        rd, rs, rt = (parse_register(ops[0]), parse_register(ops[1]),
+                      parse_register(ops[2]))
+        return (rs << 21) | (rt << 16) | (rd << 11) | funct
+    if mnemonic in I_TYPE_OPCODES:
+        opcode = I_TYPE_OPCODES[mnemonic]
+        if mnemonic in LOADS_STORES:
+            _expect(mnemonic, ops, 2)
+            rt = parse_register(ops[0])
+            match = _MEM_OPERAND.match(ops[1].replace(" ", ""))
+            if not match:
+                raise AssemblerError(
+                    f"bad memory operand {ops[1]!r} for {mnemonic}")
+            offset = parse_immediate(match.group("offset") or "0", labels)
+            base = parse_register(match.group("base"))
+            return (opcode << 26) | (base << 21) | (rt << 16) \
+                | (offset & 0xFFFF)
+        if mnemonic in BRANCHES:
+            _expect(mnemonic, ops, 3)
+            rs, rt = parse_register(ops[0]), parse_register(ops[1])
+            target = parse_immediate(ops[2], labels)
+            delta = (target - (pc + 4)) // 4
+            if not -(1 << 15) <= delta < (1 << 15):
+                raise AssemblerError("branch target out of range")
+            return (opcode << 26) | (rs << 21) | (rt << 16) \
+                | (delta & 0xFFFF)
+        if mnemonic == "lui":
+            _expect(mnemonic, ops, 2)
+            rt = parse_register(ops[0])
+            imm = parse_immediate(ops[1], labels)
+            return (opcode << 26) | (rt << 16) | (imm & 0xFFFF)
+        _expect(mnemonic, ops, 3)
+        rt, rs = parse_register(ops[0]), parse_register(ops[1])
+        imm = parse_immediate(ops[2], labels)
+        return (opcode << 26) | (rs << 21) | (rt << 16) | (imm & 0xFFFF)
+    if mnemonic in J_TYPE_OPCODES:
+        _expect(mnemonic, ops, 1)
+        target = parse_immediate(ops[0], labels)
+        if target % 4:
+            raise AssemblerError("jump target must be word aligned")
+        return (J_TYPE_OPCODES[mnemonic] << 26) | ((target >> 2) & 0x3FFFFFF)
+    raise AssemblerError(f"unknown mnemonic {mnemonic!r}")
+
+
+def _expect(mnemonic: str, ops: typing.List[str], count: int) -> None:
+    if len(ops) != count:
+        raise AssemblerError(
+            f"{mnemonic} expects {count} operands, got {len(ops)}")
+
+
+def load_words(text: str) -> typing.List[int]:
+    """Convenience: assemble at origin 0 (ROM-resident programs)."""
+    return assemble(text, origin=0)

@@ -1,0 +1,229 @@
+"""XTEA crypto coprocessor with optional DMA bus mastering.
+
+The paper's motivation (§1): "Algorithms with high computational
+effort, like cryptographic algorithms, are often supported by
+dedicated coprocessors.  The chosen HW/SW interface to control these
+coprocessors influences both system performance and power consumption."
+
+This module provides that coprocessor so the influence can actually be
+measured: an XTEA block cipher engine, controllable in two HW/SW
+interface styles:
+
+* **PIO** — the CPU writes key and plaintext into registers, starts
+  the engine, polls the status register and reads the ciphertext back
+  (many small bus transactions),
+* **DMA** — the CPU programs source/destination/length and the
+  coprocessor fetches and stores whole blocks itself through an
+  arbitrated bus master port (burst traffic, zero CPU involvement).
+
+Register map (word offsets):
+
+====  =========  =================================================
+0-3   KEY0..3    128-bit key
+4-5   DIN0..1    plaintext block (PIO)
+6-7   DOUT0..1   ciphertext block (PIO)
+8     CTRL       bit0 START (PIO) / bit1 DMA_START, bit2 DECRYPT
+9     STATUS     bit0 BUSY, bit1 DONE
+10    SRC        DMA source byte address
+11    DST        DMA destination byte address
+12    LEN        DMA length in 64-bit blocks
+====  =========  =================================================
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.ec import BusState, data_read, data_write
+from repro.ec.interfaces import BusMasterInterface
+from repro.kernel import Clock, Module, Simulator
+
+from .peripheral import Peripheral
+
+XTEA_DELTA = 0x9E3779B9
+XTEA_ROUNDS = 32
+#: engine cycles per block: two Feistel half-rounds per clock
+CRYPT_CYCLES = XTEA_ROUNDS // 2
+
+MASK32 = 0xFFFFFFFF
+
+KEY0, KEY1, KEY2, KEY3, DIN0, DIN1, DOUT0, DOUT1, CTRL, STATUS, SRC, \
+    DST, LEN = range(13)
+
+CTRL_START = 1 << 0
+CTRL_DMA_START = 1 << 1
+CTRL_DECRYPT = 1 << 2
+
+STATUS_BUSY = 1 << 0
+STATUS_DONE = 1 << 1
+
+
+def xtea_encrypt(v0: int, v1: int,
+                 key: typing.Sequence[int]) -> typing.Tuple[int, int]:
+    """Reference XTEA encryption of one 64-bit block."""
+    total = 0
+    for _ in range(XTEA_ROUNDS):
+        v0 = (v0 + ((((v1 << 4) ^ (v1 >> 5)) + v1)
+                    ^ (total + key[total & 3]) & MASK32)) & MASK32
+        total = (total + XTEA_DELTA) & MASK32
+        v1 = (v1 + ((((v0 << 4) ^ (v0 >> 5)) + v0)
+                    ^ (total + key[(total >> 11) & 3]) & MASK32)) & MASK32
+    return v0 & MASK32, v1 & MASK32
+
+
+def xtea_decrypt(v0: int, v1: int,
+                 key: typing.Sequence[int]) -> typing.Tuple[int, int]:
+    """Reference XTEA decryption of one 64-bit block."""
+    total = (XTEA_DELTA * XTEA_ROUNDS) & MASK32
+    for _ in range(XTEA_ROUNDS):
+        v1 = (v1 - ((((v0 << 4) ^ (v0 >> 5)) + v0)
+                    ^ (total + key[(total >> 11) & 3]) & MASK32)) & MASK32
+        total = (total - XTEA_DELTA) & MASK32
+        v0 = (v0 - ((((v1 << 4) ^ (v1 >> 5)) + v1)
+                    ^ (total + key[total & 3]) & MASK32)) & MASK32
+    return v0 & MASK32, v1 & MASK32
+
+
+class CryptoCoprocessor(Peripheral):
+    """XTEA engine as a bus slave, with an optional DMA master port."""
+
+    ENERGY_COSTS_PJ = dict(Peripheral.ENERGY_COSTS_PJ)
+    ENERGY_COSTS_PJ.update({
+        "round_pair": 2.8,      # two Feistel half-rounds of datapath
+        "block_done": 1.5,
+        "dma_descriptor": 0.9,
+    })
+
+    def __init__(self, base_address: int, name: str = "crypto") -> None:
+        super().__init__(base_address, 13, name=name)
+        self._crypt_countdown = 0
+        self._dma_state = "idle"
+        self._dma_remaining = 0
+        self._dma_src = 0
+        self._dma_dst = 0
+        self._dma_txn = None
+        self._dma_block: typing.Optional[typing.List[int]] = None
+        self._dma_port: typing.Optional[BusMasterInterface] = None
+        self.blocks_processed = 0
+        self.on_write(CTRL, self._on_ctrl)
+        self.on_read(STATUS, self._status)
+
+    # -- configuration -----------------------------------------------------
+
+    def attach_dma_port(self, port: BusMasterInterface) -> None:
+        """Give the engine a bus master port (usually an arbiter port)."""
+        self._dma_port = port
+
+    @property
+    def key(self) -> typing.List[int]:
+        return [self.registers[KEY0 + i] for i in range(4)]
+
+    # -- register behaviour ---------------------------------------------
+
+    def _on_ctrl(self, value: int) -> None:
+        if value & CTRL_START:
+            self._start_block()
+        if value & CTRL_DMA_START:
+            self._start_dma()
+
+    def _start_block(self) -> None:
+        self._crypt_countdown = CRYPT_CYCLES
+        self.registers[STATUS] = STATUS_BUSY
+
+    def _start_dma(self) -> None:
+        if self._dma_port is None:
+            raise RuntimeError(
+                f"{self.name}: DMA started without a master port")
+        self._dma_state = "fetch"
+        self._dma_remaining = self.registers[LEN]
+        self._dma_src = self.registers[SRC]
+        self._dma_dst = self.registers[DST]
+        self._dma_txn = None
+        self.registers[STATUS] = STATUS_BUSY
+        self.book("dma_descriptor")
+
+    def _status(self) -> int:
+        return self.registers[STATUS]
+
+    # -- engine ------------------------------------------------------------
+
+    def _finish_block(self) -> None:
+        v0, v1 = self.registers[DIN0], self.registers[DIN1]
+        if self.registers[CTRL] & CTRL_DECRYPT:
+            v0, v1 = xtea_decrypt(v0, v1, self.key)
+        else:
+            v0, v1 = xtea_encrypt(v0, v1, self.key)
+        self.registers[DOUT0], self.registers[DOUT1] = v0, v1
+        self.registers[STATUS] = STATUS_DONE
+        self.blocks_processed += 1
+        self.book("block_done")
+
+    def tick(self) -> None:
+        if self._crypt_countdown > 0:
+            self.book("round_pair")
+            self._crypt_countdown -= 1
+            if self._crypt_countdown == 0:
+                self._finish_block()
+                if self._dma_state == "crypt":
+                    self._dma_state = "store"
+        self._dma_tick()
+
+    # -- DMA state machine ----------------------------------------------------
+
+    def _dma_tick(self) -> None:
+        if self._dma_state == "idle":
+            return
+        if self._dma_state == "fetch":
+            if self._dma_remaining == 0:
+                self._dma_state = "idle"
+                self.registers[STATUS] = STATUS_DONE
+                return
+            if self._dma_txn is None:
+                self._dma_txn = data_read(self._dma_src, burst_length=2)
+            state = self._dma_port.issue(self._dma_txn)
+            if state is BusState.OK:
+                self.registers[DIN0] = self._dma_txn.data[0]
+                self.registers[DIN1] = self._dma_txn.data[1]
+                self._dma_txn = None
+                self._dma_state = "crypt"
+                self._start_block()
+            elif state is BusState.ERROR:
+                self._dma_fault()
+        elif self._dma_state == "store":
+            if self._dma_txn is None:
+                self._dma_txn = data_write(
+                    self._dma_dst,
+                    [self.registers[DOUT0], self.registers[DOUT1]])
+            state = self._dma_port.issue(self._dma_txn)
+            if state is BusState.OK:
+                self._dma_txn = None
+                self._dma_src += 8
+                self._dma_dst += 8
+                self._dma_remaining -= 1
+                self._dma_state = "fetch"
+            elif state is BusState.ERROR:
+                self._dma_fault()
+        # "crypt": the engine countdown in tick() advances the state
+
+    def _dma_fault(self) -> None:
+        self._dma_state = "idle"
+        self._dma_txn = None
+        self.registers[STATUS] = STATUS_DONE | (1 << 2)  # error bit
+
+    @property
+    def dma_active(self) -> bool:
+        return self._dma_state != "idle"
+
+
+class DmaDriver(Module):
+    """Clocks a crypto coprocessor's engine when it is used outside a
+    :class:`~repro.soc.smartcard.SmartCardPlatform` (which ticks its
+    peripherals itself)."""
+
+    def __init__(self, simulator: Simulator, clock: Clock,
+                 coprocessor: CryptoCoprocessor,
+                 name: str = "crypto_driver") -> None:
+        super().__init__(simulator, name)
+        self.coprocessor = coprocessor
+        self.method(coprocessor.tick, name="tick",
+                    sensitive=[clock.posedge_event], dont_initialize=True)

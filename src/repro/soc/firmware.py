@@ -1,0 +1,165 @@
+"""Reusable firmware routines for the MIPS-like core.
+
+Program generators for the buffer chores every smart card OS performs
+(copy, fill, compare, checksum, CRC).  Each function returns assembly
+text parameterised with concrete addresses; the routines double as the
+richest stress tests of the ISS/assembler pair and as realistic
+workload building blocks for the bus experiments.
+
+All routines finish by writing 1 to *flag_address* and halting, so a
+test bench can verify completion through the memory image alone.
+"""
+
+from __future__ import annotations
+
+
+def _prologue(flag_address: int) -> str:
+    return f"""
+        lui   $gp, {flag_address >> 16:#x}
+        ori   $gp, $gp, {flag_address & 0xFFFF:#x}
+"""
+
+
+def _epilogue() -> str:
+    return """
+        addiu $t9, $zero, 1
+        sw    $t9, 0($gp)
+        halt
+"""
+
+
+def memcpy_program(src: int, dst: int, words: int,
+                   flag_address: int) -> str:
+    """Copy *words* words from *src* to *dst*."""
+    return _prologue(flag_address) + f"""
+        lui   $s0, {src >> 16:#x}
+        ori   $s0, $s0, {src & 0xFFFF:#x}
+        lui   $s1, {dst >> 16:#x}
+        ori   $s1, $s1, {dst & 0xFFFF:#x}
+        addiu $t0, $zero, {words}
+        beq   $t0, $zero, done
+copy:   lw    $t1, 0($s0)
+        sw    $t1, 0($s1)
+        addiu $s0, $s0, 4
+        addiu $s1, $s1, 4
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, copy
+done:
+""" + _epilogue()
+
+
+def memset_program(dst: int, value: int, words: int,
+                   flag_address: int) -> str:
+    """Fill *words* words at *dst* with the 16-bit *value*."""
+    return _prologue(flag_address) + f"""
+        lui   $s1, {dst >> 16:#x}
+        ori   $s1, $s1, {dst & 0xFFFF:#x}
+        addiu $t1, $zero, {value & 0xFFFF:#x}
+        addiu $t0, $zero, {words}
+        beq   $t0, $zero, done
+fill:   sw    $t1, 0($s1)
+        addiu $s1, $s1, 4
+        addiu $t0, $t0, -1
+        bne   $t0, $zero, fill
+done:
+""" + _epilogue()
+
+
+def memcmp_program(first: int, second: int, words: int,
+                   result_address: int, flag_address: int) -> str:
+    """Store 0 at *result_address* if the buffers match, else 1."""
+    return _prologue(flag_address) + f"""
+        lui   $s0, {first >> 16:#x}
+        ori   $s0, $s0, {first & 0xFFFF:#x}
+        lui   $s1, {second >> 16:#x}
+        ori   $s1, $s1, {second & 0xFFFF:#x}
+        lui   $s2, {result_address >> 16:#x}
+        ori   $s2, $s2, {result_address & 0xFFFF:#x}
+        addiu $t0, $zero, {words}
+        addiu $t4, $zero, 0
+cmp:    beq   $t0, $zero, store
+        lw    $t1, 0($s0)
+        lw    $t2, 0($s1)
+        addiu $s0, $s0, 4
+        addiu $s1, $s1, 4
+        addiu $t0, $t0, -1
+        beq   $t1, $t2, cmp
+        addiu $t4, $zero, 1
+store:  sw    $t4, 0($s2)
+""" + _epilogue()
+
+
+def checksum32_program(src: int, words: int, result_address: int,
+                       flag_address: int) -> str:
+    """Modular 32-bit sum of *words* words into *result_address*."""
+    return _prologue(flag_address) + f"""
+        lui   $s0, {src >> 16:#x}
+        ori   $s0, $s0, {src & 0xFFFF:#x}
+        lui   $s2, {result_address >> 16:#x}
+        ori   $s2, $s2, {result_address & 0xFFFF:#x}
+        addiu $t0, $zero, {words}
+        addiu $t4, $zero, 0
+sum:    beq   $t0, $zero, store
+        lw    $t1, 0($s0)
+        addu  $t4, $t4, $t1
+        addiu $s0, $s0, 4
+        addiu $t0, $t0, -1
+        j     sum
+store:  sw    $t4, 0($s2)
+""" + _epilogue()
+
+
+def crc16_program(src: int, num_bytes: int, result_address: int,
+                  flag_address: int) -> str:
+    """CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) over bytes."""
+    return _prologue(flag_address) + f"""
+        lui   $s0, {src >> 16:#x}
+        ori   $s0, $s0, {src & 0xFFFF:#x}
+        lui   $s2, {result_address >> 16:#x}
+        ori   $s2, $s2, {result_address & 0xFFFF:#x}
+        addiu $t0, $zero, {num_bytes}       # byte counter
+        lui   $t4, 0x0000
+        ori   $t4, $t4, 0xFFFF              # crc = 0xFFFF
+        addiu $t5, $zero, 0x1021            # polynomial
+
+byte:   beq   $t0, $zero, store
+        lbu   $t1, 0($s0)                   # next byte
+        addiu $s0, $s0, 1
+        addiu $t0, $t0, -1
+        sll   $t1, $t1, 8
+        xor   $t4, $t4, $t1
+        andi  $t4, $t4, 0xFFFF
+        addiu $t2, $zero, 8                 # bit counter
+
+bit:    andi  $t3, $t4, 0x8000
+        sll   $t4, $t4, 1
+        andi  $t4, $t4, 0xFFFF
+        beq   $t3, $zero, nobit
+        xor   $t4, $t4, $t5
+        andi  $t4, $t4, 0xFFFF
+nobit:  addiu $t2, $t2, -1
+        bne   $t2, $zero, bit
+        j     byte
+
+store:  sw    $t4, 0($s2)
+""" + _epilogue()
+
+
+# -- python references (for tests and host-side checking) -------------------
+
+def crc16_reference(data: bytes) -> int:
+    """CRC-16/CCITT-FALSE reference implementation."""
+    crc = 0xFFFF
+    for byte in data:
+        crc ^= byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ 0x1021) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+    return crc
+
+
+def checksum32_reference(words) -> int:
+    """Modular 32-bit sum reference."""
+    return sum(words) & 0xFFFFFFFF

@@ -1,0 +1,55 @@
+"""Base class for smart card peripherals with activity-based energy.
+
+The paper's conclusion announces "an early energy estimation for
+several different typical smart card components, like random number
+generators, UARTs or timers" as future work; here each peripheral
+books energy per architectural event (register access, byte moved,
+counter tick...), the natural peripheral-level analogue of the bus
+models' per-transition coefficients.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.ec import AccessRights, WaitStates
+from repro.tlm.slave import RegisterSlave
+
+
+class Peripheral(RegisterSlave):
+    """A register-mapped peripheral with an energy ledger."""
+
+    #: pJ charged per architectural event; subclasses extend this
+    ENERGY_COSTS_PJ: typing.Dict[str, float] = {
+        "register_read": 0.8,
+        "register_write": 1.0,
+    }
+
+    def __init__(self, base_address: int, num_registers: int,
+                 name: str, wait_states: WaitStates = WaitStates(),
+                 access_rights: AccessRights = (AccessRights.READ
+                                                | AccessRights.WRITE)
+                 ) -> None:
+        super().__init__(base_address, num_registers, wait_states,
+                         access_rights, name)
+        self.energy_pj = 0.0
+        self.event_counts: typing.Dict[str, int] = {}
+
+    def book(self, event: str, count: int = 1) -> None:
+        """Charge *count* occurrences of *event* to the ledger."""
+        cost = self.ENERGY_COSTS_PJ.get(event)
+        if cost is None:
+            raise KeyError(f"{self.name}: unknown energy event {event!r}")
+        self.energy_pj += cost * count
+        self.event_counts[event] = self.event_counts.get(event, 0) + count
+
+    def do_read(self, offset: int, byte_enables: int):
+        self.book("register_read")
+        return super().do_read(offset, byte_enables)
+
+    def do_write(self, offset: int, byte_enables: int, data: int):
+        self.book("register_write")
+        return super().do_write(offset, byte_enables, data)
+
+    def tick(self) -> None:
+        """Advance one clock cycle (called by the platform)."""

@@ -1,0 +1,124 @@
+"""The Figure-1 smart card platform, assembled.
+
+One call builds the whole target architecture around any of the three
+bus models: ROM, FLASH, EEPROM and scratchpad RAM behind the EC bus,
+plus the memory-mapped UART, the two 16-bit timers, the TRNG and the
+interrupt controller.  A platform tick process advances the
+peripherals once per clock cycle.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.ec import MemoryMap
+from repro.kernel import Clock, Module, Simulator
+from repro.kernel import time as ktime
+from repro.tlm import EcBusLayer1, EcBusLayer2
+
+from .cpu import MipsCore
+from .interrupt import (InterruptController, LINE_TIMER0, LINE_TIMER1,
+                        LINE_UART)
+from .memory import Eeprom, Flash, Rom, ScratchpadRam
+from .rng import TrueRandomNumberGenerator
+from .timer import TimerUnit
+from .uart import Uart
+
+#: Figure-1 memory map of the modelled platform.
+ROM_BASE = 0x0000_0000       # 256 kB program memory
+FLASH_BASE = 0x0010_0000     # 64 kB program memory
+EEPROM_BASE = 0x0020_0000    # 32 kB data & program memory
+RAM_BASE = 0x0030_0000       # scratchpad RAM
+UART_BASE = 0x0040_0000
+TIMER_BASE = 0x0040_1000
+RNG_BASE = 0x0040_2000
+INTC_BASE = 0x0040_3000
+
+#: 10 MHz system clock (contact-mode smart card operating point)
+DEFAULT_CLOCK_HZ = 10e6
+
+BusFactory = typing.Callable[..., object]
+
+
+class SmartCardPlatform(Module):
+    """Simulator + clock + memories + peripherals + one bus model."""
+
+    def __init__(self, bus_layer: typing.Union[int, str] = 1,
+                 clock_hz: float = DEFAULT_CLOCK_HZ,
+                 power_model=None,
+                 bus_factory: typing.Optional[BusFactory] = None,
+                 with_cpu: bool = False,
+                 rom_image: typing.Optional[typing.Sequence[int]] = None,
+                 ) -> None:
+        simulator = Simulator("smartcard")
+        super().__init__(simulator, "platform")
+        period = ktime.period_from_frequency_hz(clock_hz)
+        if period % 2:
+            period += 1
+        self.clock = Clock(simulator, "clk", period=period)
+        self.intc = InterruptController(INTC_BASE)
+        self.uart = Uart(UART_BASE,
+                         irq_callback=lambda: self.intc.raise_irq(LINE_UART))
+        self.timers = TimerUnit(
+            TIMER_BASE,
+            irq_callback=lambda t: self.intc.raise_irq(
+                LINE_TIMER0 if t == 0 else LINE_TIMER1))
+        self.rng = TrueRandomNumberGenerator(RNG_BASE)
+        self.rom = Rom(ROM_BASE)
+        self.flash = Flash(FLASH_BASE)
+        self.eeprom = Eeprom(EEPROM_BASE)
+        self.ram = ScratchpadRam(RAM_BASE)
+        self.memory_map = MemoryMap()
+        for slave, name in ((self.rom, "rom"), (self.flash, "flash"),
+                            (self.eeprom, "eeprom"), (self.ram, "ram"),
+                            (self.uart, "uart"), (self.timers, "timers"),
+                            (self.rng, "trng"), (self.intc, "intc")):
+            self.memory_map.add_slave(slave, name)
+        if bus_factory is None:
+            bus_factory = {1: EcBusLayer1, 2: EcBusLayer2,
+                           "l1": EcBusLayer1, "l2": EcBusLayer2,
+                           }[bus_layer]
+        self.bus = bus_factory(simulator, self.clock, self.memory_map,
+                               power_model=power_model)
+        self.eeprom.bind_cycle_source(lambda: self.bus.cycle)
+        self.cpu: typing.Optional[MipsCore] = None
+        if rom_image is not None:
+            self.load_rom(rom_image)
+        if with_cpu:
+            self.cpu = MipsCore(simulator, self.clock, self.bus,
+                                reset_pc=ROM_BASE)
+            # the interrupt controller drives the core's interrupt
+            # line; programs opt in with `ei` and set the vector via
+            # cpu.interrupt_vector (default ROM_BASE + 0x180)
+            self.cpu.bind_interrupt_source(self.intc.active,
+                                           vector=ROM_BASE + 0x180)
+        self.method(self._tick_peripherals, name="peripheral_tick",
+                    sensitive=[self.clock.posedge_event],
+                    dont_initialize=True)
+
+    def _tick_peripherals(self) -> None:
+        self.uart.tick()
+        self.timers.tick()
+        self.rng.tick()
+
+    # -- conveniences --------------------------------------------------------
+
+    def load_rom(self, words: typing.Sequence[int],
+                 offset: int = 0) -> None:
+        """Back-door load of a program image into ROM."""
+        self.rom.load(offset, words)
+
+    def load_assembly(self, source: str) -> None:
+        """Assemble *source* at the reset address and load it into ROM."""
+        from .assembler import assemble
+        self.load_rom(assemble(source, origin=ROM_BASE))
+
+    def run_cycles(self, cycles: int) -> None:
+        """Advance the platform by *cycles* clock cycles."""
+        self.simulator.run(cycles * self.clock.period)
+
+    @property
+    def peripheral_energy_pj(self) -> float:
+        """Summed peripheral-ledger energy (the future-work extension)."""
+        return (self.uart.energy_pj + self.timers.energy_pj
+                + self.rng.energy_pj + self.intc.energy_pj)

@@ -1,0 +1,106 @@
+"""UART peripheral of the Figure-1 smart card platform.
+
+Register map (word offsets):
+
+= =========== ==============================================
+0 ``DATA``    write: enqueue TX byte; read: dequeue RX byte
+1 ``STATUS``  bit0 TX_EMPTY, bit1 RX_AVAIL, bit2 TX_FULL
+2 ``CTRL``    bit0 enable, bit1 rx_irq_enable
+3 ``BAUD``    clock divider (cycles per byte time)
+= =========== ==============================================
+
+Transmission is modelled at byte granularity: a byte leaves the TX
+FIFO every ``BAUD`` ticks.  The test bench injects received bytes with
+:meth:`receive_byte`; completed transmissions land in
+:attr:`transmitted`.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from .peripheral import Peripheral
+
+DATA, STATUS, CTRL, BAUD = range(4)
+
+STATUS_TX_EMPTY = 1 << 0
+STATUS_RX_AVAIL = 1 << 1
+STATUS_TX_FULL = 1 << 2
+
+CTRL_ENABLE = 1 << 0
+CTRL_RX_IRQ = 1 << 1
+
+FIFO_DEPTH = 8
+
+
+class Uart(Peripheral):
+    """Byte-level UART with TX/RX FIFOs and an interrupt line."""
+
+    ENERGY_COSTS_PJ = dict(Peripheral.ENERGY_COSTS_PJ)
+    ENERGY_COSTS_PJ.update({
+        "byte_transmitted": 18.0,   # pad driver + shift register
+        "byte_received": 12.0,
+        "idle_cycle": 0.02,
+    })
+
+    def __init__(self, base_address: int, name: str = "uart",
+                 irq_callback: typing.Optional[
+                     typing.Callable[[], None]] = None) -> None:
+        super().__init__(base_address, 4, name)
+        self.tx_fifo: typing.Deque[int] = collections.deque()
+        self.rx_fifo: typing.Deque[int] = collections.deque()
+        self.transmitted: typing.List[int] = []
+        self.irq_callback = irq_callback
+        self._tx_countdown = 0
+        self.registers[BAUD] = 16
+        self.on_read(DATA, self._read_data)
+        self.on_read(STATUS, self._read_status)
+        self.on_write(DATA, self._write_data)
+
+    # -- register behaviour ---------------------------------------------
+
+    def _read_data(self) -> int:
+        if self.rx_fifo:
+            return self.rx_fifo.popleft()
+        return 0
+
+    def _read_status(self) -> int:
+        status = 0
+        if not self.tx_fifo:
+            status |= STATUS_TX_EMPTY
+        if self.rx_fifo:
+            status |= STATUS_RX_AVAIL
+        if len(self.tx_fifo) >= FIFO_DEPTH:
+            status |= STATUS_TX_FULL
+        return status
+
+    def _write_data(self, value: int) -> None:
+        if len(self.tx_fifo) < FIFO_DEPTH:
+            self.tx_fifo.append(value & 0xFF)
+
+    # -- behaviour over time ------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.registers[CTRL] & CTRL_ENABLE)
+
+    def tick(self) -> None:
+        if not self.enabled:
+            return
+        self.book("idle_cycle")
+        if self.tx_fifo:
+            if self._tx_countdown == 0:
+                self._tx_countdown = max(self.registers[BAUD], 1)
+            self._tx_countdown -= 1
+            if self._tx_countdown == 0:
+                self.transmitted.append(self.tx_fifo.popleft())
+                self.book("byte_transmitted")
+
+    def receive_byte(self, value: int) -> None:
+        """Test-bench side: a byte arrives on the wire."""
+        self.rx_fifo.append(value & 0xFF)
+        self.book("byte_received")
+        if (self.registers[CTRL] & CTRL_RX_IRQ
+                and self.irq_callback is not None):
+            self.irq_callback()

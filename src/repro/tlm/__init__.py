@@ -1,0 +1,38 @@
+"""Transaction-level bus models — the paper's contribution.
+
+* :mod:`repro.tlm.layer1` — cycle-accurate (transfer layer) EC bus,
+* :mod:`repro.tlm.layer2` — timed but not cycle-accurate bus,
+* :mod:`repro.tlm.layer3` — untimed message-layer bus,
+* :mod:`repro.tlm.master` / :mod:`repro.tlm.slave` — reusable masters
+  and behavioural slaves shared by both layers.
+"""
+
+from .arbiter import ArbiterPort, BusArbiter
+from .bus_base import EcBusBase
+from .layer1 import EcBusLayer1
+from .layer2 import EcBusLayer2
+from .layer3 import EcBusLayer3
+from .master import (BlockingMaster, PipelinedMaster, ScriptedMaster,
+                     normalise_script, run_script)
+from .queues import FinishPool, TransactionQueue
+from .slave import BehaviouralSlave, ErrorSlave, MemorySlave, RegisterSlave
+
+__all__ = [
+    "ArbiterPort",
+    "BehaviouralSlave",
+    "BusArbiter",
+    "BlockingMaster",
+    "EcBusBase",
+    "EcBusLayer1",
+    "EcBusLayer2",
+    "EcBusLayer3",
+    "ErrorSlave",
+    "FinishPool",
+    "MemorySlave",
+    "PipelinedMaster",
+    "RegisterSlave",
+    "ScriptedMaster",
+    "TransactionQueue",
+    "normalise_script",
+    "run_script",
+]

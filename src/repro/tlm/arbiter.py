@@ -1,0 +1,142 @@
+"""Multi-master bus arbitration.
+
+The EC interface itself "supports only one master and one slave"; the
+paper adds a bus controller for multiple slaves (§1) and motivates the
+whole work with processor/coprocessor systems: "these smart cards
+contain coprocessors to reach the performance and power consumption
+goals.  The interface between the processor and the coprocessor
+influences the performance and power consumption".
+
+This module supplies the missing piece for such systems: an arbiter
+that multiplexes several masters onto one EC bus.  Arbitration is
+*registered* (as in real bus fabrics): a request raised in cycle N is
+granted at the end of cycle N and forwarded to the bus in cycle N+1,
+so every arbitrated transaction pays one cycle of arbitration latency.
+
+A port accepts a request immediately (``REQUEST``) into the arbiter's
+request registers; the arbiter process grants up to
+``grants_per_cycle`` winners at the end of each cycle and forwards
+them to the bus itself, so the granted request reaches the bus one
+cycle after registration.  The master keeps polling its port and is
+answered from the bus once its transaction is live there.
+
+Policies:
+
+* ``priority`` — lowest priority number wins; ties by registration order,
+* ``round_robin`` — rotating fairness over the ports.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.ec import BusState, Transaction
+from repro.ec.interfaces import BusMasterInterface
+from repro.kernel import Clock, Module, Simulator
+
+
+class ArbiterPort(BusMasterInterface):
+    """One master's view of the shared bus."""
+
+    def __init__(self, arbiter: "BusArbiter", name: str,
+                 priority: int) -> None:
+        self.arbiter = arbiter
+        self.name = name
+        self.priority = priority
+        self.grants = 0
+        self.wait_cycles = 0
+
+    def instruction_fetch(self, transaction: Transaction) -> BusState:
+        return self._call(transaction)
+
+    def data_read(self, transaction: Transaction) -> BusState:
+        return self._call(transaction)
+
+    def data_write(self, transaction: Transaction) -> BusState:
+        return self._call(transaction)
+
+    def _call(self, transaction: Transaction) -> BusState:
+        arbiter = self.arbiter
+        txn_id = transaction.txn_id
+        if txn_id in arbiter._forwarded:
+            # granted earlier and live on the bus: delegate the poll
+            state = arbiter.bus.issue(transaction)
+            if state.finished:
+                arbiter._forwarded.discard(txn_id)
+            return state
+        if txn_id in arbiter._pending_ids:
+            self.wait_cycles += 1
+            return BusState.WAIT  # still waiting for a grant
+    # a new request: the arbiter accepts it into its request register
+        arbiter._register(self, transaction)
+        return BusState.REQUEST
+
+    def __repr__(self) -> str:
+        return f"ArbiterPort({self.name!r}, priority={self.priority})"
+
+
+class BusArbiter(Module):
+    """Registered arbiter multiplexing N ports onto one EC bus."""
+
+    def __init__(self, simulator: Simulator, clock: Clock,
+                 bus: BusMasterInterface, policy: str = "priority",
+                 grants_per_cycle: int = 1,
+                 name: str = "arbiter") -> None:
+        if policy not in ("priority", "round_robin"):
+            raise ValueError(f"unknown arbitration policy {policy!r}")
+        if grants_per_cycle < 1:
+            raise ValueError("grants_per_cycle must be >= 1")
+        super().__init__(simulator, name)
+        self.bus = bus
+        self.policy = policy
+        self.grants_per_cycle = grants_per_cycle
+        self.ports: typing.List[ArbiterPort] = []
+        self._pending: typing.List[
+            typing.Tuple[ArbiterPort, Transaction]] = []
+        self._pending_ids: typing.Set[int] = set()
+        self._forwarded: typing.Set[int] = set()
+        self._rr_index = 0
+        self.total_grants = 0
+        self.method(self._arbitrate, name="arbitrate",
+                    sensitive=[clock.negedge_event], dont_initialize=True)
+
+    def port(self, name: str, priority: int = 0) -> ArbiterPort:
+        """Create a new master port (lower priority number wins)."""
+        new_port = ArbiterPort(self, name, priority)
+        self.ports.append(new_port)
+        return new_port
+
+    def _register(self, port: ArbiterPort,
+                  transaction: Transaction) -> None:
+        self._pending_ids.add(transaction.txn_id)
+        self._pending.append((port, transaction))
+
+    def _arbitrate(self) -> None:
+        """End of cycle: grant winners and forward them to the bus."""
+        if not self._pending:
+            return
+        if self.policy == "priority":
+            self._pending.sort(key=lambda entry: entry[0].priority)
+        else:  # round robin: rotate the port order each grant cycle
+            if self.ports:
+                self._rr_index = (self._rr_index + 1) % len(self.ports)
+                order = {port: (index - self._rr_index) % len(self.ports)
+                         for index, port in enumerate(self.ports)}
+                self._pending.sort(key=lambda entry: order[entry[0]])
+        granted = 0
+        while self._pending and granted < self.grants_per_cycle:
+            port, transaction = self._pending[0]
+            state = self.bus.issue(transaction)
+            if state is BusState.WAIT:
+                break  # bus outstanding budget full: retry next cycle
+            self._pending.pop(0)
+            self._pending_ids.discard(transaction.txn_id)
+            granted += 1
+            port.grants += 1
+            self.total_grants += 1
+            if not state.finished:
+                self._forwarded.add(transaction.txn_id)
+
+    @property
+    def pending_requests(self) -> int:
+        return len(self._pending)

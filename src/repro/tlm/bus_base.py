@@ -1,0 +1,76 @@
+"""Machinery shared by the layer-1 and layer-2 bus models.
+
+Both layers present the same non-blocking master interface (§3.1/§3.2:
+"the read/write interfaces are like the interfaces of the master...
+all interface methods are implemented non-blocking"), enforce the same
+outstanding budgets and complete transactions through a finish pool the
+master's next interface call drains.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.ec import (BusState, MemoryMap, OutstandingBudget, Transaction)
+from repro.ec.interfaces import BusMasterInterface
+from repro.kernel import Clock, Module, Simulator
+
+from .queues import FinishPool
+
+
+class EcBusBase(Module, BusMasterInterface):
+    """Common master-side behaviour of the EC bus models."""
+
+    def __init__(self, simulator: Simulator, clock: Clock,
+                 memory_map: MemoryMap, name: str) -> None:
+        Module.__init__(self, simulator, name)
+        self.clock = clock
+        self.memory_map = memory_map
+        self.budget = OutstandingBudget()
+        self.finish_pool = FinishPool()
+        self.cycle = 0
+        self.transactions_completed = 0
+        self.trace_log: typing.Optional[typing.List[Transaction]] = None
+
+    def enable_tracing(self) -> None:
+        """Record every accepted transaction (the paper's §4.1 flow:
+        trace the bus, replay the trace on the other model layers)."""
+        self.trace_log = []
+
+    # -- master interfaces --------------------------------------------------
+
+    def instruction_fetch(self, transaction: Transaction) -> BusState:
+        return self._master_call(transaction)
+
+    def data_read(self, transaction: Transaction) -> BusState:
+        return self._master_call(transaction)
+
+    def data_write(self, transaction: Transaction) -> BusState:
+        return self._master_call(transaction)
+
+    def _master_call(self, transaction: Transaction) -> BusState:
+        if self.finish_pool.collect(transaction):
+            self.budget.release(transaction)
+            self.transactions_completed += 1
+            return transaction.state  # OK or ERROR
+        if transaction.issue_cycle is not None:
+            return BusState.WAIT  # in progress somewhere in the pipe
+        if not self.budget.try_acquire(transaction):
+            return BusState.WAIT  # outstanding budget exhausted; retry
+        transaction.issue_cycle = self.cycle
+        if self.trace_log is not None:
+            self.trace_log.append(transaction)
+        self._accept(transaction)
+        return BusState.REQUEST
+
+    def _accept(self, transaction: Transaction) -> None:
+        """Layer-specific admission of a fresh transaction."""
+        raise NotImplementedError  # pragma: no cover
+
+    @property
+    def busy(self) -> bool:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}({self.name!r}, cycle={self.cycle}, "
+                f"completed={self.transactions_completed})")

@@ -1,0 +1,231 @@
+"""Transaction-level layer-1 (cycle-accurate) EC bus model.
+
+This is the paper's §3.1 model.  The bus offers the master non-blocking
+instruction and data interfaces that return a :class:`BusState`; the
+master re-invokes them every rising clock edge until ``OK``/``ERROR``.
+A single bus process — sensitive to the *falling* edge, while masters
+and slaves act on the rising edge — executes four phases per cycle:
+
+1. ``get_slave_state()``  — refresh slave wait-state/rights snapshots,
+2. ``address_phase()``    — FSM over the head of the request queue,
+3. ``read_phase()``       — per-beat slave read interface invocations,
+4. ``write_phase()``      — ditto for writes.
+
+Address and data phases of *different* transactions overlap (pipelined
+interface); within a cycle the phases run sequentially, so a request
+with zero wait states traverses request queue → finish queue in one
+cycle, exactly as the paper notes.
+
+The cycle-by-cycle timing produced here is the reference behaviour the
+gate-level model reproduces and the layer-2 model approximates.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.ec import (BusState, DecodeError, Direction, MemoryMap, Region,
+                      SlaveResponse, Transaction)
+from repro.kernel import Clock, Simulator
+
+from .bus_base import EcBusBase
+from .queues import TransactionQueue
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.power.layer1 import Layer1PowerModel
+
+
+class _AddressPhaseFsm:
+    """The address-phase finite state machine of Figure 3.
+
+    States: IDLE (no request) and BUSY (counting down the slave's
+    address wait states for the request at the head of the queue).
+    """
+
+    IDLE = "idle"
+    BUSY = "busy"
+
+    def __init__(self) -> None:
+        self.state = self.IDLE
+        self.current: typing.Optional[Transaction] = None
+        self.region: typing.Optional[Region] = None
+        self.remaining_wait_states = 0
+
+    def start(self, transaction: Transaction, region: Region,
+              address_wait_states: int) -> None:
+        self.state = self.BUSY
+        self.current = transaction
+        self.region = region
+        self.remaining_wait_states = address_wait_states
+
+    def finish(self) -> None:
+        self.state = self.IDLE
+        self.current = None
+        self.region = None
+
+
+class EcBusLayer1(EcBusBase):
+    """Cycle-accurate EC bus with the four-queue internal structure."""
+
+    def __init__(self, simulator: Simulator, clock: Clock,
+                 memory_map: MemoryMap, name: str = "ec_bus_l1",
+                 power_model: typing.Optional["Layer1PowerModel"] = None,
+                 ) -> None:
+        super().__init__(simulator, clock, memory_map, name)
+        self.power_model = power_model
+        self.request_queue = TransactionQueue("request")
+        self.read_queue = TransactionQueue("read")
+        self.write_queue = TransactionQueue("write")
+        self._address_fsm = _AddressPhaseFsm()
+        self._regions: typing.Dict[int, Region] = {}  # txn_id -> region
+        self.method(self._bus_process, name="bus_process",
+                    sensitive=[clock.negedge_event], dont_initialize=True)
+
+    def _accept(self, transaction: Transaction) -> None:
+        self.request_queue.push(transaction)
+
+    # ------------------------------------------------------------------
+    # the bus process (falling edge): four sequential phases
+    # ------------------------------------------------------------------
+
+    def _bus_process(self) -> None:
+        self.address_phase()
+        self.read_phase()
+        self.write_phase()
+        if self.power_model is not None:
+            self.power_model.end_of_cycle(self.cycle)
+        self.cycle += 1
+
+    def get_slave_state(self, region: Region):
+        """Invoke the slave control interface (the paper's phase 1).
+
+        Invoked lazily when a phase actually needs the state — every
+        cycle an eager snapshot of all slaves would produce the same
+        values, just slower.
+        """
+        return region.slave.wait_states
+
+    # -- phase 2 ---------------------------------------------------------
+
+    def address_phase(self) -> None:
+        fsm = self._address_fsm
+        if fsm.state == fsm.IDLE:
+            head = self.request_queue.head()
+            if head is None:
+                self._drive_address_idle()
+                return
+            self.request_queue.pop()
+            try:
+                region = self.memory_map.decode_checked(
+                    head.address, head.kind, head.num_bytes)
+            except DecodeError:
+                head.fail(self.cycle)
+                self.finish_pool.push(head)
+                self._drive_address_idle()
+                return
+            wait_states = self.get_slave_state(region).address
+            fsm.start(head, region, wait_states)
+        # BUSY: drive the address channel and count down wait states
+        transaction = fsm.current
+        completing = fsm.remaining_wait_states == 0
+        self._drive_address_active(transaction, completing)
+        if completing:
+            transaction.address_done_cycle = self.cycle
+            self._regions[transaction.txn_id] = fsm.region
+            if transaction.direction is Direction.READ:
+                self.read_queue.push(transaction)
+            else:
+                self.write_queue.push(transaction)
+            fsm.finish()
+        else:
+            fsm.remaining_wait_states -= 1
+
+    # -- phases 3 and 4 ----------------------------------------------------
+
+    def read_phase(self) -> None:
+        transaction = self.read_queue.head()
+        if transaction is None:
+            self._drive_read_idle()
+            return
+        region = self._regions[transaction.txn_id]
+        beat = transaction.beats_done
+        offset = region.slave.offset_of(transaction.beat_address(beat))
+        response = region.slave.read_beat(offset,
+                                          transaction.byte_enables(beat))
+        self._drive_read(transaction, response)
+        self._apply_response(transaction, response, self.read_queue,
+                             value=response.data)
+
+    def write_phase(self) -> None:
+        transaction = self.write_queue.head()
+        if transaction is None:
+            self._drive_write_idle()
+            return
+        region = self._regions[transaction.txn_id]
+        beat = transaction.beats_done
+        offset = region.slave.offset_of(transaction.beat_address(beat))
+        data = transaction.data[beat]
+        response = region.slave.write_beat(
+            offset, transaction.byte_enables(beat), data)
+        self._drive_write(transaction, data, response)
+        self._apply_response(transaction, response, self.write_queue)
+
+    def _apply_response(self, transaction: Transaction,
+                        response: SlaveResponse, queue: TransactionQueue,
+                        value: typing.Optional[int] = None) -> None:
+        if response.state is BusState.ERROR:
+            queue.pop()
+            del self._regions[transaction.txn_id]
+            transaction.fail(self.cycle)
+            self.finish_pool.push(transaction)
+        elif response.state is BusState.OK:
+            transaction.complete_beat(self.cycle, value)
+            if transaction.finished:
+                queue.pop()
+                del self._regions[transaction.txn_id]
+                self.finish_pool.push(transaction)
+        # WAIT: beat stays at the head; retried next cycle
+
+    # ------------------------------------------------------------------
+    # signal reconstruction hooks (the TL-to-RTL adapter of §3.3)
+    # ------------------------------------------------------------------
+
+    def _drive_address_idle(self) -> None:
+        if self.power_model is not None:
+            self.power_model.address_phase_idle()
+
+    def _drive_address_active(self, transaction: Transaction,
+                              completing: bool) -> None:
+        if self.power_model is not None:
+            self.power_model.address_phase_active(transaction, completing)
+
+    def _drive_read_idle(self) -> None:
+        if self.power_model is not None:
+            self.power_model.read_phase_idle()
+
+    def _drive_read(self, transaction: Transaction,
+                    response: SlaveResponse) -> None:
+        if self.power_model is not None:
+            self.power_model.read_phase_active(transaction, response)
+
+    def _drive_write_idle(self) -> None:
+        if self.power_model is not None:
+            self.power_model.write_phase_idle()
+
+    def _drive_write(self, transaction: Transaction, data: int,
+                     response: SlaveResponse) -> None:
+        if self.power_model is not None:
+            self.power_model.write_phase_active(transaction, data, response)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        """True while any transaction is anywhere in the pipe."""
+        return bool(self.request_queue or self.read_queue
+                    or self.write_queue or len(self.finish_pool)
+                    or self._address_fsm.state != _AddressPhaseFsm.IDLE)
+
+    def __repr__(self) -> str:
+        return (f"EcBusLayer1({self.name!r}, cycle={self.cycle}, "
+                f"completed={self.transactions_completed})")

@@ -1,0 +1,187 @@
+"""Transaction-level layer-2 (timed, not cycle-accurate) EC bus model.
+
+The paper's §3.2 model: the master interface takes whole transactions
+("a burst transfer is performed as a single transaction"), data moves
+by reference in one block at the end of the data phase ("pointer
+passing"), and timing comes from wait-state counters "read ... when the
+transaction is created during the first interface call".
+
+The bus process — still sensitive to the falling clock edge — runs
+three phases: address, read and write.  Each phase decrements the
+counter of the transaction at the head of its queue; when the counter
+expires the phase finishes and (for data phases) the slave's block
+interface is invoked once.
+
+Known, deliberate abstractions relative to layer 1 (§3.2 "sources of
+inaccuracy"):
+
+* wait states are snapshotted at request creation, so a slave whose
+  wait states change while the request is queued (e.g. EEPROM busy
+  after a programming write) is mis-timed ("missing interaction with
+  the slave"),
+* data is delivered only at the end of the burst, never per beat —
+  consequently a read racing a write to the same address may observe
+  a different (later) memory state than layer 1's beat-level read,
+* control-signal activity is reconstructed per phase in isolation —
+  the layer-2 energy model cannot see inter-transaction correlation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.ec import (DecodeError, Direction, MemoryMap, Region,
+                      Transaction)
+from repro.kernel import Clock, Simulator
+
+from .bus_base import EcBusBase
+from .queues import TransactionQueue
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.power.layer2 import Layer2PowerModel
+
+
+@dataclasses.dataclass
+class _TimedRequest:
+    """One entry of the layer-2 shared transaction data structure."""
+
+    transaction: Transaction
+    region: typing.Optional[Region]
+    address_remaining: int  # address wait states still to elapse
+    data_remaining: int     # total data-phase cycles still to elapse
+    decode_failed: bool = False
+    data_started: bool = False
+
+
+class EcBusLayer2(EcBusBase):
+    """Timed EC bus: wait-state counters, block data transfer."""
+
+    def __init__(self, simulator: Simulator, clock: Clock,
+                 memory_map: MemoryMap, name: str = "ec_bus_l2",
+                 power_model: typing.Optional["Layer2PowerModel"] = None,
+                 requery_wait_states: bool = False) -> None:
+        super().__init__(simulator, clock, memory_map, name)
+        self.power_model = power_model
+        #: ablation knob: re-sample the slave's wait states when the
+        #: data phase starts instead of trusting the creation-time
+        #: snapshot (the paper's model snapshots; see DESIGN.md)
+        self.requery_wait_states = requery_wait_states
+        self.address_queue = TransactionQueue("address")
+        self._items: typing.Dict[int, _TimedRequest] = {}
+        self._read_queue: typing.List[_TimedRequest] = []
+        self._write_queue: typing.List[_TimedRequest] = []
+        self.method(self._bus_process, name="bus_process",
+                    sensitive=[clock.negedge_event], dont_initialize=True)
+
+    # ------------------------------------------------------------------
+
+    def _accept(self, transaction: Transaction) -> None:
+        """First interface call: decode and snapshot the wait states."""
+        try:
+            region = self.memory_map.decode_checked(
+                transaction.address, transaction.kind, transaction.num_bytes)
+        except DecodeError:
+            item = _TimedRequest(transaction, None, 0, 0, decode_failed=True)
+        else:
+            waits = region.slave.wait_states  # snapshot, §3.2
+            data_cycles = transaction.burst_length * (
+                waits.for_kind(transaction.kind) + 1)
+            item = _TimedRequest(transaction, region, waits.address,
+                                 data_cycles)
+        self._items[transaction.txn_id] = item
+        self.address_queue.push(transaction)
+
+    # ------------------------------------------------------------------
+    # the bus process: three phases per falling edge (§3.2)
+    # ------------------------------------------------------------------
+
+    def _bus_process(self) -> None:
+        self._address_phase()
+        self._read_phase()
+        self._write_phase()
+        self.cycle += 1
+
+    def _address_phase(self) -> None:
+        head = self.address_queue.head()
+        if head is None:
+            return
+        item = self._items[head.txn_id]
+        if item.address_remaining > 0:
+            item.address_remaining -= 1
+            return
+        # address phase finishes this cycle
+        self.address_queue.pop()
+        head.address_done_cycle = self.cycle
+        if item.decode_failed:
+            self._finish_error(item)
+            return
+        if self.power_model is not None:
+            self.power_model.address_phase_finished(head)
+        if head.direction is Direction.READ:
+            self._read_queue.append(item)
+        else:
+            self._write_queue.append(item)
+
+    def _read_phase(self) -> None:
+        self._data_phase(self._read_queue, is_read=True)
+
+    def _write_phase(self) -> None:
+        self._data_phase(self._write_queue, is_read=False)
+
+    def _data_phase(self, queue: typing.List[_TimedRequest],
+                    is_read: bool) -> None:
+        if not queue:
+            return
+        item = queue[0]
+        if not item.data_started:
+            item.data_started = True
+            if self.requery_wait_states:
+                waits = item.region.slave.wait_states
+                item.data_remaining = item.transaction.burst_length * (
+                    waits.for_kind(item.transaction.kind) + 1)
+        item.data_remaining -= 1
+        if item.data_remaining > 0:
+            return
+        # data phase finishes this cycle: single block slave invocation
+        queue.pop(0)
+        transaction = item.transaction
+        slave = item.region.slave
+        base_offset = slave.offset_of(transaction.address)
+        error = False
+        if is_read:
+            words, error = slave.read_block(
+                base_offset, transaction.burst_length,
+                transaction.byte_enables(0))
+            if not error:
+                for beat, word in enumerate(words):
+                    transaction.complete_beat(self.cycle, word)
+        else:
+            error = slave.write_block(
+                base_offset, transaction.data, transaction.byte_enables(0))
+            if not error:
+                for _ in range(transaction.burst_length):
+                    transaction.complete_beat(self.cycle)
+        if error:
+            self._finish_error(item)
+            return
+        if self.power_model is not None:
+            self.power_model.data_phase_finished(transaction)
+        del self._items[transaction.txn_id]
+        self.finish_pool.push(transaction)
+
+    def _finish_error(self, item: _TimedRequest) -> None:
+        transaction = item.transaction
+        transaction.fail(self.cycle)
+        self._items.pop(transaction.txn_id, None)
+        if self.power_model is not None:
+            self.power_model.data_phase_finished(transaction)
+        self.finish_pool.push(transaction)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        """True while any transaction is anywhere in the pipe."""
+        return bool(self.address_queue or self._read_queue
+                    or self._write_queue or len(self.finish_pool))

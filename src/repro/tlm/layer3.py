@@ -1,0 +1,140 @@
+"""Transaction-level layer-3 (message layer, untimed) EC bus model.
+
+The paper adopts Haverinen et al.'s layering (§2): above the transfer
+layer (1) and the transaction layer (2) sits layer 3, the *message
+layer* — "Systems at this level are untimed ... Data representation
+may be of a very abstract data type and several data items can be
+transferred by a single transaction".  The paper's own untimed Java
+Card model is a layer-3 system; this module makes the layer explicit
+so the full hierarchy (3 → 2 → 1 → 0) is available for top-down
+refinement.
+
+:class:`EcBusLayer3` needs no simulation kernel at all: a message is
+routed, checked and completed within the call.  It still honours the
+protocol's *functional* contract — memory map decode, access rights,
+window containment, byte-lane merging — so software developed against
+it behaves identically when re-targeted to the timed layers (the
+cross-layer property tests check exactly that).
+
+Two interfaces are offered:
+
+* the blocking message interface (``read_message``/``write_message``)
+  natural at this layer, moving arbitrarily long payloads in one call,
+* the standard non-blocking :class:`BusMasterInterface`, completing
+  every transaction on its first invocation, so every existing master
+  and adapter runs unchanged (just infinitely fast).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.ec import (BYTES_PER_WORD, BusState, DecodeError, MemoryMap,
+                      Transaction, TransactionKind)
+from repro.ec.interfaces import BusMasterInterface
+
+
+class EcBusLayer3(BusMasterInterface):
+    """Untimed functional bus: decode, check, move data, return."""
+
+    def __init__(self, memory_map: MemoryMap,
+                 name: str = "ec_bus_l3") -> None:
+        self.memory_map = memory_map
+        self.name = name
+        self.messages = 0
+        self.transactions_completed = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    # the message interface (layer-3 native)
+    # ------------------------------------------------------------------
+
+    def read_message(self, address: int, num_words: int,
+                     instruction: bool = False) -> typing.List[int]:
+        """Read *num_words* words starting at *address* in one message.
+
+        Messages may span any length within one slave window; there is
+        no burst-length restriction at this layer.
+        """
+        kind = (TransactionKind.INSTRUCTION_READ if instruction
+                else TransactionKind.DATA_READ)
+        region = self.memory_map.decode_checked(
+            address, kind, num_words * BYTES_PER_WORD)
+        base = region.slave.offset_of(address)
+        words, error = region.slave.read_block(base, num_words, 0b1111)
+        if error:
+            self.errors += 1
+            raise DecodeError(f"slave error reading {address:#x}")
+        self.messages += 1
+        return words
+
+    def write_message(self, address: int,
+                      words: typing.Sequence[int]) -> None:
+        """Write *words* starting at *address* in one message."""
+        region = self.memory_map.decode_checked(
+            address, TransactionKind.DATA_WRITE,
+            len(words) * BYTES_PER_WORD)
+        base = region.slave.offset_of(address)
+        error = region.slave.write_block(base, list(words), 0b1111)
+        if error:
+            self.errors += 1
+            raise DecodeError(f"slave error writing {address:#x}")
+        self.messages += 1
+
+    # ------------------------------------------------------------------
+    # the non-blocking interface: completes immediately
+    # ------------------------------------------------------------------
+
+    def instruction_fetch(self, transaction: Transaction) -> BusState:
+        return self._complete(transaction)
+
+    def data_read(self, transaction: Transaction) -> BusState:
+        return self._complete(transaction)
+
+    def data_write(self, transaction: Transaction) -> BusState:
+        return self._complete(transaction)
+
+    def _complete(self, transaction: Transaction) -> BusState:
+        if transaction.finished:
+            return transaction.state
+        try:
+            region = self.memory_map.decode_checked(
+                transaction.address, transaction.kind,
+                transaction.num_bytes)
+        except DecodeError:
+            transaction.issue_cycle = 0
+            transaction.fail(0)
+            self.errors += 1
+            return BusState.ERROR
+        transaction.issue_cycle = 0
+        transaction.address_done_cycle = 0
+        slave = region.slave
+        base = slave.offset_of(transaction.address)
+        if transaction.kind is TransactionKind.DATA_WRITE:
+            if transaction.burst_length == 1:
+                error = slave.write_block(base, transaction.data,
+                                          transaction.byte_enables(0))
+            else:
+                error = slave.write_block(base, transaction.data, 0b1111)
+            if error:
+                transaction.fail(0)
+                self.errors += 1
+                return BusState.ERROR
+            for _ in range(transaction.burst_length):
+                transaction.complete_beat(0)
+        else:
+            words, error = slave.read_block(
+                base, transaction.burst_length,
+                transaction.byte_enables(0))
+            if error:
+                transaction.fail(0)
+                self.errors += 1
+                return BusState.ERROR
+            for word in words:
+                transaction.complete_beat(0, word)
+        self.transactions_completed += 1
+        return BusState.OK
+
+    def __repr__(self) -> str:
+        return (f"EcBusLayer3({self.name!r}, messages={self.messages}, "
+                f"transactions={self.transactions_completed})")

@@ -1,0 +1,193 @@
+"""Bus masters driving the TLM models.
+
+The paper's master is the 4KSc core's bus interface unit; for bus-level
+experiments it is replaced by programmable masters that replay scripted
+transaction sequences — exactly how the paper drove its models with
+bus traces captured from an assembly test program (§4.1).
+
+Masters act on the rising clock edge and re-invoke the non-blocking bus
+interfaces every cycle until ``OK``/``ERROR`` (§3.1).  Two issue
+disciplines are provided:
+
+* :class:`BlockingMaster` — one transaction in flight at a time,
+* :class:`PipelinedMaster` — keeps a window of transactions in flight,
+  exercising the pipelined address/data phases and the 4/4/4 budgets.
+
+A script item is either a :class:`~repro.ec.Transaction` or an
+``(idle_gap, Transaction)`` pair requesting *idle_gap* idle cycles
+before the transaction is issued.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.ec import BusState, Transaction
+from repro.ec.interfaces import BusMasterInterface
+from repro.kernel import Clock, Module, Simulator
+
+ScriptItem = typing.Union[Transaction, typing.Tuple[int, Transaction]]
+
+
+def normalise_script(script: typing.Iterable[ScriptItem]
+                     ) -> typing.List[typing.Tuple[int, Transaction]]:
+    """Expand script items to uniform ``(idle_gap, transaction)`` pairs."""
+    items = []
+    for entry in script:
+        if isinstance(entry, Transaction):
+            items.append((0, entry))
+        else:
+            gap, transaction = entry
+            if gap < 0:
+                raise ValueError(f"negative idle gap: {gap}")
+            items.append((gap, transaction))
+    return items
+
+
+class ScriptedMaster(Module):
+    """Common machinery for script-replaying masters."""
+
+    def __init__(self, simulator: Simulator, clock: Clock,
+                 bus: BusMasterInterface,
+                 script: typing.Iterable[ScriptItem],
+                 name: str = "master") -> None:
+        super().__init__(simulator, name)
+        self.bus = bus
+        self.script = normalise_script(script)
+        self.completed: typing.List[Transaction] = []
+        self.errors: typing.List[Transaction] = []
+        self._next_index = 0
+        self._idle_remaining = self.script[0][0] if self.script else 0
+        self.done = len(self.script) == 0
+        self.done_event = simulator.event(f"{name}.done")
+        self.method(self._on_clock, name="on_clock",
+                    sensitive=[clock.posedge_event], dont_initialize=True)
+
+    def _on_clock(self) -> None:
+        raise NotImplementedError  # pragma: no cover
+
+    def _record(self, transaction: Transaction) -> None:
+        self.completed.append(transaction)
+        if transaction.error:
+            self.errors.append(transaction)
+        if (self._next_index >= len(self.script)
+                and self._nothing_in_flight() and not self.done):
+            self.done = True
+            self.done_event.notify_delta()
+
+    def _nothing_in_flight(self) -> bool:
+        raise NotImplementedError  # pragma: no cover
+
+    def _arm_gap_for_next(self) -> None:
+        """Load the idle gap of the next script item, if any."""
+        if self._next_index < len(self.script):
+            self._idle_remaining = self.script[self._next_index][0]
+
+
+class BlockingMaster(ScriptedMaster):
+    """Issues one transaction at a time; waits for completion."""
+
+    def __init__(self, simulator: Simulator, clock: Clock,
+                 bus: BusMasterInterface,
+                 script: typing.Iterable[ScriptItem],
+                 name: str = "blocking_master") -> None:
+        super().__init__(simulator, clock, bus, script, name)
+        self._current: typing.Optional[Transaction] = None
+
+    def _nothing_in_flight(self) -> bool:
+        return self._current is None
+
+    def _on_clock(self) -> None:
+        if self.done:
+            return
+        if self._current is None:
+            if self._next_index >= len(self.script):
+                return
+            if self._idle_remaining > 0:
+                self._idle_remaining -= 1
+                return
+            self._current = self.script[self._next_index][1]
+            self._next_index += 1
+        state = self.bus.issue(self._current)
+        if state.finished:
+            finished = self._current
+            self._current = None
+            self._arm_gap_for_next()
+            self._record(finished)
+            # back-to-back issue: the BIU starts the next request in the
+            # same cycle it samples a completion (EC back-to-back reads)
+            if (self._idle_remaining == 0
+                    and self._next_index < len(self.script)):
+                self._current = self.script[self._next_index][1]
+                self._next_index += 1
+                self.bus.issue(self._current)
+
+
+class PipelinedMaster(ScriptedMaster):
+    """Keeps up to *window* transactions in flight simultaneously."""
+
+    def __init__(self, simulator: Simulator, clock: Clock,
+                 bus: BusMasterInterface,
+                 script: typing.Iterable[ScriptItem],
+                 window: int = 4, name: str = "pipelined_master") -> None:
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        super().__init__(simulator, clock, bus, script, name)
+        self.window = window
+        self._in_flight: typing.List[Transaction] = []
+
+    def _nothing_in_flight(self) -> bool:
+        return not self._in_flight
+
+    def _on_clock(self) -> None:
+        if self.done:
+            return
+        # advance everything already in flight, collecting completions
+        still_flying: typing.List[Transaction] = []
+        finished: typing.List[Transaction] = []
+        for transaction in self._in_flight:
+            state = self.bus.issue(transaction)
+            if state.finished:
+                finished.append(transaction)
+            else:
+                still_flying.append(transaction)
+        self._in_flight = still_flying
+        # issue new work while the window, gaps and script allow
+        if self._idle_remaining > 0:
+            self._idle_remaining -= 1
+        else:
+            while (len(self._in_flight) < self.window
+                   and self._next_index < len(self.script)
+                   and self._idle_remaining == 0):
+                transaction = self.script[self._next_index][1]
+                state = self.bus.issue(transaction)
+                if state is BusState.WAIT:
+                    break  # budget full: retry the same item next cycle
+                self._next_index += 1
+                self._arm_gap_for_next()
+                if state.finished:
+                    finished.append(transaction)
+                else:
+                    self._in_flight.append(transaction)
+        for transaction in finished:
+            self._record(transaction)
+
+
+def run_script(simulator: Simulator, master: ScriptedMaster,
+               max_cycles: int, clock: Clock) -> int:
+    """Run until the master finishes; returns elapsed clock cycles.
+
+    Raises :class:`TimeoutError` if the script does not complete within
+    *max_cycles* — a guard against protocol deadlocks in tests.
+    """
+    start_cycle = clock.cycles
+    slice_cycles = 64
+    elapsed = 0
+    while elapsed < max_cycles:
+        simulator.run(slice_cycles * clock.period)
+        elapsed += slice_cycles
+        if master.done:
+            return clock.cycles - start_cycle
+    raise TimeoutError(
+        f"master {master.name!r} not done after {max_cycles} cycles "
+        f"({len(master.completed)}/{len(master.script)} transactions)")

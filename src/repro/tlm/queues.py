@@ -1,0 +1,78 @@
+"""The four communication queues of the layer-1 bus model.
+
+Figure 3 of the paper shows the internal structure: a *request* queue
+fed by the master interfaces, *read* and *write* queues between the
+address phase and the data phases, and a *finish* queue the master
+interface drains ("the request is picked up by the next interface call
+addressing this request", §3.1).
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.ec import Transaction
+
+
+class TransactionQueue:
+    """FIFO of in-flight transactions with occupancy statistics."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._fifo: typing.Deque[Transaction] = collections.deque()
+        self.total_pushed = 0
+        self.peak_occupancy = 0
+
+    def push(self, transaction: Transaction) -> None:
+        self._fifo.append(transaction)
+        self.total_pushed += 1
+        if len(self._fifo) > self.peak_occupancy:
+            self.peak_occupancy = len(self._fifo)
+
+    def head(self) -> typing.Optional[Transaction]:
+        """The transaction at the front, or None when empty."""
+        return self._fifo[0] if self._fifo else None
+
+    def pop(self) -> Transaction:
+        return self._fifo.popleft()
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    def __bool__(self) -> bool:
+        return bool(self._fifo)
+
+    def __iter__(self) -> typing.Iterator[Transaction]:
+        return iter(self._fifo)
+
+    def __repr__(self) -> str:
+        return f"TransactionQueue({self.name!r}, depth={len(self._fifo)})"
+
+
+class FinishPool:
+    """Completed transactions waiting for their master to pick them up.
+
+    Unlike the FIFOs, completion is matched by transaction id — the
+    master's next interface call "addressing this request" collects the
+    result, so reads and writes may finish out of order (the paper's
+    reordering examples, §4.1).
+    """
+
+    def __init__(self) -> None:
+        self._done: typing.Dict[int, Transaction] = {}
+        self.total_finished = 0
+
+    def push(self, transaction: Transaction) -> None:
+        self._done[transaction.txn_id] = transaction
+        self.total_finished += 1
+
+    def collect(self, transaction: Transaction) -> bool:
+        """Remove *transaction* if it has finished; True on success."""
+        return self._done.pop(transaction.txn_id, None) is not None
+
+    def __contains__(self, transaction: Transaction) -> bool:
+        return transaction.txn_id in self._done
+
+    def __len__(self) -> int:
+        return len(self._done)

@@ -1,0 +1,24 @@
+"""Stimulus: the EC-spec verification sequences, parameterised random
+generators, and the bus trace record/replay format."""
+
+from .apdu import ApduSession, apdu_session
+from .ecspec import ALL_SEQUENCES, full_suite
+from .generator import (Mix, PROGRAM_MIX, TABLE3_MIX, Window,
+                        generate_script, sub_word_script, table3_script)
+from .trace import BusTrace, TraceRecord
+
+__all__ = [
+    "ALL_SEQUENCES",
+    "ApduSession",
+    "apdu_session",
+    "BusTrace",
+    "Mix",
+    "PROGRAM_MIX",
+    "TABLE3_MIX",
+    "TraceRecord",
+    "Window",
+    "full_suite",
+    "generate_script",
+    "sub_word_script",
+    "table3_script",
+]

@@ -1,0 +1,136 @@
+"""The EC interface verification sequences (§4.1).
+
+"The first step comprised verification with transaction examples
+defined in the EC interface specification.  The examples are single
+reads and writes with and without wait states, back-to-back reads,
+back-to-back writes, read followed by write and write followed by read
+with reordering, and at last burst reads and writes."
+
+Each function returns a fresh master script (list of transactions or
+``(gap, transaction)`` pairs) against the Figure-1 platform memory
+map; :func:`full_suite` concatenates all of them — the stimulus used
+for verification, characterisation and the accuracy experiments.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.ec import MergePattern, Transaction, data_read, data_write, \
+    instruction_fetch
+from repro.soc.smartcard import EEPROM_BASE, RAM_BASE, ROM_BASE
+from repro.tlm.master import ScriptItem
+
+#: a fast (zero-wait) target and a slow (waited) target
+FAST = RAM_BASE
+SLOW = EEPROM_BASE
+
+
+def single_reads_no_wait() -> typing.List[ScriptItem]:
+    """Isolated single reads of a zero-wait-state slave."""
+    return [(2, data_read(FAST + 4 * i)) for i in range(4)]
+
+
+def single_reads_with_wait() -> typing.List[ScriptItem]:
+    """Isolated single reads of a slave inserting wait states."""
+    return [(2, data_read(SLOW + 4 * i)) for i in range(4)]
+
+
+def single_writes_no_wait() -> typing.List[ScriptItem]:
+    """Isolated single writes, zero wait states."""
+    return [(2, data_write(FAST + 4 * i, [0xC0DE0000 + i]))
+            for i in range(4)]
+
+
+def single_writes_with_wait() -> typing.List[ScriptItem]:
+    """Isolated single writes against wait states."""
+    return [(2, data_write(SLOW + 4 * i, [0xBEEF0000 + i]))
+            for i in range(4)]
+
+
+def back_to_back_reads() -> typing.List[ScriptItem]:
+    """Reads with no idle cycles between them (pipelined addresses)."""
+    return [data_read(FAST + 4 * i) for i in range(8)]
+
+
+def back_to_back_writes() -> typing.List[ScriptItem]:
+    """Writes with no idle cycles between them."""
+    return [data_write(FAST + 0x100 + 4 * i, [0xA5A50000 | i])
+            for i in range(8)]
+
+
+def read_then_write_reordered() -> typing.List[ScriptItem]:
+    """A slow read followed by a fast write: the write finishes first
+    (the separate read/write queues reorder completions)."""
+    return [data_read(SLOW), data_write(FAST + 0x200, [0x11111111]),
+            data_read(SLOW + 8), data_write(FAST + 0x204, [0x22222222])]
+
+
+def write_then_read_reordered() -> typing.List[ScriptItem]:
+    """A slow write followed by a fast read."""
+    return [data_write(SLOW + 0x40, [0x33333333]), data_read(FAST),
+            data_write(SLOW + 0x44, [0x44444444]), data_read(FAST + 4)]
+
+
+def burst_reads() -> typing.List[ScriptItem]:
+    """Burst reads of both lengths against both slave speeds."""
+    return [data_read(FAST + 0x300, burst_length=4),
+            data_read(SLOW + 0x80, burst_length=4),
+            data_read(FAST + 0x340, burst_length=2)]
+
+
+def burst_writes() -> typing.List[ScriptItem]:
+    """Burst writes of both lengths against both slave speeds."""
+    return [data_write(FAST + 0x400, [1, 2, 3, 4]),
+            data_write(SLOW + 0xC0, [5, 6, 7, 8]),
+            data_write(FAST + 0x440, [9, 10])]
+
+
+def instruction_bursts() -> typing.List[ScriptItem]:
+    """Cache-line-fill style instruction fetch bursts from ROM."""
+    return [instruction_fetch(ROM_BASE + 0x10 * i, burst_length=4)
+            for i in range(4)]
+
+
+def merge_patterns() -> typing.List[ScriptItem]:
+    """Sub-word transfers exercising every merge pattern."""
+    return [
+        data_write(FAST + 0x500, [0x000000AA], MergePattern.BYTE),
+        data_write(FAST + 0x501, [0x0000BB00], MergePattern.BYTE),
+        data_write(FAST + 0x502, [0xCCDD0000], MergePattern.HALFWORD),
+        data_read(FAST + 0x500, MergePattern.BYTE),
+        data_read(FAST + 0x502, MergePattern.HALFWORD),
+        data_read(FAST + 0x500),
+    ]
+
+
+ALL_SEQUENCES: typing.Dict[str, typing.Callable[
+    [], typing.List[ScriptItem]]] = {
+    "single_reads_no_wait": single_reads_no_wait,
+    "single_reads_with_wait": single_reads_with_wait,
+    "single_writes_no_wait": single_writes_no_wait,
+    "single_writes_with_wait": single_writes_with_wait,
+    "back_to_back_reads": back_to_back_reads,
+    "back_to_back_writes": back_to_back_writes,
+    "read_then_write_reordered": read_then_write_reordered,
+    "write_then_read_reordered": write_then_read_reordered,
+    "burst_reads": burst_reads,
+    "burst_writes": burst_writes,
+    "instruction_bursts": instruction_bursts,
+    "merge_patterns": merge_patterns,
+}
+
+
+def full_suite(separator_gap: int = 4) -> typing.List[ScriptItem]:
+    """All verification sequences, separated by idle gaps."""
+    script: typing.List[ScriptItem] = []
+    for factory in ALL_SEQUENCES.values():
+        sequence = factory()
+        if script and sequence:
+            first = sequence[0]
+            if isinstance(first, Transaction):
+                sequence[0] = (separator_gap, first)
+            else:
+                sequence[0] = (first[0] + separator_gap, first[1])
+        script.extend(sequence)
+    return script

@@ -1,0 +1,138 @@
+"""Parameterised random transaction generators.
+
+Used by the performance benchmarks (Table 3 wants "all combinations
+between single reads, single writes, burst reads, and burst writes")
+and by characterisation, which needs long stimulus with controllable
+mix and locality.  Generators take an explicit ``random.Random`` so
+every workload is reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import typing
+
+from repro.ec import BYTES_PER_WORD, MergePattern, data_read, data_write, \
+    instruction_fetch
+from repro.tlm.master import ScriptItem
+
+
+@dataclasses.dataclass(frozen=True)
+class Mix:
+    """Relative weights of the transaction categories."""
+
+    single_read: float = 1.0
+    single_write: float = 1.0
+    burst_read: float = 1.0
+    burst_write: float = 1.0
+    instruction_burst: float = 0.0
+
+    def weights(self) -> typing.List[float]:
+        return [self.single_read, self.single_write, self.burst_read,
+                self.burst_write, self.instruction_burst]
+
+
+#: the paper's Table-3 stimulus: all four data categories, equal parts
+TABLE3_MIX = Mix(1.0, 1.0, 1.0, 1.0, 0.0)
+
+#: program-like mix: mostly fetches and single data accesses
+PROGRAM_MIX = Mix(2.0, 1.5, 0.3, 0.2, 3.0)
+
+_CATEGORIES = ("single_read", "single_write", "burst_read",
+               "burst_write", "instruction_burst")
+
+
+@dataclasses.dataclass(frozen=True)
+class Window:
+    """An address window transactions are drawn from."""
+
+    base: int
+    size: int
+    executable: bool = False
+    writable: bool = True
+
+
+def generate_script(rng: random.Random, count: int,
+                    windows: typing.Sequence[Window],
+                    mix: Mix = TABLE3_MIX,
+                    gap_probability: float = 0.0,
+                    max_gap: int = 4,
+                    sequential_fraction: float = 0.5
+                    ) -> typing.List[ScriptItem]:
+    """Produce *count* transactions over *windows*.
+
+    ``sequential_fraction`` of addresses continue from the previous one
+    (program-like locality); the rest are uniform within a window.
+    """
+    if not windows:
+        raise ValueError("need at least one address window")
+    script: typing.List[ScriptItem] = []
+    cursor = {window: window.base for window in windows}
+    weights = mix.weights()
+    for _ in range(count):
+        category = rng.choices(_CATEGORIES, weights=weights)[0]
+        if category == "instruction_burst":
+            eligible = [w for w in windows if w.executable]
+        elif "write" in category:
+            eligible = [w for w in windows if w.writable]
+        else:
+            eligible = list(windows)
+        if not eligible:
+            raise ValueError(f"no window admits category {category}")
+        window = rng.choice(eligible)
+        burst = category in ("burst_read", "burst_write",
+                             "instruction_burst")
+        span = 16 if burst else BYTES_PER_WORD
+        if rng.random() < sequential_fraction:
+            address = cursor[window]
+            if address + span > window.base + window.size:
+                address = window.base
+        else:
+            slots = (window.size - span) // span
+            address = window.base + span * rng.randrange(max(slots, 1))
+        cursor[window] = address + span
+        transaction = _make(category, address, rng)
+        if gap_probability and rng.random() < gap_probability:
+            script.append((rng.randint(1, max_gap), transaction))
+        else:
+            script.append(transaction)
+    return script
+
+
+def _make(category: str, address: int, rng: random.Random):
+    if category == "single_read":
+        return data_read(address)
+    if category == "single_write":
+        return data_write(address, [rng.getrandbits(32)])
+    if category == "burst_read":
+        return data_read(address, burst_length=4)
+    if category == "burst_write":
+        return data_write(address, [rng.getrandbits(32) for _ in range(4)])
+    return instruction_fetch(address, burst_length=4)
+
+
+def table3_script(rng: random.Random, count: int, fast_base: int,
+                  slow_base: int) -> typing.List[ScriptItem]:
+    """The Table-3 stimulus over a fast and a slow memory window."""
+    windows = [Window(fast_base, 0x1000), Window(slow_base, 0x1000)]
+    return generate_script(rng, count, windows, TABLE3_MIX)
+
+
+def sub_word_script(rng: random.Random, count: int,
+                    base: int) -> typing.List[ScriptItem]:
+    """Random sub-word reads/writes exercising the merge patterns."""
+    script: typing.List[ScriptItem] = []
+    for _ in range(count):
+        pattern = rng.choice([MergePattern.BYTE, MergePattern.HALFWORD,
+                              MergePattern.WORD])
+        aligned = base + pattern.num_bytes * rng.randrange(
+            0x400 // pattern.num_bytes)
+        if rng.random() < 0.5:
+            script.append(data_read(aligned, pattern))
+        else:
+            lane = aligned % BYTES_PER_WORD
+            value = rng.getrandbits(pattern.value) << (8 * lane)
+            script.append(data_write(aligned, [value & 0xFFFFFFFF],
+                                     pattern))
+    return script

@@ -1,0 +1,142 @@
+"""Bus trace record/replay.
+
+The paper's flow: "we traced the bus transactions and used them as
+input test sequences for the transaction level models" (§4.1).  A
+:class:`BusTrace` captures what a master issued — kind, address,
+pattern, burst length, payload and the idle gap since the previous
+issue — and replays as a script on any bus model.  Traces serialise to
+a line-oriented text format so they can be stored alongside the
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.ec import MergePattern, Transaction, TransactionKind, \
+    data_read, data_write, instruction_fetch
+from repro.tlm.master import ScriptItem
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    """One issued transaction, master-relative."""
+
+    gap: int                       # idle cycles before the issue
+    kind: TransactionKind
+    address: int
+    burst_length: int
+    pattern: MergePattern
+    data: typing.Tuple[int, ...]   # payload for writes, empty otherwise
+
+    def to_transaction(self) -> Transaction:
+        if self.kind is TransactionKind.DATA_WRITE:
+            return data_write(self.address, list(self.data), self.pattern)
+        if self.kind is TransactionKind.INSTRUCTION_READ:
+            return instruction_fetch(self.address, self.burst_length)
+        return data_read(self.address, self.pattern, self.burst_length)
+
+    def to_line(self) -> str:
+        payload = ":".join(f"{word:08x}" for word in self.data)
+        return (f"{self.gap} {self.kind.value} {self.address:#x} "
+                f"{self.burst_length} {self.pattern.value} {payload}")
+
+    @classmethod
+    def from_line(cls, line: str) -> "TraceRecord":
+        fields = line.split()
+        if len(fields) not in (5, 6):
+            raise ValueError(f"malformed trace line: {line!r}")
+        gap = int(fields[0])
+        kind = TransactionKind(fields[1])
+        address = int(fields[2], 0)
+        burst_length = int(fields[3])
+        pattern = MergePattern(int(fields[4]))
+        data: typing.Tuple[int, ...] = ()
+        if len(fields) == 6 and fields[5]:
+            data = tuple(int(word, 16) for word in fields[5].split(":"))
+        return cls(gap, kind, address, burst_length, pattern, data)
+
+
+class BusTrace:
+    """An ordered list of :class:`TraceRecord`."""
+
+    def __init__(self,
+                 records: typing.Optional[
+                     typing.List[TraceRecord]] = None) -> None:
+        self.records: typing.List[TraceRecord] = list(records or [])
+
+    # -- capture ---------------------------------------------------------
+
+    @classmethod
+    def from_completed(cls, transactions: typing.Sequence[Transaction]
+                       ) -> "BusTrace":
+        """Build a trace from completed transactions (issue order).
+
+        Gaps are reconstructed from the issue cycles: the idle cycles
+        between one transaction's issue and the next.
+        """
+        ordered = sorted(transactions,
+                         key=lambda t: (t.issue_cycle, t.txn_id))
+        records = []
+        previous_issue = None
+        for txn in ordered:
+            if txn.issue_cycle is None:
+                raise ValueError(f"transaction {txn.txn_id} never issued")
+            gap = 0
+            if previous_issue is not None:
+                gap = max(txn.issue_cycle - previous_issue - 1, 0)
+            previous_issue = txn.issue_cycle
+            data = (tuple(txn.data)
+                    if txn.kind is TransactionKind.DATA_WRITE else ())
+            records.append(TraceRecord(gap, txn.kind, txn.address,
+                                       txn.burst_length, txn.pattern, data))
+        return cls(records)
+
+    # -- replay -----------------------------------------------------------
+
+    def to_script(self) -> typing.List[ScriptItem]:
+        """A master script that re-issues the trace."""
+        return [(record.gap, record.to_transaction())
+                for record in self.records]
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_text(self) -> str:
+        lines = ["# repro bus trace v1"]
+        lines.extend(record.to_line() for record in self.records)
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_text(cls, text: str) -> "BusTrace":
+        records = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            records.append(TraceRecord.from_line(line))
+        return cls(records)
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_text())
+
+    @classmethod
+    def load(cls, path) -> "BusTrace":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_text(handle.read())
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BusTrace):
+            return NotImplemented
+        return self.records == other.records
+
+    def summary(self) -> typing.Dict[str, int]:
+        """Transaction counts per kind (reporting convenience)."""
+        counts = {kind.value: 0 for kind in TransactionKind}
+        for record in self.records:
+            counts[record.kind.value] += 1
+        return counts

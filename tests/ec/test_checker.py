@@ -1,0 +1,152 @@
+"""Tests of the protocol checker: clean traces from the real models,
+and seeded violations caught by each rule."""
+
+import pytest
+
+from repro.ec import (MemoryMap, WaitStates, data_read, data_write,
+                      instruction_fetch)
+from repro.ec.checker import ProtocolChecker, check_recorder
+from repro.kernel import Clock, Simulator
+from repro.power import Layer1PowerModel, SignalStateRecorder, default_table
+from repro.rtl import RtlBus
+from repro.tlm import (EcBusLayer1, MemorySlave, PipelinedMaster,
+                       run_script)
+
+RAM_BASE = 0x1000
+SLOW_BASE = 0x4000
+
+
+def record_layer1(script):
+    simulator = Simulator("chk")
+    clock = Clock(simulator, "clk", period=100)
+    memory_map = MemoryMap()
+    memory_map.add_slave(MemorySlave(RAM_BASE, 0x1000, name="ram"), "ram")
+    memory_map.add_slave(
+        MemorySlave(SLOW_BASE, 0x1000,
+                    WaitStates(address=1, read=2, write=1), name="slow"),
+        "slow")
+    recorder = SignalStateRecorder()
+    model = Layer1PowerModel(default_table(), recorder=recorder)
+    bus = EcBusLayer1(simulator, clock, memory_map, power_model=model)
+    master = PipelinedMaster(simulator, clock, bus, script)
+    run_script(simulator, master, 10_000, clock)
+    return recorder
+
+
+def record_rtl(script):
+    simulator = Simulator("chk_rtl")
+    clock = Clock(simulator, "clk", period=100)
+    memory_map = MemoryMap()
+    memory_map.add_slave(MemorySlave(RAM_BASE, 0x1000, name="ram"), "ram")
+    recorder = SignalStateRecorder()
+    bus = RtlBus(simulator, clock, memory_map, recorder=recorder)
+    master = PipelinedMaster(simulator, clock, bus, script)
+    run_script(simulator, master, 10_000, clock)
+    return recorder
+
+
+MIXED_SCRIPT = [
+    data_write(RAM_BASE, [1, 2, 3, 4]),
+    data_read(SLOW_BASE),
+    data_read(RAM_BASE, burst_length=4),
+    (3, data_write(SLOW_BASE + 8, [9])),
+    instruction_fetch(RAM_BASE + 0x100, burst_length=4),
+]
+
+
+class TestRealTracesAreClean:
+    def test_layer1_trace_clean(self):
+        checker = check_recorder(record_layer1(MIXED_SCRIPT))
+        assert checker.clean, checker.summary()
+        assert checker.cycles_checked > 0
+
+    def test_rtl_trace_clean(self):
+        script = [data_write(RAM_BASE, [5]), data_read(RAM_BASE),
+                  data_read(RAM_BASE, burst_length=2)]
+        checker = check_recorder(record_rtl(script))
+        assert checker.clean, checker.summary()
+
+    def test_summary_reports_clean(self):
+        checker = check_recorder(record_layer1([data_read(RAM_BASE)]))
+        assert "no violations" in checker.summary()
+
+
+def idle_values():
+    from repro.ec import EC_SIGNALS
+    values = {spec.name: 0 for spec in EC_SIGNALS}
+    values["EB_ARdy"] = 1
+    return values
+
+
+class TestSeededViolations:
+    def test_bfirst_outside_tenure(self):
+        checker = ProtocolChecker()
+        bad = idle_values()
+        bad["EB_BFirst"] = 1
+        checker.check_cycle(0, bad)
+        assert any(v.rule == "BFIRST_SCOPE" for v in checker.violations)
+
+    def test_blast_outside_tenure(self):
+        checker = ProtocolChecker()
+        bad = idle_values()
+        bad["EB_BLast"] = 1
+        checker.check_cycle(0, bad)
+        assert any(v.rule == "BLAST_SCOPE" for v in checker.violations)
+
+    def test_ardy_low_while_idle(self):
+        checker = ProtocolChecker()
+        bad = idle_values()
+        bad["EB_ARdy"] = 0
+        checker.check_cycle(0, bad)
+        assert any(v.rule == "ARDY_IDLE" for v in checker.violations)
+
+    def test_tenure_without_bfirst(self):
+        checker = ProtocolChecker()
+        bad = idle_values()
+        bad["EB_AValid"] = 1   # tenure starts, no BFirst
+        checker.check_cycle(0, bad)
+        assert any(v.rule == "TENURE_FRAMING"
+                   for v in checker.violations)
+
+    def test_tenure_never_closed(self):
+        checker = ProtocolChecker()
+        tenure = idle_values()
+        tenure.update(EB_AValid=1, EB_BFirst=1, EB_ARdy=0)
+        checker.check_cycle(0, tenure)
+        checker.check_cycle(1, idle_values())  # drops without BLast
+        assert any(v.rule == "TENURE_FRAMING"
+                   for v in checker.violations)
+
+    def test_qualifier_instability(self):
+        checker = ProtocolChecker()
+        first = idle_values()
+        first.update(EB_AValid=1, EB_BFirst=1, EB_ARdy=0, EB_A=0x100)
+        second = idle_values()
+        second.update(EB_AValid=1, EB_ARdy=0, EB_A=0x104)  # A moved
+        checker.check_cycle(0, first)
+        checker.check_cycle(1, second)
+        assert any(v.rule == "QUALIFIER_STABLE"
+                   for v in checker.violations)
+
+    def test_simultaneous_valid_and_error(self):
+        checker = ProtocolChecker()
+        bad = idle_values()
+        bad.update(EB_RdVal=1, EB_RBErr=1)
+        checker.check_cycle(0, bad)
+        assert any(v.rule == "RDVAL_RBERR_EXCLUSIVE"
+                   for v in checker.violations)
+
+    def test_bus_hold_violation(self):
+        checker = ProtocolChecker()
+        checker.check_cycle(0, idle_values())
+        moved = idle_values()
+        moved["EB_A"] = 0xABC  # address moved while idle
+        checker.check_cycle(1, moved)
+        assert any(v.rule == "BUS_HOLD" for v in checker.violations)
+
+    def test_summary_lists_violations(self):
+        checker = ProtocolChecker()
+        bad = idle_values()
+        bad["EB_BFirst"] = 1
+        checker.check_cycle(0, bad)
+        assert "BFIRST_SCOPE" in checker.summary()

@@ -1,0 +1,140 @@
+"""Unit tests for the address decoder / memory map."""
+
+import pytest
+
+from repro.ec import (AccessRights, DecodeError, MapConflictError, MemoryMap,
+                      SlaveResponse, TransactionKind, WaitStates)
+from repro.ec.interfaces import Slave
+
+
+class FakeSlave(Slave):
+    """Minimal concrete slave for decoder tests."""
+
+    def __init__(self, base, size, rights=AccessRights.ALL,
+                 waits=WaitStates()):
+        self._base = base
+        self._size = size
+        self._rights = rights
+        self._waits = waits
+
+    @property
+    def base_address(self):
+        return self._base
+
+    @property
+    def size(self):
+        return self._size
+
+    @property
+    def wait_states(self):
+        return self._waits
+
+    @property
+    def access_rights(self):
+        return self._rights
+
+    def read_beat(self, offset, byte_enables):
+        return SlaveResponse.ok(0)
+
+    def write_beat(self, offset, byte_enables, data):
+        return SlaveResponse.ok()
+
+
+@pytest.fixture
+def memory_map():
+    mm = MemoryMap()
+    mm.add_slave(FakeSlave(0x0000, 0x1000,
+                           AccessRights.READ | AccessRights.EXECUTE), "rom")
+    mm.add_slave(FakeSlave(0x2000, 0x800), "ram")
+    mm.add_slave(FakeSlave(0x4000, 0x100, AccessRights.WRITE), "wo_reg")
+    return mm
+
+
+class TestDecode:
+    def test_hit_first_region(self, memory_map):
+        assert memory_map.decode(0x0).name == "rom"
+        assert memory_map.decode(0xFFF).name == "rom"
+
+    def test_hit_middle_region(self, memory_map):
+        assert memory_map.decode(0x2000).name == "ram"
+        assert memory_map.decode(0x27FF).name == "ram"
+
+    def test_miss_in_gap(self, memory_map):
+        with pytest.raises(DecodeError):
+            memory_map.decode(0x1800)
+
+    def test_miss_past_end(self, memory_map):
+        with pytest.raises(DecodeError):
+            memory_map.decode(0x5000)
+
+    def test_miss_one_past_region_end(self, memory_map):
+        with pytest.raises(DecodeError):
+            memory_map.decode(0x1000)
+
+    def test_regions_sorted(self, memory_map):
+        bases = [r.base for r in memory_map.regions]
+        assert bases == sorted(bases)
+
+    def test_len(self, memory_map):
+        assert len(memory_map) == 3
+
+
+class TestOverlapDetection:
+    def test_overlap_with_previous(self, memory_map):
+        with pytest.raises(MapConflictError):
+            memory_map.add_slave(FakeSlave(0x0800, 0x1000), "bad")
+
+    def test_overlap_with_next(self, memory_map):
+        with pytest.raises(MapConflictError):
+            memory_map.add_slave(FakeSlave(0x1F00, 0x200), "bad")
+
+    def test_exact_duplicate(self, memory_map):
+        with pytest.raises(MapConflictError):
+            memory_map.add_slave(FakeSlave(0x2000, 0x800), "bad")
+
+    def test_adjacent_regions_allowed(self, memory_map):
+        memory_map.add_slave(FakeSlave(0x1000, 0x1000), "fill")
+        assert memory_map.decode(0x1800).name == "fill"
+
+    def test_zero_size_rejected(self):
+        mm = MemoryMap()
+        with pytest.raises(MapConflictError):
+            mm.add_slave(FakeSlave(0x0, 0), "empty")
+
+    def test_exceeding_address_space_rejected(self):
+        mm = MemoryMap()
+        with pytest.raises(MapConflictError):
+            mm.add_slave(FakeSlave((1 << 36) - 4, 8), "hang_over")
+
+
+class TestCheckedDecode:
+    def test_rights_enforced(self, memory_map):
+        with pytest.raises(DecodeError):
+            memory_map.decode_checked(0x0, TransactionKind.DATA_WRITE, 4)
+
+    def test_execute_allowed_on_rom(self, memory_map):
+        region = memory_map.decode_checked(
+            0x0, TransactionKind.INSTRUCTION_READ, 4)
+        assert region.name == "rom"
+
+    def test_write_only_region(self, memory_map):
+        memory_map.decode_checked(0x4000, TransactionKind.DATA_WRITE, 4)
+        with pytest.raises(DecodeError):
+            memory_map.decode_checked(0x4000, TransactionKind.DATA_READ, 4)
+
+    def test_burst_crossing_window_rejected(self, memory_map):
+        with pytest.raises(DecodeError):
+            memory_map.decode_checked(0xFF8, TransactionKind.DATA_READ, 16)
+
+    def test_burst_inside_window_ok(self, memory_map):
+        region = memory_map.decode_checked(
+            0xFF0, TransactionKind.DATA_READ, 16)
+        assert region.name == "rom"
+
+
+class TestRightsQuery:
+    def test_rights_of_mapped(self, memory_map):
+        assert memory_map.rights_of(0x2000) is AccessRights.ALL
+
+    def test_rights_of_unmapped_is_none(self, memory_map):
+        assert memory_map.rights_of(0x9999_0000) is AccessRights.NONE

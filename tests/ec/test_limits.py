@@ -1,0 +1,59 @@
+"""Unit tests for the outstanding-transaction budgets (4/4/4 rule)."""
+
+import pytest
+
+from repro.ec import OutstandingBudget, TransactionKind, data_read, data_write
+
+
+class TestBudget:
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            OutstandingBudget(limit=0)
+
+    def test_admit_up_to_limit(self):
+        budget = OutstandingBudget(limit=4)
+        txns = [data_read(i * 4) for i in range(4)]
+        assert all(budget.try_acquire(t) for t in txns)
+        assert budget.in_flight(TransactionKind.DATA_READ) == 4
+
+    def test_fifth_rejected(self):
+        budget = OutstandingBudget(limit=4)
+        for i in range(4):
+            budget.try_acquire(data_read(i * 4))
+        assert not budget.try_acquire(data_read(0x100))
+        assert budget.rejected == 1
+
+    def test_reacquire_admitted_is_free(self):
+        budget = OutstandingBudget(limit=1)
+        txn = data_read(0x0)
+        assert budget.try_acquire(txn)
+        assert budget.try_acquire(txn)  # same txn re-invoked next cycle
+        assert budget.in_flight(TransactionKind.DATA_READ) == 1
+
+    def test_categories_are_independent(self):
+        budget = OutstandingBudget(limit=1)
+        assert budget.try_acquire(data_read(0x0))
+        assert budget.try_acquire(data_write(0x0, [1]))
+        assert budget.total_in_flight() == 2
+
+    def test_release_frees_slot(self):
+        budget = OutstandingBudget(limit=1)
+        first = data_read(0x0)
+        budget.try_acquire(first)
+        assert not budget.try_acquire(data_read(0x4))
+        budget.release(first)
+        assert budget.try_acquire(data_read(0x8))
+
+    def test_release_unknown_is_noop(self):
+        budget = OutstandingBudget()
+        budget.release(data_read(0x0))  # must not raise
+        assert budget.total_in_flight() == 0
+
+    def test_peak_tracking(self):
+        budget = OutstandingBudget(limit=4)
+        txns = [data_read(i * 4) for i in range(3)]
+        for txn in txns:
+            budget.try_acquire(txn)
+        for txn in txns:
+            budget.release(txn)
+        assert budget.peak[TransactionKind.DATA_READ] == 3

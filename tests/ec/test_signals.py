@@ -1,0 +1,64 @@
+"""Unit tests for the canonical EC signal set."""
+
+import pytest
+
+from repro.ec import (ADDRESS_BITS, DATA_BITS, EC_SIGNALS,
+                      SIGNALS_BY_GROUP, SIGNALS_BY_NAME, SignalGroup,
+                      hamming_distance, total_interface_bits)
+
+
+class TestSignalSet:
+    def test_signal_count(self):
+        assert len(EC_SIGNALS) == 15
+
+    def test_unique_names(self):
+        names = [spec.name for spec in EC_SIGNALS]
+        assert len(set(names)) == len(names)
+
+    def test_bus_widths(self):
+        assert SIGNALS_BY_NAME["EB_A"].width == ADDRESS_BITS == 36
+        assert SIGNALS_BY_NAME["EB_RData"].width == DATA_BITS == 32
+        assert SIGNALS_BY_NAME["EB_WData"].width == DATA_BITS
+        assert SIGNALS_BY_NAME["EB_BE"].width == 4
+
+    def test_groups_partition_the_signals(self):
+        grouped = sum(len(specs) for specs in SIGNALS_BY_GROUP.values())
+        assert grouped == len(EC_SIGNALS)
+
+    def test_read_group_contents(self):
+        names = {s.name for s in SIGNALS_BY_GROUP[SignalGroup.READ]}
+        assert names == {"EB_RData", "EB_RdVal", "EB_RBErr"}
+
+    def test_write_group_contents(self):
+        names = {s.name for s in SIGNALS_BY_GROUP[SignalGroup.WRITE]}
+        assert names == {"EB_WData", "EB_WDRdy", "EB_WBErr"}
+
+    def test_drivers(self):
+        assert SIGNALS_BY_NAME["EB_A"].driver == "master"
+        assert SIGNALS_BY_NAME["EB_ARdy"].driver == "slave"
+        assert SIGNALS_BY_NAME["EB_RData"].driver == "slave"
+        assert SIGNALS_BY_NAME["EB_WData"].driver == "master"
+
+    def test_total_interface_bits(self):
+        # 36 addr + 32+32 data + 4 BE + 11 single-bit controls
+        assert total_interface_bits() == 36 + 32 + 32 + 4 + 11
+
+    def test_mask(self):
+        assert SIGNALS_BY_NAME["EB_BE"].mask() == 0xF
+        assert SIGNALS_BY_NAME["EB_AValid"].mask() == 0x1
+
+
+class TestHammingDistance:
+    @pytest.mark.parametrize("old,new,width,expected", [
+        (0, 0, 8, 0),
+        (0, 0xFF, 8, 8),
+        (0b1010, 0b0101, 4, 4),
+        (0x100, 0x000, 4, 0),     # change outside the width is masked
+        (0, (1 << 36) - 1, 36, 36),
+    ])
+    def test_values(self, old, new, width, expected):
+        assert hamming_distance(old, new, width) == expected
+
+    def test_symmetry(self):
+        assert hamming_distance(0x12, 0x34, 8) == \
+            hamming_distance(0x34, 0x12, 8)

@@ -1,0 +1,174 @@
+"""Unit and property tests for transaction descriptors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ec import (BusState, Direction, MergePattern, ProtocolError,
+                      Transaction, TransactionKind, data_read, data_write,
+                      instruction_fetch)
+
+
+class TestConstruction:
+    def test_ids_are_unique(self):
+        a = data_read(0x0)
+        b = data_read(0x0)
+        assert a.txn_id != b.txn_id
+
+    def test_address_over_36_bits_rejected(self):
+        with pytest.raises(ProtocolError):
+            Transaction(TransactionKind.DATA_READ, 1 << 36)
+
+    def test_illegal_burst_length(self):
+        with pytest.raises(ProtocolError):
+            Transaction(TransactionKind.DATA_READ, 0x0, burst_length=3)
+
+    def test_burst_requires_word_pattern(self):
+        with pytest.raises(ProtocolError):
+            Transaction(TransactionKind.DATA_READ, 0x0, burst_length=4,
+                        pattern=MergePattern.BYTE)
+
+    def test_burst_requires_word_alignment(self):
+        with pytest.raises(ProtocolError):
+            Transaction(TransactionKind.DATA_READ, 0x2, burst_length=2)
+
+    def test_misaligned_single_rejected(self):
+        with pytest.raises(ProtocolError):
+            Transaction(TransactionKind.DATA_READ, 0x1,
+                        pattern=MergePattern.WORD)
+
+    def test_write_requires_payload(self):
+        with pytest.raises(ProtocolError):
+            Transaction(TransactionKind.DATA_WRITE, 0x0)
+
+    def test_write_payload_length_must_match_burst(self):
+        with pytest.raises(ProtocolError):
+            Transaction(TransactionKind.DATA_WRITE, 0x0, burst_length=4,
+                        data=[1, 2])
+
+    def test_write_data_over_32_bits_rejected(self):
+        with pytest.raises(ProtocolError):
+            Transaction(TransactionKind.DATA_WRITE, 0x0, data=[1 << 32])
+
+    def test_read_gets_zeroed_buffer(self):
+        txn = data_read(0x0, burst_length=4)
+        assert txn.data == [0, 0, 0, 0]
+
+
+class TestDerivedProperties:
+    def test_direction(self):
+        assert data_read(0x0).direction is Direction.READ
+        assert data_write(0x0, [1]).direction is Direction.WRITE
+
+    def test_num_bytes_single(self):
+        assert data_read(0x1, MergePattern.BYTE).num_bytes == 1
+        assert data_read(0x2, MergePattern.HALFWORD).num_bytes == 2
+        assert data_read(0x0).num_bytes == 4
+
+    def test_num_bytes_burst(self):
+        assert data_read(0x0, burst_length=4).num_bytes == 16
+
+    def test_beat_addresses_increment_by_word(self):
+        txn = data_read(0x100, burst_length=4)
+        assert [txn.beat_address(i) for i in range(4)] == [
+            0x100, 0x104, 0x108, 0x10C]
+
+    def test_beat_address_out_of_range(self):
+        with pytest.raises(IndexError):
+            data_read(0x0).beat_address(1)
+
+    def test_byte_enables_single_byte(self):
+        txn = data_read(0x3, MergePattern.BYTE)
+        assert txn.byte_enables() == 0b1000
+
+    def test_byte_enables_burst_is_full_word(self):
+        txn = data_read(0x0, burst_length=2)
+        assert txn.byte_enables(0) == 0b1111
+        assert txn.byte_enables(1) == 0b1111
+
+
+class TestProgress:
+    def test_read_beats_store_data(self):
+        txn = data_read(0x0, burst_length=2)
+        txn.complete_beat(cycle=5, value=0xAAAA)
+        assert txn.state is BusState.REQUEST  # not yet finished
+        txn.complete_beat(cycle=6, value=0xBBBB)
+        assert txn.state is BusState.OK
+        assert txn.data == [0xAAAA, 0xBBBB]
+        assert txn.data_done_cycle == 6
+
+    def test_extra_beat_rejected(self):
+        txn = data_read(0x0)
+        txn.complete_beat(cycle=1, value=1)
+        with pytest.raises(ProtocolError):
+            txn.complete_beat(cycle=2, value=2)
+
+    def test_fail_marks_error(self):
+        txn = data_read(0x0)
+        txn.fail(cycle=3)
+        assert txn.error
+        assert txn.state is BusState.ERROR
+        assert txn.finished
+
+    def test_latency(self):
+        txn = data_read(0x0)
+        txn.issue_cycle = 10
+        txn.complete_beat(cycle=13, value=0)
+        assert txn.latency_cycles == 3
+
+    def test_latency_none_before_completion(self):
+        assert data_read(0x0).latency_cycles is None
+
+    def test_clone_resets_progress(self):
+        txn = data_write(0x0, [7, 8])
+        txn.complete_beat(cycle=1)
+        copy = txn.clone()
+        assert copy.txn_id != txn.txn_id
+        assert copy.beats_done == 0
+        assert copy.data == [7, 8]
+        assert copy.state is BusState.REQUEST
+
+    def test_clone_read_has_fresh_buffer(self):
+        txn = data_read(0x0, burst_length=2)
+        txn.complete_beat(cycle=1, value=99)
+        copy = txn.clone()
+        assert copy.data == [0, 0]
+
+
+class TestConvenienceConstructors:
+    def test_instruction_fetch(self):
+        txn = instruction_fetch(0x1000, burst_length=4)
+        assert txn.kind is TransactionKind.INSTRUCTION_READ
+        assert txn.burst_length == 4
+
+    def test_data_write_single(self):
+        txn = data_write(0x4, [0xDEAD])
+        assert txn.burst_length == 1
+        assert txn.data == [0xDEAD]
+
+    def test_data_write_burst_from_sequence(self):
+        txn = data_write(0x0, [1, 2, 3, 4])
+        assert txn.burst_length == 4
+
+
+word = st.integers(min_value=0, max_value=(1 << 32) - 1)
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=(1 << 36) // 4 - 4),
+           st.sampled_from([1, 2, 4]))
+    def test_beat_addresses_stay_in_36_bits(self, word_index, burst):
+        txn = data_read(word_index * 4, burst_length=burst)
+        for beat in range(burst):
+            assert 0 <= txn.beat_address(beat) < (1 << 36)
+
+    @given(st.lists(word, min_size=1, max_size=4).filter(
+        lambda w: len(w) != 3))
+    def test_write_roundtrip_payload(self, words):
+        txn = data_write(0x0, words)
+        assert txn.data == words
+        assert txn.burst_length == len(words) if len(words) > 1 else 1
+
+    @given(st.integers(min_value=0, max_value=(1 << 36) - 1))
+    def test_byte_access_never_misaligned(self, address):
+        txn = data_read(address, MergePattern.BYTE)
+        assert bin(txn.byte_enables()).count("1") == 1

@@ -1,0 +1,27 @@
+"""Every example script must run to completion.
+
+The examples are the library's front door; they self-verify with
+asserts, so executing them is a meaningful end-to-end regression.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_found():
+    assert len(EXAMPLES) >= 6
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    # crypto/exploration examples accept default sizes; trim nothing —
+    # they are all seconds-scale
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script} produced no output"

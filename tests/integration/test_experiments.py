@@ -1,0 +1,152 @@
+"""Integration tests: the reproduced tables and figures must show the
+paper's qualitative shape (§4 of the paper; see EXPERIMENTS.md)."""
+
+import pytest
+
+from repro.experiments import (run_casestudy, run_figure6, run_table1,
+                               run_table2, run_table3)
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_table1()
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return run_table2()
+
+
+@pytest.fixture(scope="module")
+def figure6():
+    return run_figure6()
+
+
+@pytest.fixture(scope="module")
+def casestudy():
+    return run_casestudy()
+
+
+class TestTable1Shape:
+    """Paper: gate level 100% | layer one 0% | layer two +0.5%."""
+
+    def test_layer1_is_cycle_exact(self, table1):
+        assert table1.row("Layer one model").error_percent == 0.0
+
+    def test_layer2_error_small_positive(self, table1):
+        error = table1.row("Layer two model").error_percent
+        assert 0.0 < error < 2.0
+
+    def test_reference_is_gate_level(self, table1):
+        assert table1.row("Gate-level model").error_percent is None
+        assert table1.row("Gate-level model").cycles_relative == 100.0
+
+
+class TestTable2Shape:
+    """Paper: layer 1 under-estimates (-7.8%), layer 2 over (+14.7%)."""
+
+    def test_layer1_underestimates_single_digits(self, table2):
+        error = table2.row("TL layer 1 estimation").error_percent
+        assert -12.0 < error < -2.0
+
+    def test_layer2_overestimates_double_digits(self, table2):
+        error = table2.row("TL layer 2 estimation").error_percent
+        assert 5.0 < error < 25.0
+
+    def test_ordering_l1_below_reference_below_l2(self, table2):
+        gate = table2.row("Gate-level estimation").energy_pj
+        layer1 = table2.row("TL layer 1 estimation").energy_pj
+        layer2 = table2.row("TL layer 2 estimation").energy_pj
+        assert layer1 < gate < layer2
+
+
+class TestTable3Shape:
+    """Paper: layer 2 ~1.5x layer 1; estimation costs simulation speed;
+    gate level far slower than both."""
+
+    @pytest.fixture(scope="class")
+    def table3(self):
+        return run_table3(transactions=2_000, include_gate_level=True,
+                          gate_level_transactions=150)
+
+    def test_layer2_faster_than_layer1(self, table3):
+        # wall-clock based: allow generous noise margin around the
+        # paper's 1.52x
+        assert table3.row("TL Layer 2").with_estimation_factor > 1.1
+
+    def test_estimation_costs_speed_on_layer1(self, table3):
+        row = table3.row("TL Layer 1")
+        assert row.without_estimation_kts > row.with_estimation_kts
+
+    def test_layer2_without_estimation_is_fastest(self, table3):
+        rows = table3.rows
+        fastest = max(r.without_estimation_kts for r in rows)
+        assert fastest == table3.row("TL Layer 2").without_estimation_kts
+
+    def test_gate_level_is_slowest(self, table3):
+        slowest_tlm = min(r.with_estimation_kts for r in table3.rows)
+        assert table3.gate_level_kts < slowest_tlm / 2
+
+
+class TestFigure6Shape:
+    """Paper: the layer-2 samples are phase-quantised, layer 1's are
+    cycle-exact; a data phase in flight lands in the next sample."""
+
+    def test_three_requests_completed(self, figure6):
+        assert len(figure6.phases) == 3
+
+    def test_phases_pipeline(self, figure6):
+        # request 3's address phase finishes before request 1's data
+        assert (figure6.phases[2].address_done_cycle
+                < figure6.phases[0].data_done_cycle)
+
+    def test_sampling_disagrees_per_window(self, figure6):
+        # the per-window split differs between the models even though
+        # both eventually book all phases
+        differences = [abs(a - b) for a, b in
+                       zip(figure6.layer2_samples_pj,
+                           figure6.layer1_window_pj)]
+        assert max(differences) > 0.5
+
+    def test_layer2_samples_nonnegative(self, figure6):
+        assert all(sample >= 0 for sample in figure6.layer2_samples_pj)
+
+
+class TestCaseStudyShape:
+    """Paper (section 4.3): exploration finds the best HW/SW interface."""
+
+    def test_all_configurations_functionally_correct(self, casestudy):
+        assert all(row.results_correct
+                   for row in casestudy.exploration.rows)
+
+    def test_command_layout_costs_most_cycles(self, casestudy):
+        rows = casestudy.exploration.rows
+        command = [r for r in rows if r.config.layout.value == "command"]
+        others = [r for r in rows if r.config.layout.value != "command"]
+        assert min(r.bus_cycles for r in command) > \
+            max(r.bus_cycles for r in others)
+
+    def test_packed_layout_minimises_transactions(self, casestudy):
+        rows = casestudy.exploration.rows
+        packed = [r for r in rows if r.config.layout.value == "packed"]
+        dedicated = [r for r in rows
+                     if r.config.layout.value == "dedicated"]
+        assert min(r.bus_transactions for r in packed) < \
+            min(r.bus_transactions for r in dedicated)
+
+    def test_address_map_changes_energy_not_cycles(self, casestudy):
+        exploration = casestudy.exploration
+        near = exploration.row("dedicated/near/word")
+        far = exploration.row("dedicated/far/word")
+        assert near.bus_cycles == far.bus_cycles
+        assert near.bus_energy_pj != far.bus_energy_pj
+
+    def test_near_address_map_saves_energy(self, casestudy):
+        exploration = casestudy.exploration
+        near = exploration.row("packed/near/word")
+        far = exploration.row("packed/far/word")
+        assert near.bus_energy_pj < far.bus_energy_pj
+
+    def test_best_config_reported(self, casestudy):
+        best = casestudy.exploration.best_by_energy()
+        assert best.results_correct

@@ -1,0 +1,139 @@
+"""Integration tests of the Figure-1 platform: CPU + bus + memories +
+peripherals working together, across bus layers."""
+
+import pytest
+
+from repro.ec import AccessRights
+from repro.power import Layer1PowerModel, default_table
+from repro.soc import (EEPROM_BASE, FLASH_BASE, INTC_BASE, RAM_BASE,
+                       RNG_BASE, ROM_BASE, SmartCardPlatform, TIMER_BASE,
+                       UART_BASE)
+from repro.soc.rng import HARVEST_CYCLES
+
+
+class TestMemoryMapStructure:
+    """Figure 1: the platform carries every documented component."""
+
+    def test_all_regions_present(self):
+        platform = SmartCardPlatform()
+        names = {region.name for region in platform.memory_map.regions}
+        assert names == {"rom", "flash", "eeprom", "ram", "uart",
+                         "timers", "trng", "intc"}
+
+    def test_figure1_memory_sizes(self):
+        platform = SmartCardPlatform()
+        assert platform.rom.size == 256 * 1024
+        assert platform.flash.size == 64 * 1024
+        assert platform.eeprom.size == 32 * 1024
+
+    def test_rom_not_writable(self):
+        platform = SmartCardPlatform()
+        assert not platform.rom.access_rights & AccessRights.WRITE
+
+    def test_bases_decode_to_their_slaves(self):
+        platform = SmartCardPlatform()
+        expectations = {
+            ROM_BASE: "rom", FLASH_BASE: "flash", EEPROM_BASE: "eeprom",
+            RAM_BASE: "ram", UART_BASE: "uart", TIMER_BASE: "timers",
+            RNG_BASE: "trng", INTC_BASE: "intc",
+        }
+        for base, name in expectations.items():
+            assert platform.memory_map.decode(base).name == name
+
+
+class TestTimersOverTime:
+    def test_timer_overflow_raises_interrupt(self):
+        platform = SmartCardPlatform()
+        platform.intc.registers[1] = 0b1  # enable line 0 (timer 0)
+        platform.timers.configure(0, reload=10, irq=True)
+        platform.run_cycles(30)
+        assert platform.timers.overflows[0] >= 1
+        assert platform.intc.active()
+
+    def test_two_timers_at_different_rates(self):
+        platform = SmartCardPlatform()
+        platform.timers.configure(0, reload=5)
+        platform.timers.configure(1, reload=20)
+        platform.run_cycles(100)
+        assert platform.timers.overflows[0] > platform.timers.overflows[1]
+
+
+class TestRngOverTime:
+    def test_rng_harvests_with_platform_clock(self):
+        platform = SmartCardPlatform()
+        platform.run_cycles(HARVEST_CYCLES + 2)
+        assert platform.rng.ready
+
+
+class TestCpuDrivenPeripherals:
+    def test_program_polls_rng_via_bus(self):
+        platform = SmartCardPlatform(with_cpu=True)
+        platform.load_assembly(f"""
+            lui   $s0, {RNG_BASE >> 16:#x}
+            ori   $s0, $s0, {RNG_BASE & 0xFFFF:#x}
+            lui   $s1, {RAM_BASE >> 16:#x}
+        wait:   lw   $t0, 4($s0)       # STATUS
+            andi  $t0, $t0, 1
+            beq   $t0, $zero, wait
+            lw    $t1, 0($s0)          # DATA
+            sw    $t1, 0($s1)
+            halt
+        """)
+        platform.cpu.run_to_halt(20_000)
+        assert platform.cpu.fault is None
+        assert platform.ram.peek(0) != 0
+        assert platform.rng.words_delivered == 1
+
+    def test_program_reads_timer_count(self):
+        platform = SmartCardPlatform(with_cpu=True)
+        platform.timers.configure(0, reload=0xFFFF)
+        platform.load_assembly(f"""
+            lui   $s0, {TIMER_BASE >> 16:#x}
+            ori   $s0, $s0, {TIMER_BASE & 0xFFFF:#x}
+            addiu $t2, $zero, 50
+        spin:   addiu $t2, $t2, -1
+            bne   $t2, $zero, spin
+            lw    $t0, 0($s0)          # COUNT of timer 0
+            lui   $s1, {RAM_BASE >> 16:#x}
+            sw    $t0, 0($s1)
+            halt
+        """)
+        platform.cpu.run_to_halt(20_000)
+        count = platform.ram.peek(0)
+        assert 0 < count < 0xFFFF  # counted down but not expired
+
+
+class TestPlatformEnergy:
+    def test_peripheral_energy_accumulates(self):
+        platform = SmartCardPlatform()
+        platform.uart.registers[2] = 1  # enable
+        platform.timers.configure(0, reload=4)
+        platform.run_cycles(50)
+        assert platform.peripheral_energy_pj > 0
+
+    def test_bus_energy_with_power_model(self):
+        model = Layer1PowerModel(default_table())
+        platform = SmartCardPlatform(bus_layer=1, power_model=model,
+                                     with_cpu=True)
+        platform.load_assembly("""
+            addiu $t0, $zero, 5
+            halt
+        """)
+        platform.cpu.run_to_halt(10_000)
+        assert model.total_energy_pj > 0
+
+
+class TestLayerChoice:
+    @pytest.mark.parametrize("layer", [1, 2, "l1", "l2"])
+    def test_layer_selector(self, layer):
+        platform = SmartCardPlatform(bus_layer=layer)
+        assert platform.bus is not None
+
+    def test_custom_bus_factory(self):
+        from repro.rtl import RtlBus
+
+        def factory(simulator, clock, memory_map, power_model=None):
+            return RtlBus(simulator, clock, memory_map)
+
+        platform = SmartCardPlatform(bus_factory=factory)
+        assert isinstance(platform.bus, RtlBus)

@@ -1,0 +1,181 @@
+"""Property-based cross-model tests.
+
+Hypothesis generates random transaction scripts; the three bus models
+must agree on everything observable:
+
+* every transaction completes with the same status,
+* read data and final memory state are identical,
+* layer 1 and the RTL bus agree cycle-for-cycle (with static wait
+  states), layer 2 agrees whenever wait states are static,
+* conservation: nothing is lost, duplicated or left in flight.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ec import (AccessRights, BusState, MemoryMap, MergePattern,
+                      WaitStates, data_read, data_write, instruction_fetch)
+from repro.kernel import Clock, Simulator
+from repro.rtl import RtlBus
+from repro.tlm import (BlockingMaster, EcBusLayer1, EcBusLayer2,
+                       MemorySlave, PipelinedMaster, run_script)
+
+FAST_BASE = 0x0000_1000
+SLOW_BASE = 0x0000_4000
+WINDOW = 0x400
+
+
+def build_platform(bus_class):
+    simulator = Simulator("prop")
+    clock = Clock(simulator, "clk", period=100)
+    memory_map = MemoryMap()
+    fast = MemorySlave(FAST_BASE, WINDOW, WaitStates(), name="fast")
+    slow = MemorySlave(SLOW_BASE, WINDOW,
+                       WaitStates(address=1, read=2, write=1),
+                       name="slow")
+    memory_map.add_slave(fast, "fast")
+    memory_map.add_slave(slow, "slow")
+    bus = bus_class(simulator, clock, memory_map)
+    return simulator, clock, bus, fast, slow
+
+
+# -- script strategy ---------------------------------------------------------
+
+@st.composite
+def transactions(draw):
+    base = draw(st.sampled_from([FAST_BASE, SLOW_BASE]))
+    kind = draw(st.sampled_from(["read", "write", "ifetch", "burst_read",
+                                 "burst_write", "sub_word"]))
+    # reads draw from the upper half of each window, writes from the
+    # lower half: a read racing an in-flight write to the same address
+    # is *specified* to differ between the layers (layer 2 delivers
+    # read data at the end of the data phase), so the equivalence
+    # property deliberately excludes such races; write-then-read data
+    # flow is covered by the deterministic suites
+    half_slots = WINDOW // 8 // 4
+    word_slot = draw(st.integers(0, half_slots - 4))
+    if kind in ("write", "burst_write"):
+        address = base + 4 * word_slot
+    elif kind == "sub_word":
+        address = base + 4 * word_slot  # direction drawn below
+    else:
+        address = base + WINDOW // 2 + 4 * word_slot
+    if kind == "read":
+        return data_read(address)
+    if kind == "write":
+        return data_write(address, [draw(st.integers(0, 0xFFFFFFFF))])
+    if kind == "ifetch":
+        return instruction_fetch(address, burst_length=4)
+    if kind == "burst_read":
+        return data_read(address, burst_length=draw(
+            st.sampled_from([2, 4])))
+    if kind == "burst_write":
+        length = draw(st.sampled_from([2, 4]))
+        return data_write(address, [draw(st.integers(0, 0xFFFFFFFF))
+                                    for _ in range(length)])
+    pattern = draw(st.sampled_from([MergePattern.BYTE,
+                                    MergePattern.HALFWORD]))
+    sub_address = address + pattern.num_bytes * draw(
+        st.integers(0, 4 // pattern.num_bytes - 1))
+    if draw(st.booleans()):
+        return data_read(sub_address + WINDOW // 2, pattern)
+    lane = sub_address % 4
+    value = (draw(st.integers(0, (1 << pattern.value) - 1))
+             << (8 * lane)) & 0xFFFFFFFF
+    return data_write(sub_address, [value], pattern)
+
+
+@st.composite
+def scripts(draw):
+    items = []
+    for _ in range(draw(st.integers(1, 12))):
+        txn = draw(transactions())
+        gap = draw(st.sampled_from([0, 0, 0, 1, 3]))
+        items.append((gap, txn) if gap else txn)
+    return items
+
+
+def script_signature(script):
+    """Hashable description used to re-create identical scripts."""
+    result = []
+    for item in script:
+        gap, txn = item if isinstance(item, tuple) else (0, item)
+        result.append((gap, txn.kind, txn.address, txn.burst_length,
+                       txn.pattern, tuple(txn.data)))
+    return result
+
+
+def rebuild(signature):
+    from repro.ec import Transaction
+    script = []
+    for gap, kind, address, burst, pattern, data in signature:
+        txn = Transaction(kind, address, burst, pattern,
+                          list(data) if data else None)
+        if txn.kind.direction.value == "read":
+            txn.data = [0] * burst
+        script.append((gap, txn))
+    return script
+
+
+def run_on(bus_class, signature, pipelined):
+    simulator, clock, bus, fast, slow = build_platform(bus_class)
+    master_class = PipelinedMaster if pipelined else BlockingMaster
+    master = master_class(simulator, clock, bus, rebuild(signature))
+    run_script(simulator, master, 100_000, clock)
+    observable = [
+        (index, t.state, tuple(t.data))
+        for index, t in enumerate(
+            sorted(master.completed, key=lambda t: t.txn_id))
+    ]
+    memory = ([fast.peek(4 * i) for i in range(WINDOW // 4)]
+              + [slow.peek(4 * i) for i in range(WINDOW // 4)])
+    timing = sorted((t.issue_cycle, t.address_done_cycle,
+                     t.data_done_cycle)
+                    for t in master.completed)
+    return observable, memory, timing, bus
+
+
+COMMON_SETTINGS = settings(
+    max_examples=40, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestCrossModelEquivalence:
+    @COMMON_SETTINGS
+    @given(script=scripts(), pipelined=st.booleans())
+    def test_layer1_and_rtl_agree_exactly(self, script, pipelined):
+        signature = script_signature(script)
+        obs1, mem1, timing1, _ = run_on(EcBusLayer1, signature, pipelined)
+        obs0, mem0, timing0, _ = run_on(RtlBus, signature, pipelined)
+        assert obs1 == obs0
+        assert mem1 == mem0
+        assert timing1 == timing0
+
+    @COMMON_SETTINGS
+    @given(script=scripts(), pipelined=st.booleans())
+    def test_layer2_functionally_equivalent(self, script, pipelined):
+        signature = script_signature(script)
+        obs1, mem1, timing1, _ = run_on(EcBusLayer1, signature, pipelined)
+        obs2, mem2, timing2, _ = run_on(EcBusLayer2, signature, pipelined)
+        assert obs2 == obs1
+        assert mem2 == mem1
+        # static wait states: layer 2's counters are exact
+        assert timing2 == timing1
+
+    @COMMON_SETTINGS
+    @given(script=scripts())
+    def test_conservation_invariants(self, script):
+        signature = script_signature(script)
+        for bus_class in (EcBusLayer1, EcBusLayer2, RtlBus):
+            _, _, _, bus = run_on(bus_class, signature, True)
+            assert not bus.busy
+            assert bus.budget.total_in_flight() == 0
+            assert bus.transactions_completed == len(signature)
+
+    @COMMON_SETTINGS
+    @given(script=scripts())
+    def test_blocking_vs_pipelined_same_final_memory(self, script):
+        signature = script_signature(script)
+        _, mem_blocking, _, _ = run_on(EcBusLayer1, signature, False)
+        _, mem_pipelined, _, _ = run_on(EcBusLayer1, signature, True)
+        assert mem_blocking == mem_pipelined

@@ -1,0 +1,68 @@
+"""Unit tests for the Java Card bytecode assembler and value model."""
+
+import pytest
+
+from repro.javacard import (BytecodeError, assemble_method, package,
+                            to_short)
+
+
+class TestToShort:
+    @pytest.mark.parametrize("value,expected", [
+        (0, 0), (1, 1), (0x7FFF, 0x7FFF), (0x8000, -0x8000),
+        (0xFFFF, -1), (0x10000, 0), (-1, -1), (-0x8000, -0x8000),
+        (0x12348765, to_short(0x8765)),
+    ])
+    def test_wrapping(self, value, expected):
+        assert to_short(value) == expected
+
+    def test_addition_overflow_wraps(self):
+        assert to_short(0x7FFF + 1) == -0x8000
+
+
+class TestAssembler:
+    def test_plain_mnemonic(self):
+        method = assemble_method("m", ["sadd", "sreturn"])
+        assert [i.mnemonic for i in method.instructions] == [
+            "sadd", "sreturn"]
+
+    def test_operands(self):
+        method = assemble_method("m", [("sconst", 5), ("sstore", 2)])
+        assert method.instructions[0].operands == (5,)
+
+    def test_labels_resolve(self):
+        method = assemble_method("m", [
+            ("label", "start"), "dup", ("goto", "start")])
+        assert method.labels["start"] == 0
+
+    def test_label_between_instructions(self):
+        method = assemble_method("m", [
+            ("sconst", 1), ("label", "mid"), "pop", ("goto", "mid")])
+        assert method.labels["mid"] == 1
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(BytecodeError):
+            assemble_method("m", ["frobnicate"])
+
+    def test_wrong_operand_count_rejected(self):
+        with pytest.raises(BytecodeError):
+            assemble_method("m", [("sconst",)])
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(BytecodeError):
+            assemble_method("m", [("goto", "nowhere")])
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(BytecodeError):
+            assemble_method("m", [("label", "a"), ("label", "a")])
+
+
+class TestPackage:
+    def test_method_lookup(self):
+        method = assemble_method("f/1", ["sreturn"])
+        pkg = package(method)
+        assert pkg.method("f/1") is method
+
+    def test_missing_method(self):
+        pkg = package(assemble_method("f", ["return"]))
+        with pytest.raises(BytecodeError):
+            pkg.method("g")

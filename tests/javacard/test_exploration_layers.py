@@ -1,0 +1,67 @@
+"""Exploration fidelity per model layer.
+
+Layer 2 explores faster but its per-phase energy model charges a
+characterised *average* per address phase — it structurally cannot see
+the address-map dimension layer 1 resolves.  These tests pin down that
+trade-off, which is the practical content of the paper's hierarchy:
+pick the cheapest layer that still resolves the question asked.
+"""
+
+import pytest
+
+from repro.experiments.common import characterization
+from repro.javacard import SfrLayout, run_exploration
+
+
+@pytest.fixture(scope="module")
+def explorations():
+    table = characterization().table
+    return {layer: run_exploration(table, bus_layer=layer)
+            for layer in (1, 2)}
+
+
+class TestLayerAgreement:
+    def test_both_layers_functionally_correct(self, explorations):
+        for exploration in explorations.values():
+            assert all(row.results_correct for row in exploration.rows)
+
+    def test_cycle_counts_identical(self, explorations):
+        """Static wait states: layer 2's timing is exact here."""
+        for row1, row2 in zip(explorations[1].rows,
+                              explorations[2].rows):
+            assert row1.bus_cycles == row2.bus_cycles
+
+    def test_register_organisation_ranking_preserved(self, explorations):
+        """The dominant (layout) dimension ranks the same at layer 2."""
+        def layout_order(exploration):
+            by_layout = {}
+            for row in exploration.rows:
+                layout = row.config.layout
+                by_layout.setdefault(layout, []).append(
+                    row.bus_energy_pj)
+            means = {layout: sum(values) / len(values)
+                     for layout, values in by_layout.items()}
+            return sorted(means, key=means.get)
+
+        assert layout_order(explorations[1]) == \
+            layout_order(explorations[2])
+
+    def test_layer2_cannot_resolve_the_address_map(self, explorations):
+        """Layer 1 separates near/far placements; layer 2 charges the
+        characterised average regardless of the addresses."""
+        def near_far_gap(exploration, name):
+            near = exploration.row(f"{name}/near/word").bus_energy_pj
+            far = exploration.row(f"{name}/far/word").bus_energy_pj
+            return abs(far - near)
+
+        for layout in ("dedicated", "packed", "command"):
+            gap1 = near_far_gap(explorations[1], layout)
+            gap2 = near_far_gap(explorations[2], layout)
+            assert gap1 > 1.0, layout          # layer 1 sees it
+            assert gap2 == pytest.approx(0.0)  # layer 2 is blind to it
+
+    def test_best_configuration_layout_agrees(self, explorations):
+        best1 = explorations[1].best_by_energy().config.layout
+        best2 = explorations[2].best_by_energy().config.layout
+        assert best1 is SfrLayout.PACKED
+        assert best2 is SfrLayout.PACKED

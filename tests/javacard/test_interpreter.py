@@ -1,0 +1,208 @@
+"""Tests of the bytecode interpreter against the functional stack,
+including property tests comparing interpreter arithmetic against
+Python reference semantics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.javacard import (BytecodeInterpreter, FunctionalStack,
+                            InterpreterError, StackError, assemble_method,
+                            benchmark_package, package, to_short)
+from repro.javacard.workloads import BENCHMARKS
+
+
+def run_method(statements, arguments=(), methods=(), num_statics=16):
+    main = assemble_method(f"main/{len(arguments)}", statements)
+    pkg = package(main, *methods, num_statics=num_statics)
+    interpreter = BytecodeInterpreter(pkg, FunctionalStack())
+    return interpreter.run(main.name, arguments), interpreter
+
+
+class TestBasics:
+    def test_constant_return(self):
+        result, _ = run_method([("sconst", 42), "sreturn"])
+        assert result == 42
+
+    def test_locals_roundtrip(self):
+        result, _ = run_method([
+            ("sconst", 7), ("sstore", 3), ("sload", 3), "sreturn"])
+        assert result == 7
+
+    def test_arguments_arrive_in_locals(self):
+        result, _ = run_method([("sload", 0), ("sload", 1), "sadd",
+                                "sreturn"], arguments=(30, 12))
+        assert result == 42
+
+    def test_sinc(self):
+        result, _ = run_method([
+            ("sconst", 10), ("sstore", 0), ("sinc", 0, -3),
+            ("sload", 0), "sreturn"])
+        assert result == 7
+
+    def test_dup_pop_swap(self):
+        result, _ = run_method([
+            ("sconst", 1), ("sconst", 2), "swap",   # stack: 2 1
+            "dup", "pop",                           # unchanged
+            "ssub", "sreturn"])                     # 2 - 1
+        assert result == 1
+
+    def test_statics(self):
+        result, _ = run_method([
+            ("sconst", 99), ("putstatic", 4),
+            ("getstatic", 4), "sreturn"])
+        assert result == 99
+
+    def test_void_return(self):
+        result, _ = run_method([("sconst", 5), ("putstatic", 0),
+                                "return"])
+        assert result is None
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("mnemonic,a,b,expected", [
+        ("sadd", 3, 4, 7), ("ssub", 10, 4, 6), ("smul", 6, 7, 42),
+        ("sdiv", 13, 4, 3), ("sdiv", -13, 4, -3), ("srem", 13, 4, 1),
+        ("sand", 0b1100, 0b1010, 0b1000), ("sor", 0b1100, 0b1010, 0b1110),
+        ("sxor", 0b1100, 0b1010, 0b0110),
+        ("sshl", 1, 4, 16), ("sshr", -16, 2, -4),
+    ])
+    def test_binary_ops(self, mnemonic, a, b, expected):
+        result, _ = run_method([
+            ("sconst", a), ("sconst", b), mnemonic, "sreturn"])
+        assert result == expected
+
+    def test_sneg(self):
+        result, _ = run_method([("sconst", 5), "sneg", "sreturn"])
+        assert result == -5
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(InterpreterError):
+            run_method([("sconst", 1), ("sconst", 0), "sdiv", "sreturn"])
+
+    def test_overflow_wraps_to_short(self):
+        result, _ = run_method([
+            ("sconst", 0x7FFF), ("sconst", 1), "sadd", "sreturn"])
+        assert result == -0x8000
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(-0x8000, 0x7FFF), st.integers(-0x8000, 0x7FFF),
+           st.sampled_from(["sadd", "ssub", "smul", "sand", "sor", "sxor"]))
+    def test_binary_property(self, a, b, mnemonic):
+        reference = {
+            "sadd": a + b, "ssub": a - b, "smul": a * b,
+            "sand": a & b, "sor": a | b, "sxor": a ^ b,
+        }[mnemonic]
+        result, _ = run_method([
+            ("sconst", a), ("sconst", b), mnemonic, "sreturn"])
+        assert result == to_short(reference)
+
+
+class TestControlFlow:
+    def test_conditional_branches(self):
+        result, _ = run_method([
+            ("sload", 0), ("ifeq", "zero"),
+            ("sconst", 1), "sreturn",
+            ("label", "zero"), ("sconst", 0), "sreturn"],
+            arguments=(0,))
+        assert result == 0
+
+    def test_compare_branch(self):
+        result, _ = run_method([
+            ("sload", 0), ("sload", 1), ("if_scmplt", "less"),
+            ("sload", 0), "sreturn",
+            ("label", "less"), ("sload", 1), "sreturn"],
+            arguments=(3, 9))
+        # 3 < 9 -> branch taken -> returns local 1 (=9)
+        assert result == 9
+
+    def test_loop_terminates(self):
+        result, interpreter = run_method([
+            ("sconst", 0), ("sstore", 1),
+            ("label", "loop"),
+            ("sinc", 1, 1),
+            ("sload", 1), ("sconst", 100), ("if_scmplt", "loop"),
+            ("sload", 1), "sreturn"])
+        assert result == 100
+
+    def test_step_budget_stops_infinite_loop(self):
+        main = assemble_method("main/0", [
+            ("label", "forever"), ("goto", "forever")])
+        interpreter = BytecodeInterpreter(package(main),
+                                          FunctionalStack(),
+                                          max_steps=1_000)
+        with pytest.raises(InterpreterError):
+            interpreter.run("main/0")
+
+    def test_fall_off_end_raises(self):
+        with pytest.raises(InterpreterError):
+            run_method([("sconst", 1), "pop"])
+
+
+class TestMethodCalls:
+    def test_invokestatic_with_arguments(self):
+        double = assemble_method("double/1", [
+            ("sload", 0), ("sconst", 2), "smul", "sreturn"])
+        result, _ = run_method([
+            ("sconst", 21), ("invokestatic", "double/1"), "sreturn"],
+            methods=[double])
+        assert result == 42
+
+    def test_nested_calls(self):
+        inner = assemble_method("inner/1", [
+            ("sload", 0), ("sconst", 1), "sadd", "sreturn"])
+        outer = assemble_method("outer/1", [
+            ("sload", 0), ("invokestatic", "inner/1"),
+            ("invokestatic", "inner/1"), "sreturn"])
+        result, _ = run_method([
+            ("sconst", 0), ("invokestatic", "outer/1"), "sreturn"],
+            methods=[inner, outer])
+        assert result == 2
+
+    def test_recursion_depth_limited(self):
+        loop = assemble_method("loop/0", [
+            ("invokestatic", "loop/0"), "sreturn"])
+        interpreter = BytecodeInterpreter(package(loop),
+                                          FunctionalStack())
+        with pytest.raises(InterpreterError):
+            interpreter.run("loop/0")
+
+
+class TestFunctionalStack:
+    def test_underflow(self):
+        with pytest.raises(StackError):
+            FunctionalStack().pop()
+
+    def test_overflow(self):
+        stack = FunctionalStack(capacity=2)
+        stack.push(1)
+        stack.push(2)
+        with pytest.raises(StackError):
+            stack.push(3)
+
+    def test_max_depth_tracked(self):
+        stack = FunctionalStack()
+        for value in range(5):
+            stack.push(value)
+        stack.pop()
+        assert stack.max_depth == 5
+
+    def test_values_wrapped_to_short(self):
+        stack = FunctionalStack()
+        stack.push(0xFFFF)
+        assert stack.pop() == -1
+
+
+class TestBenchmarks:
+    @pytest.mark.parametrize("name,args,reference",
+                             BENCHMARKS,
+                             ids=[b[0] for b in BENCHMARKS])
+    def test_benchmark_matches_reference(self, name, args, reference):
+        interpreter = BytecodeInterpreter(benchmark_package(),
+                                          FunctionalStack())
+        assert interpreter.run(name, args) == reference(*args)
+
+    def test_bytecode_counts_accumulate(self):
+        interpreter = BytecodeInterpreter(benchmark_package(),
+                                          FunctionalStack())
+        interpreter.run("fibonacci/1", (5,))
+        assert interpreter.bytecode_counts["sadd"] >= 5

@@ -1,0 +1,156 @@
+"""Tests of the Figure-7 communication refinement: hardware stack
+slave, master adapter, and functional-vs-refined equivalence."""
+
+import pytest
+
+from repro.ec import MemoryMap, MergePattern
+from repro.javacard import (BytecodeInterpreter, FunctionalStack,
+                            HardwareStack, SfrLayout, StackError,
+                            StackMasterAdapter, StaticsBusPort,
+                            benchmark_package)
+from repro.javacard.stack import (CMD_POP, CMD_PUSH, REG_COMMAND, REG_DATA,
+                                  REG_POP, REG_PUSH, REG_STATUS,
+                                  STATUS_EMPTY, STATUS_ERROR)
+from repro.javacard.workloads import BENCHMARKS
+from repro.kernel import Clock, Simulator
+from repro.power import Layer1PowerModel, default_table
+from repro.soc.memory import ScratchpadRam
+from repro.tlm import EcBusLayer1
+
+STACK_BASE = 0x0005_0000
+RAM_BASE = 0x0001_0000
+
+
+def build_refined(layout=SfrLayout.DEDICATED,
+                  pattern=MergePattern.HALFWORD, power=False):
+    simulator = Simulator("refined")
+    clock = Clock(simulator, "clk", period=100)
+    memory_map = MemoryMap()
+    memory_map.add_slave(ScratchpadRam(RAM_BASE), "ram")
+    hw_stack = HardwareStack(STACK_BASE, layout=layout)
+    memory_map.add_slave(hw_stack, "hw_stack")
+    model = Layer1PowerModel(default_table()) if power else None
+    bus = EcBusLayer1(simulator, clock, memory_map, power_model=model)
+    adapter = StackMasterAdapter(simulator, clock, bus, STACK_BASE,
+                                 layout=layout, access_pattern=pattern)
+    return simulator, bus, hw_stack, adapter, model
+
+
+class TestHardwareStackSlave:
+    def test_dedicated_push_pop_via_registers(self):
+        hw = HardwareStack(0x0, layout=SfrLayout.DEDICATED)
+        hw.do_write(REG_PUSH * 4, 0b1111, 123)
+        assert hw.stack.depth() == 1
+        assert hw.do_read(REG_POP * 4, 0b1111).data == 123
+
+    def test_command_layout_protocol(self):
+        hw = HardwareStack(0x0, layout=SfrLayout.COMMAND)
+        hw.do_write(REG_DATA * 4, 0b1111, 77)
+        hw.do_write(REG_COMMAND * 4, 0b1111, CMD_PUSH)
+        hw.do_write(REG_COMMAND * 4, 0b1111, CMD_POP)
+        assert hw.do_read(REG_DATA * 4, 0b1111).data == 77
+
+    def test_command_layout_rejects_dedicated_registers(self):
+        hw = HardwareStack(0x0, layout=SfrLayout.COMMAND)
+        hw.do_write(REG_PUSH * 4, 0b1111, 1)
+        assert hw.error_flag
+
+    def test_status_register(self):
+        hw = HardwareStack(0x0)
+        status = hw.do_read(REG_STATUS * 4, 0b1111).data
+        assert status & STATUS_EMPTY
+        hw.do_write(REG_PUSH * 4, 0b1111, 1)
+        status = hw.do_read(REG_STATUS * 4, 0b1111).data
+        assert not status & STATUS_EMPTY
+
+    def test_underflow_sets_error(self):
+        hw = HardwareStack(0x0)
+        hw.do_read(REG_POP * 4, 0b1111)
+        status = hw.do_read(REG_STATUS * 4, 0b1111).data
+        assert status & STATUS_ERROR
+
+    def test_negative_values_roundtrip(self):
+        hw = HardwareStack(0x0)
+        hw.do_write(REG_PUSH * 4, 0b1111, (-5) & 0xFFFF)
+        assert hw.do_read(REG_POP * 4, 0b1111).data == 0xFFFB
+
+
+class TestMasterAdapter:
+    @pytest.mark.parametrize("layout", list(SfrLayout))
+    def test_push_pop_roundtrip(self, layout):
+        _, _, _, adapter, _ = build_refined(layout)
+        adapter.push(1234)
+        adapter.push(-7)
+        assert adapter.pop() == -7
+        assert adapter.pop() == 1234
+
+    def test_top_does_not_pop(self):
+        _, _, _, adapter, _ = build_refined()
+        adapter.push(5)
+        assert adapter.top() == 5
+        assert adapter.depth() == 1
+
+    def test_pop2_on_packed_layout_is_one_transaction(self):
+        _, _, _, adapter, _ = build_refined(SfrLayout.PACKED)
+        adapter.push(10)
+        adapter.push(20)
+        before = adapter.bus_transactions
+        top, below = adapter.pop2()
+        assert (top, below) == (20, 10)
+        assert adapter.bus_transactions - before == 1
+
+    def test_pop2_on_dedicated_layout_is_two_transactions(self):
+        _, _, _, adapter, _ = build_refined(SfrLayout.DEDICATED)
+        adapter.push(10)
+        adapter.push(20)
+        before = adapter.bus_transactions
+        adapter.pop2()
+        assert adapter.bus_transactions - before == 2
+
+    def test_command_layout_doubles_transactions(self):
+        _, _, _, dedicated, _ = build_refined(SfrLayout.DEDICATED)
+        _, _, _, command, _ = build_refined(SfrLayout.COMMAND)
+        dedicated.push(1)
+        command.push(1)
+        assert command.bus_transactions == 2 * dedicated.bus_transactions
+
+    def test_underflow_detected_by_shadow(self):
+        _, _, _, adapter, _ = build_refined()
+        with pytest.raises(StackError):
+            adapter.pop()
+
+
+class TestStaticsPort:
+    def test_roundtrip_through_ram(self):
+        simulator, bus, _, adapter, _ = build_refined()
+        port = StaticsBusPort(adapter, RAM_BASE, num_statics=8)
+        port.write(3, -42)
+        assert port.read(3) == -42
+
+    def test_bounds_checked(self):
+        _, _, _, adapter, _ = build_refined()
+        port = StaticsBusPort(adapter, RAM_BASE, num_statics=4)
+        with pytest.raises(IndexError):
+            port.read(4)
+
+
+class TestRefinementEquivalence:
+    """Figure 7: the refined model computes what the functional one
+    computes — communication refinement preserves behaviour."""
+
+    @pytest.mark.parametrize("layout", list(SfrLayout))
+    def test_benchmarks_match_functional_model(self, layout):
+        functional = BytecodeInterpreter(benchmark_package(),
+                                         FunctionalStack())
+        _, _, _, adapter, _ = build_refined(layout)
+        refined = BytecodeInterpreter(benchmark_package(), adapter)
+        for name, args, _ in BENCHMARKS:
+            assert refined.run(name, args) == functional.run(name, args)
+
+    def test_refined_model_books_bus_energy(self):
+        _, bus, _, adapter, model = build_refined(power=True)
+        interpreter = BytecodeInterpreter(benchmark_package(), adapter)
+        interpreter.run("fibonacci/1", (8,))
+        assert model.total_energy_pj > 0
+        assert adapter.bus_transactions > 0
+        assert bus.transactions_completed == adapter.bus_transactions

@@ -1,0 +1,163 @@
+"""Unit tests for signals and clocks: evaluate/update semantics, edge
+events and clock phasing (the paper triggers masters/slaves on the
+rising edge and the bus process on the falling edge)."""
+
+import pytest
+
+from repro.kernel import BitSignal, Clock, Process, Signal, Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator("test")
+
+
+class TestSignalSemantics:
+    def test_write_not_visible_until_update(self, sim):
+        sig = Signal(sim, "s", initial=0)
+        observed = []
+
+        def writer():
+            sig.write(42)
+            observed.append(sig.read())  # still old value in same phase
+
+        Process(sim, writer, "w")
+        sim.run()
+        assert observed == [0]
+        assert sig.read() == 42
+
+    def test_changed_event_fires_on_change(self, sim):
+        sig = Signal(sim, "s", initial=0)
+        fired = []
+        Process(sim, lambda: fired.append(sig.read()), "r",
+                dont_initialize=True).sensitive(sig.changed_event)
+        Process(sim, lambda: sig.write(7), "w")
+        sim.run()
+        assert fired == [7]
+
+    def test_no_event_on_same_value_write(self, sim):
+        sig = Signal(sim, "s", initial=5)
+        fired = []
+        Process(sim, lambda: fired.append(True), "r",
+                dont_initialize=True).sensitive(sig.changed_event)
+        Process(sim, lambda: sig.write(5), "w")
+        sim.run()
+        assert fired == []
+        assert sig.transition_count == 0
+
+    def test_transition_count_and_timestamp(self, sim):
+        sig = Signal(sim, "s", initial=0)
+        ev = sim.event("tick")
+        values = iter([1, 2, 2, 3])
+
+        def writer():
+            try:
+                sig.write(next(values))
+                ev.notify_delayed(10)
+            except StopIteration:
+                pass
+
+        Process(sim, writer, "w").sensitive(ev)
+        sim.run()
+        assert sig.transition_count == 3  # 2 -> 2 is not a transition
+        assert sig.last_change_time == 30
+
+    def test_last_writer_wins_within_delta(self, sim):
+        sig = Signal(sim, "s", initial=0)
+
+        def writer():
+            sig.write(1)
+            sig.write(2)
+
+        Process(sim, writer, "w")
+        sim.run()
+        assert sig.read() == 2
+
+    def test_value_property_matches_read(self, sim):
+        sig = Signal(sim, "s", initial="idle")
+        assert sig.value == sig.read() == "idle"
+
+
+class TestBitSignal:
+    def test_posedge_event(self, sim):
+        bit = BitSignal(sim, "b", initial=False)
+        edges = []
+        Process(sim, lambda: edges.append("pos"), "p",
+                dont_initialize=True).sensitive(bit.posedge_event)
+        Process(sim, lambda: bit.write(True), "w")
+        sim.run()
+        assert edges == ["pos"]
+
+    def test_negedge_event(self, sim):
+        bit = BitSignal(sim, "b", initial=True)
+        edges = []
+        Process(sim, lambda: edges.append("neg"), "p",
+                dont_initialize=True).sensitive(bit.negedge_event)
+        Process(sim, lambda: bit.write(False), "w")
+        sim.run()
+        assert edges == ["neg"]
+
+    def test_posedge_not_fired_on_negedge(self, sim):
+        bit = BitSignal(sim, "b", initial=True)
+        edges = []
+        Process(sim, lambda: edges.append("pos"), "p",
+                dont_initialize=True).sensitive(bit.posedge_event)
+        Process(sim, lambda: bit.write(False), "w")
+        sim.run()
+        assert edges == []
+
+
+class TestClock:
+    def test_period_validation(self, sim):
+        with pytest.raises(ValueError):
+            Clock(sim, "clk", period=0)
+        with pytest.raises(ValueError):
+            Clock(sim, "clk", period=11)  # odd period
+
+    def test_posedges_per_period(self, sim):
+        clock = Clock(sim, "clk", period=100)
+        rising = []
+        Process(sim, lambda: rising.append(sim.now), "r",
+                dont_initialize=True).sensitive(clock.posedge_event)
+        sim.run(1000)
+        # start_high=True: first rising edge after one full period
+        assert len(rising) == 10
+        assert rising[1] - rising[0] == 100
+
+    def test_falling_edge_between_rising_edges(self, sim):
+        clock = Clock(sim, "clk", period=100)
+        rising, falling = [], []
+        Process(sim, lambda: rising.append(sim.now), "r",
+                dont_initialize=True).sensitive(clock.posedge_event)
+        Process(sim, lambda: falling.append(sim.now), "f",
+                dont_initialize=True).sensitive(clock.negedge_event)
+        sim.run(1000)
+        assert falling[0] < rising[0]
+        # edges alternate with half-period spacing
+        assert rising[0] - falling[0] == 50
+
+    def test_cycle_counter(self, sim):
+        clock = Clock(sim, "clk", period=10)
+        sim.run(105)
+        assert clock.cycles == 10
+
+    def test_two_phase_ordering_master_then_bus(self, sim):
+        """Masters write on posedge; the bus process on the following
+        negedge must see those writes — the paper's clocking scheme."""
+        clock = Clock(sim, "clk", period=100)
+        sig = Signal(sim, "req", initial=0)
+        seen_by_bus = []
+
+        def master():
+            sig.write(sig.read() + 1)
+
+        def bus():
+            seen_by_bus.append(sig.read())
+
+        Process(sim, master, "m", dont_initialize=True).sensitive(
+            clock.posedge_event)
+        Process(sim, bus, "b", dont_initialize=True).sensitive(
+            clock.negedge_event)
+        sim.run(340)
+        # bus at t=50 sees 0 (no posedge yet), at 150 sees 1, at 250 sees 2
+        assert seen_by_bus == [0, 1, 2]

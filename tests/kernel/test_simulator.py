@@ -1,0 +1,310 @@
+"""Unit tests for the discrete-event kernel: scheduling, delta cycles,
+events, processes and dynamic sensitivity."""
+
+import pytest
+
+from repro.kernel import Event, Module, Process, Simulator
+from repro.kernel.simulator import SimulationError
+
+
+@pytest.fixture
+def sim():
+    return Simulator("test")
+
+
+class TestEventNotification:
+    def test_timed_notification_advances_time(self, sim):
+        fired = []
+        ev = sim.event("e")
+        proc = Process(sim, lambda: fired.append(sim.now), "p",
+                       dont_initialize=True)
+        proc.sensitive(ev)
+        ev.notify_delayed(100)
+        sim.run()
+        assert fired == [100]
+        assert sim.now == 100
+
+    def test_delta_notification_does_not_advance_time(self, sim):
+        fired = []
+        ev = sim.event("e")
+        proc = Process(sim, lambda: fired.append(sim.now), "p",
+                       dont_initialize=True)
+        proc.sensitive(ev)
+        ev.notify_delta()
+        sim.run()
+        assert fired == [0]
+        assert sim.now == 0
+
+    def test_immediate_notification_runs_same_evaluate_phase(self, sim):
+        order = []
+        ev = sim.event("e")
+
+        def producer():
+            order.append("producer")
+            ev.notify()
+
+        def consumer():
+            order.append("consumer")
+
+        Process(sim, producer, "producer")
+        Process(sim, consumer, "consumer", dont_initialize=True).sensitive(ev)
+        sim.run()
+        assert order == ["producer", "consumer"]
+        # immediate notification keeps it in the same delta cycle
+        assert sim.delta_count == 1
+
+    def test_delayed_zero_becomes_delta(self, sim):
+        fired = []
+        ev = sim.event("e")
+        Process(sim, lambda: fired.append(sim.delta_count), "p",
+                dont_initialize=True).sensitive(ev)
+        ev.notify_delayed(0)
+        sim.run()
+        assert fired and sim.now == 0
+
+    def test_negative_delay_rejected(self, sim):
+        ev = sim.event("e")
+        with pytest.raises(ValueError):
+            ev.notify_delayed(-1)
+
+    def test_earlier_timed_notification_wins(self, sim):
+        fired = []
+        ev = sim.event("e")
+        Process(sim, lambda: fired.append(sim.now), "p",
+                dont_initialize=True).sensitive(ev)
+        ev.notify_delayed(200)
+        ev.notify_delayed(50)  # earlier: replaces
+        sim.run()
+        assert fired == [50]
+
+    def test_later_timed_notification_ignored(self, sim):
+        fired = []
+        ev = sim.event("e")
+        Process(sim, lambda: fired.append(sim.now), "p",
+                dont_initialize=True).sensitive(ev)
+        ev.notify_delayed(50)
+        ev.notify_delayed(200)  # later: ignored per sc_event rules
+        sim.run()
+        assert fired == [50]
+
+    def test_cancel_timed_notification(self, sim):
+        fired = []
+        ev = sim.event("e")
+        Process(sim, lambda: fired.append(sim.now), "p",
+                dont_initialize=True).sensitive(ev)
+        ev.notify_delayed(50)
+        ev.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_delta_overrides_timed(self, sim):
+        fired = []
+        ev = sim.event("e")
+        Process(sim, lambda: fired.append(sim.now), "p",
+                dont_initialize=True).sensitive(ev)
+        ev.notify_delayed(50)
+        ev.notify_delta()
+        sim.run()
+        assert fired == [0]
+
+
+class TestRun:
+    def test_run_with_duration_stops_at_deadline(self, sim):
+        fired = []
+        ev = sim.event("e")
+
+        def periodic():
+            fired.append(sim.now)
+            ev.notify_delayed(10)
+
+        Process(sim, periodic, "p").sensitive(ev)
+        sim.run(35)
+        assert fired == [0, 10, 20, 30]
+        assert sim.now == 35
+
+    def test_run_without_activity_returns_immediately(self, sim):
+        consumed = sim.run()
+        assert consumed == 0
+
+    def test_stop_request(self, sim):
+        fired = []
+        ev = sim.event("e")
+
+        def periodic():
+            fired.append(sim.now)
+            if len(fired) == 3:
+                sim.stop()
+            ev.notify_delayed(10)
+
+        Process(sim, periodic, "p").sensitive(ev)
+        sim.run()
+        assert len(fired) == 3
+
+    def test_run_resumes_from_current_time(self, sim):
+        ev = sim.event("e")
+        Process(sim, lambda: ev.notify_delayed(10), "p").sensitive(ev)
+        sim.run(25)
+        assert sim.now == 25
+        sim.run(25)
+        assert sim.now == 50
+
+    def test_initialize_runs_processes_once(self, sim):
+        runs = []
+        Process(sim, lambda: runs.append(1), "p")
+        sim.run()
+        assert runs == [1]
+
+    def test_dont_initialize_skips_first_run(self, sim):
+        runs = []
+        Process(sim, lambda: runs.append(1), "p", dont_initialize=True)
+        sim.run()
+        assert runs == []
+
+    def test_pending_activity_reports_timed_events(self, sim):
+        ev = sim.event("e")
+        assert not sim.pending_activity()
+        ev.notify_delayed(10)
+        assert sim.pending_activity()
+
+
+class TestDynamicSensitivity:
+    def test_next_trigger_suspends_static_sensitivity(self, sim):
+        runs = []
+        static_ev = sim.event("static")
+        dynamic_ev = sim.event("dynamic")
+        proc = Process(sim, lambda: runs.append(sim.now), "p",
+                       dont_initialize=True)
+        proc.sensitive(static_ev)
+        proc.next_trigger(dynamic_ev)
+        static_ev.notify_delayed(10)   # should NOT trigger
+        dynamic_ev.notify_delayed(20)  # should trigger
+        sim.run()
+        assert runs == [20]
+
+    def test_static_sensitivity_restored_after_dynamic_fire(self, sim):
+        runs = []
+        static_ev = sim.event("static")
+        dynamic_ev = sim.event("dynamic")
+        proc = Process(sim, lambda: runs.append(sim.now), "p",
+                       dont_initialize=True)
+        proc.sensitive(static_ev)
+        proc.next_trigger(dynamic_ev)
+        dynamic_ev.notify_delayed(5)
+        static_ev.notify_delayed(30)
+        sim.run()
+        assert runs == [5, 30]
+
+    def test_retargeting_next_trigger(self, sim):
+        runs = []
+        ev_a = sim.event("a")
+        ev_b = sim.event("b")
+        proc = Process(sim, lambda: runs.append(sim.now), "p",
+                       dont_initialize=True)
+        proc.next_trigger(ev_a)
+        proc.next_trigger(ev_b)  # re-target: a no longer triggers
+        ev_a.notify_delayed(10)
+        ev_b.notify_delayed(20)
+        sim.run()
+        assert runs == [20]
+
+
+class TestModule:
+    def test_module_method_registration(self, sim):
+        class Counter(Module):
+            def __init__(self, simulator):
+                super().__init__(simulator, "counter")
+                self.count = 0
+                self.tick = simulator.event("tick")
+                self.method(self.on_tick, sensitive=[self.tick],
+                            dont_initialize=True)
+
+            def on_tick(self):
+                self.count += 1
+                if self.count < 5:
+                    self.tick.notify_delayed(10)
+
+        counter = Counter(sim)
+        counter.tick.notify_delayed(10)
+        sim.run()
+        assert counter.count == 5
+        assert len(counter.processes) == 1
+        assert counter.processes[0].run_count == 5
+
+    def test_process_names_are_qualified(self, sim):
+        class M(Module):
+            def __init__(self, simulator):
+                super().__init__(simulator, "m")
+                self.method(self.go, dont_initialize=True)
+
+            def go(self):
+                pass
+
+        module = M(sim)
+        assert module.processes[0].name == "m.go"
+
+
+class TestSchedulerInvariants:
+    def test_delta_count_increments(self, sim):
+        ev = sim.event("e")
+        Process(sim, lambda: None, "p", dont_initialize=True).sensitive(ev)
+        ev.notify_delta()
+        before = sim.delta_count
+        sim.run()
+        assert sim.delta_count > before
+
+    def test_time_never_decreases(self, sim):
+        times = []
+        ev = sim.event("e")
+
+        def record():
+            times.append(sim.now)
+            if len(times) < 20:
+                ev.notify_delayed(7)
+
+        Process(sim, record, "p").sensitive(ev)
+        sim.run()
+        assert times == sorted(times)
+
+    def test_simulation_error_type(self):
+        assert issubclass(SimulationError, RuntimeError)
+
+
+class TestDeterminism:
+    """The kernel must be fully deterministic: the same construction
+    sequence yields the same event trace, run after run."""
+
+    @staticmethod
+    def _run_once():
+        sim = Simulator("det")
+        log = []
+        ev_a = sim.event("a")
+        ev_b = sim.event("b")
+
+        def producer():
+            log.append(("p", sim.now))
+            ev_b.notify_delayed(30)
+            if sim.now < 500:
+                ev_a.notify_delayed(70)
+
+        def consumer():
+            log.append(("c", sim.now))
+
+        Process(sim, producer, "p").sensitive(ev_a)
+        Process(sim, consumer, "c", dont_initialize=True).sensitive(ev_b)
+        sim.run()
+        return log
+
+    def test_two_runs_identical(self):
+        assert self._run_once() == self._run_once()
+
+    def test_simultaneous_events_fire_in_registration_order(self):
+        sim = Simulator("order")
+        order = []
+        events = [sim.event(f"e{i}") for i in range(4)]
+        for index, event in enumerate(events):
+            Process(sim, lambda i=index: order.append(i), f"p{index}",
+                    dont_initialize=True).sensitive(event)
+        for event in events:
+            event.notify_delayed(50)
+        sim.run()
+        assert order == [0, 1, 2, 3]

@@ -1,0 +1,177 @@
+"""Tests for coroutine (SC_THREAD-style) processes."""
+
+import pytest
+
+from repro.kernel import (Clock, Event, Simulator, ThreadProcess,
+                          wait_cycles)
+from repro.kernel.simulator import SimulationError
+
+
+@pytest.fixture
+def sim():
+    return Simulator("thread_test")
+
+
+class TestTimedWaits:
+    def test_yield_int_waits_that_long(self, sim):
+        log = []
+
+        def worker():
+            log.append(sim.now)
+            yield 100
+            log.append(sim.now)
+            yield 250
+            log.append(sim.now)
+
+        ThreadProcess(sim, worker, "worker")
+        sim.run()
+        assert log == [0, 100, 350]
+
+    def test_yield_none_is_delta_wait(self, sim):
+        log = []
+
+        def worker():
+            log.append(sim.now)
+            yield None
+            log.append(sim.now)
+
+        ThreadProcess(sim, worker, "worker")
+        sim.run()
+        assert log == [0, 0]
+
+    def test_negative_delay_rejected(self, sim):
+        def worker():
+            yield -5
+
+        ThreadProcess(sim, worker, "worker")
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_bad_yield_type_rejected(self, sim):
+        def worker():
+            yield "soon"
+
+        ThreadProcess(sim, worker, "worker")
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestEventWaits:
+    def test_resumes_on_event(self, sim):
+        ev = sim.event("go")
+        log = []
+
+        def waiter():
+            yield ev
+            log.append(sim.now)
+
+        ThreadProcess(sim, waiter, "waiter")
+        ev.notify_delayed(400)
+        sim.run()
+        assert log == [400]
+
+    def test_producer_consumer_handshake(self, sim):
+        data_ready = sim.event("data_ready")
+        consumed = sim.event("consumed")
+        channel = []
+        received = []
+
+        def producer():
+            for value in (10, 20, 30):
+                channel.append(value)
+                data_ready.notify_delta()
+                yield consumed
+
+        def consumer():
+            for _ in range(3):
+                yield data_ready
+                received.append(channel.pop())
+                consumed.notify_delta()
+
+        ThreadProcess(sim, producer, "producer")
+        ThreadProcess(sim, consumer, "consumer")
+        sim.run()
+        assert received == [10, 20, 30]
+
+
+class TestClockedThreads:
+    def test_wait_cycles_helper(self, sim):
+        clock = Clock(sim, "clk", period=100)
+        log = []
+
+        def worker():
+            yield from wait_cycles(clock, 3)
+            log.append(sim.now)
+
+        ThreadProcess(sim, worker, "worker")
+        sim.run(1_000)
+        # posedges at 100, 200, 300 (clock starts high)
+        assert log == [300]
+
+    def test_thread_drives_testbench_protocol(self, sim):
+        """A thread can act as a stimulus generator next to the
+        SC_METHOD world: it pokes an event every other cycle."""
+        clock = Clock(sim, "clk", period=100)
+        pokes = []
+
+        def stimulus():
+            for _ in range(4):
+                yield clock.posedge_event
+                yield clock.posedge_event
+                pokes.append(sim.now)
+
+        ThreadProcess(sim, stimulus, "stimulus")
+        sim.run(1_000)
+        assert pokes == [200, 400, 600, 800]
+
+
+class TestLifecycle:
+    def test_finished_flag_and_result(self, sim):
+        def worker():
+            yield 10
+            return 42
+
+        thread = ThreadProcess(sim, worker, "worker")
+        assert not thread.finished
+        sim.run()
+        assert thread.finished
+        assert thread.result == 42
+
+    def test_finished_event_fires(self, sim):
+        done_times = []
+
+        def worker():
+            yield 50
+
+        thread = ThreadProcess(sim, worker, "worker")
+
+        def on_done():
+            done_times.append(sim.now)
+
+        from repro.kernel import Process
+        Process(sim, on_done, "observer", dont_initialize=True).sensitive(
+            thread.finished_event)
+        sim.run()
+        assert done_times == [50]
+
+    def test_no_resume_after_finish(self, sim):
+        ev = sim.event("late")
+
+        def worker():
+            yield 10
+
+        thread = ThreadProcess(sim, worker, "worker")
+        sim.run()
+        count = thread.resume_count
+        ev.notify_delayed(100)
+        sim.run()
+        assert thread.resume_count == count
+
+    def test_immediate_return_thread(self, sim):
+        def worker():
+            return 7
+            yield  # pragma: no cover - makes it a generator
+
+        thread = ThreadProcess(sim, worker, "worker")
+        sim.run()
+        assert thread.finished and thread.result == 7

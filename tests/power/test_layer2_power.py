@@ -1,0 +1,124 @@
+"""Unit tests for the layer-2 (per-phase analytic) energy model and the
+structural over-estimation the paper documents."""
+
+import pytest
+
+from repro.ec import MemoryMap, SignalGroup, WaitStates, data_read, \
+    data_write
+from repro.kernel import Clock, Simulator
+from repro.power import (Layer1PowerModel, Layer2PowerModel, default_table)
+from repro.tlm import (BlockingMaster, EcBusLayer1, EcBusLayer2, MemorySlave,
+                       run_script)
+
+RAM_BASE = 0x1000
+
+
+def build_l2(table=None):
+    sim = Simulator("l2_power")
+    clock = Clock(sim, "clk", period=100)
+    memory_map = MemoryMap()
+    ram = MemorySlave(RAM_BASE, 0x1000, WaitStates(), name="ram")
+    memory_map.add_slave(ram, "ram")
+    model = Layer2PowerModel(table or default_table())
+    bus = EcBusLayer2(sim, clock, memory_map, power_model=model)
+    return sim, clock, bus, model, ram
+
+
+def build_l1(table=None):
+    sim = Simulator("l1_power")
+    clock = Clock(sim, "clk", period=100)
+    memory_map = MemoryMap()
+    ram = MemorySlave(RAM_BASE, 0x1000, WaitStates(), name="ram")
+    memory_map.add_slave(ram, "ram")
+    model = Layer1PowerModel(table or default_table())
+    bus = EcBusLayer1(sim, clock, memory_map, power_model=model)
+    return sim, clock, bus, model, ram
+
+
+def run(sim, clock, bus, script, max_cycles=2000):
+    master = BlockingMaster(sim, clock, bus, script)
+    run_script(sim, master, max_cycles, clock)
+    return master
+
+
+class TestPhaseAccounting:
+    def test_phases_counted(self):
+        sim, clock, bus, model, _ = build_l2()
+        run(sim, clock, bus, [data_read(RAM_BASE),
+                              data_write(RAM_BASE, [1])])
+        assert model.address_phases == 2
+        assert model.data_phases == 2
+
+    def test_energy_booked_per_phase(self):
+        sim, clock, bus, model, _ = build_l2()
+        run(sim, clock, bus, [data_read(RAM_BASE)])
+        assert model.group_energy_pj[SignalGroup.ADDRESS] > 0
+        assert model.group_energy_pj[SignalGroup.READ] > 0
+        assert model.group_energy_pj[SignalGroup.WRITE] == 0.0
+
+    def test_burst_data_hamming_is_exact_within_transaction(self):
+        table = default_table()
+        results = {}
+        for payload in ([0, 0, 0, 0], [0, 0xFFFFFFFF, 0, 0xFFFFFFFF]):
+            sim, clock, bus, model, _ = build_l2(table)
+            run(sim, clock, bus, [data_write(RAM_BASE, list(payload))])
+            results[tuple(payload)] = model.group_energy_pj[
+                SignalGroup.WRITE]
+        flat = results[(0, 0, 0, 0)]
+        toggling = results[(0, 0xFFFFFFFF, 0, 0xFFFFFFFF)]
+        # three beat-to-beat flips of 32 bits each
+        expected_extra = 3 * 32 * table.coefficient("EB_WData")
+        assert toggling - flat == pytest.approx(expected_extra)
+
+    def test_clock_baseline_via_account_cycles(self):
+        table = default_table()
+        sim, clock, bus, model, _ = build_l2(table)
+        run(sim, clock, bus, [data_read(RAM_BASE)])
+        before = model.total_energy_pj
+        model.account_cycles(bus.cycle)
+        assert model.total_energy_pj == pytest.approx(
+            before + bus.cycle * table.clock_energy_per_cycle_pj)
+
+    def test_account_cycles_monotonic(self):
+        sim, clock, bus, model, _ = build_l2()
+        model.account_cycles(10)
+        with pytest.raises(ValueError):
+            model.account_cycles(5)
+
+    def test_since_last_call_interface(self):
+        sim, clock, bus, model, _ = build_l2()
+        run(sim, clock, bus, [data_read(RAM_BASE)])
+        assert model.energy_since_last_call_pj() == pytest.approx(
+            model.total_energy_pj)
+        assert model.energy_since_last_call_pj() == 0.0
+
+
+class TestOverestimation:
+    """Layer 2 over-estimates back-to-back streams because it charges a
+    full control-handshake toggle pattern per phase (§3.3)."""
+
+    def test_l2_overestimates_back_to_back_stream(self):
+        table = default_table()
+        script = [data_read(RAM_BASE + 4 * i) for i in range(16)]
+
+        sim1, clk1, bus1, m1, _ = build_l1(table)
+        run(sim1, clk1, bus1, [t.clone() for t in script])
+
+        sim2, clk2, bus2, m2, _ = build_l2(table)
+        run(sim2, clk2, bus2, [t.clone() for t in script])
+        m2.account_cycles(bus2.cycle)
+
+        assert m2.total_energy_pj > m1.total_energy_pj
+
+    def test_l2_control_energy_scales_with_transaction_count(self):
+        """Each extra transaction charges another handshake pair even
+        though layer 1 would see the lines held asserted."""
+        table = default_table()
+        energies = []
+        for count in (4, 8):
+            sim, clock, bus, model, _ = build_l2(table)
+            run(sim, clock, bus,
+                [data_read(RAM_BASE + 4 * i) for i in range(count)])
+            energies.append(
+                model.group_energy_pj[SignalGroup.ADDRESS])
+        assert energies[1] == pytest.approx(2 * energies[0])

@@ -1,0 +1,70 @@
+"""Unit tests for the characterisation table."""
+
+import pytest
+
+from repro.power import CharacterizationTable, default_table
+
+
+class TestValidation:
+    def test_unknown_signal_rejected(self):
+        with pytest.raises(KeyError):
+            CharacterizationTable({"NOT_A_SIGNAL": 1.0})
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(ValueError):
+            CharacterizationTable({"EB_A": -0.1})
+
+    def test_negative_clock_energy_rejected(self):
+        with pytest.raises(ValueError):
+            CharacterizationTable({}, clock_energy_per_cycle_pj=-1.0)
+
+    def test_missing_signal_coefficient_is_zero(self):
+        table = CharacterizationTable({"EB_A": 0.5})
+        assert table.coefficient("EB_RData") == 0.0
+        assert table.coefficient("EB_A") == 0.5
+
+
+class TestDefaultTable:
+    def test_covers_all_ec_signals(self):
+        from repro.ec import EC_SIGNALS
+        table = default_table()
+        for spec in EC_SIGNALS:
+            assert table.coefficient(spec.name) > 0.0
+
+    def test_buses_cost_more_than_controls(self):
+        table = default_table()
+        assert table.coefficient("EB_A") > table.coefficient("EB_AValid")
+        assert table.coefficient("EB_RData") > table.coefficient("EB_RdVal")
+
+
+class TestPersistence:
+    def test_json_roundtrip(self):
+        table = default_table()
+        restored = CharacterizationTable.from_json(table.to_json())
+        assert restored == table
+
+    def test_save_load(self, tmp_path):
+        table = default_table()
+        path = tmp_path / "table.json"
+        table.save(path)
+        assert CharacterizationTable.load(path) == table
+
+
+class TestScaling:
+    def test_scaled_energies(self):
+        table = default_table()
+        scaled = table.scaled(2.0)
+        assert scaled.coefficient("EB_A") == pytest.approx(
+            2.0 * table.coefficient("EB_A"))
+        assert scaled.clock_energy_per_cycle_pj == pytest.approx(
+            2.0 * table.clock_energy_per_cycle_pj)
+
+    def test_scaled_preserves_hamming_estimates(self):
+        table = default_table()
+        scaled = table.scaled(0.5)
+        assert (scaled.inter_txn_address_hamming
+                == table.inter_txn_address_hamming)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            default_table().scaled(-1.0)

@@ -1,0 +1,223 @@
+"""Tests of the signal-level RTL bus: functional behaviour, decoder
+netlist agreement, and the layer-1 equivalence the paper's verification
+flow establishes (§4.1 step 2)."""
+
+import pytest
+
+from repro.ec import (AccessRights, BusState, MemoryMap, MergePattern,
+                      WaitStates, data_read, data_write, instruction_fetch)
+from repro.kernel import Clock, Simulator
+from repro.power import (Layer1PowerModel, SignalStateRecorder,
+                         default_table)
+from repro.power.diesel import InterfaceActivityLog
+from repro.rtl import RtlBus, build_address_decoder
+from repro.tlm import (BlockingMaster, EcBusLayer1, ErrorSlave, MemorySlave,
+                       PipelinedMaster, run_script)
+
+ROM_BASE = 0x0000_0000
+RAM_BASE = 0x0001_0000
+EEPROM_BASE = 0x0002_0000
+ERROR_BASE = 0x000F_0000
+
+
+def build_memory_map():
+    memory_map = MemoryMap()
+    rom = MemorySlave(ROM_BASE, 0x1000, WaitStates(address=0, read=1),
+                      AccessRights.READ | AccessRights.EXECUTE, name="rom")
+    ram = MemorySlave(RAM_BASE, 0x1000, WaitStates(), name="ram")
+    eeprom = MemorySlave(EEPROM_BASE, 0x1000,
+                         WaitStates(address=1, read=2, write=3),
+                         AccessRights.READ | AccessRights.WRITE,
+                         name="eeprom")
+    error = ErrorSlave(ERROR_BASE)
+    for slave, name in ((rom, "rom"), (ram, "ram"), (eeprom, "eeprom"),
+                        (error, "error")):
+        memory_map.add_slave(slave, name)
+    return memory_map, ram
+
+
+def build_rtl(recorder=None, activity=None):
+    sim = Simulator("rtl_test")
+    clock = Clock(sim, "clk", period=100)
+    memory_map, ram = build_memory_map()
+    bus = RtlBus(sim, clock, memory_map, recorder=recorder,
+                 activity_log=activity)
+    return sim, clock, bus, ram
+
+
+def run_on(sim, clock, bus, script, pipelined=False, max_cycles=10_000):
+    cls = PipelinedMaster if pipelined else BlockingMaster
+    master = cls(sim, clock, bus, script)
+    run_script(sim, master, max_cycles, clock)
+    return master
+
+
+SCRIPTS = {
+    "single_read": lambda: [data_read(RAM_BASE)],
+    "single_write": lambda: [data_write(RAM_BASE, [0xDEADBEEF])],
+    "waited_read": lambda: [data_read(EEPROM_BASE)],
+    "waited_write": lambda: [data_write(EEPROM_BASE, [0x55AA55AA])],
+    "back_to_back_reads": lambda: [data_read(RAM_BASE + 4 * i)
+                                   for i in range(6)],
+    "back_to_back_writes": lambda: [data_write(RAM_BASE + 4 * i, [i])
+                                    for i in range(6)],
+    "read_after_write": lambda: [data_write(RAM_BASE, [0xA5A5]),
+                                 data_read(RAM_BASE)],
+    "reordered_mix": lambda: [data_read(EEPROM_BASE),
+                              data_write(RAM_BASE, [1]),
+                              data_read(RAM_BASE)],
+    "bursts": lambda: [data_read(RAM_BASE, burst_length=4),
+                       data_write(EEPROM_BASE, [1, 2, 3, 4]),
+                       instruction_fetch(ROM_BASE, burst_length=4)],
+    "sub_word": lambda: [data_write(RAM_BASE + 1, [0xFF << 8],
+                                    MergePattern.BYTE),
+                         data_read(RAM_BASE + 2, MergePattern.HALFWORD)],
+    "errors": lambda: [data_read(0x0800_0000),
+                       data_read(ERROR_BASE),
+                       data_read(RAM_BASE)],
+    "gaps": lambda: [data_read(RAM_BASE), (4, data_read(EEPROM_BASE)),
+                     (2, data_write(RAM_BASE, [3]))],
+}
+
+
+class TestRtlFunctional:
+    def test_write_then_read(self):
+        sim, clock, bus, ram = build_rtl()
+        master = run_on(sim, clock, bus,
+                        [data_write(RAM_BASE + 4, [0x77]),
+                         data_read(RAM_BASE + 4)])
+        assert master.completed[1].data == [0x77]
+
+    def test_burst_roundtrip(self):
+        sim, clock, bus, ram = build_rtl()
+        master = run_on(sim, clock, bus,
+                        [data_write(RAM_BASE, [1, 2, 3, 4]),
+                         data_read(RAM_BASE, burst_length=4)])
+        assert master.completed[1].data == [1, 2, 3, 4]
+
+    def test_unmapped_error(self):
+        sim, clock, bus, _ = build_rtl()
+        master = run_on(sim, clock, bus, [data_read(0x0800_0000)])
+        assert master.completed[0].state is BusState.ERROR
+
+    def test_error_slave(self):
+        sim, clock, bus, _ = build_rtl()
+        master = run_on(sim, clock, bus, [data_write(ERROR_BASE, [1])])
+        assert master.completed[0].state is BusState.ERROR
+
+    def test_bus_drains(self):
+        sim, clock, bus, _ = build_rtl()
+        run_on(sim, clock, bus, [data_read(RAM_BASE + 4 * i)
+                                 for i in range(4)], pipelined=True)
+        assert not bus.busy
+
+
+class TestDecoderNetlistAgreement:
+    def test_netlist_matches_behavioural_decode(self):
+        memory_map, _ = build_memory_map()
+        decoder = build_address_decoder(memory_map)
+        probe_addresses = [
+            ROM_BASE, ROM_BASE + 0xFFF, ROM_BASE + 0x1000,
+            RAM_BASE - 4, RAM_BASE, RAM_BASE + 0xFFC,
+            EEPROM_BASE, ERROR_BASE, ERROR_BASE + 0xFF,
+            0x0003_0000, 0x0800_0000, (1 << 36) - 4,
+        ]
+        for address in probe_addresses:
+            region = decoder.evaluate(address)
+            try:
+                expected = memory_map.decode(address).name
+            except Exception:
+                expected = None
+            got = region.name if region is not None else None
+            assert got == expected, hex(address)
+
+    def test_decoder_accumulates_glitches_on_address_changes(self):
+        memory_map, _ = build_memory_map()
+        decoder = build_address_decoder(memory_map)
+        decoder.evaluate(0x0)
+        for address in (RAM_BASE, EEPROM_BASE, ROM_BASE + 0x500,
+                        ERROR_BASE, RAM_BASE + 0xABC):
+            decoder.evaluate(address)
+        assert decoder.netlist.total_transitions() > 0
+
+    def test_idle_cycles_are_activity_free(self):
+        memory_map, _ = build_memory_map()
+        decoder = build_address_decoder(memory_map)
+        decoder.evaluate(RAM_BASE)
+        before = decoder.netlist.total_transitions()
+        decoder.idle_cycle()
+        decoder.idle_cycle()
+        assert decoder.netlist.total_transitions() == before
+
+
+class TestLayer1Equivalence:
+    """Two independent implementations must agree wire-for-wire."""
+
+    @pytest.mark.parametrize("script_name", sorted(SCRIPTS))
+    @pytest.mark.parametrize("pipelined", [False, True],
+                             ids=["blocking", "pipelined"])
+    def test_signal_traces_match(self, script_name, pipelined):
+        # layer 1 with its reconstruction power model
+        l1_recorder = SignalStateRecorder()
+        sim1 = Simulator("l1")
+        clk1 = Clock(sim1, "clk", period=100)
+        map1, _ = build_memory_map()
+        model = Layer1PowerModel(default_table(), recorder=l1_recorder)
+        bus1 = EcBusLayer1(sim1, clk1, map1, power_model=model)
+        master1 = run_on(sim1, clk1, bus1, SCRIPTS[script_name](),
+                         pipelined=pipelined)
+
+        # RTL with its signal recorder
+        rtl_recorder = SignalStateRecorder()
+        sim2, clk2, bus2, _ = build_rtl(recorder=rtl_recorder)
+        master2 = run_on(sim2, clk2, bus2, SCRIPTS[script_name](),
+                         pipelined=pipelined)
+
+        # completion timing must be identical
+        timing1 = [(t.issue_cycle, t.address_done_cycle, t.data_done_cycle)
+                   for t in master1.completed]
+        timing2 = [(t.issue_cycle, t.address_done_cycle, t.data_done_cycle)
+                   for t in master2.completed]
+        assert timing1 == timing2
+
+        # wire values must be identical cycle for cycle
+        cycles = min(len(l1_recorder), len(rtl_recorder))
+        assert cycles > 0
+        for cycle in range(cycles):
+            assert l1_recorder.values[cycle] == rtl_recorder.values[cycle], \
+                f"{script_name}: divergence at cycle {cycle}"
+
+    @pytest.mark.parametrize("script_name", sorted(SCRIPTS))
+    def test_traces_pass_the_protocol_audit(self, script_name):
+        """Both implementations' wire traces satisfy docs/PROTOCOL.md."""
+        from repro.ec.checker import check_recorder
+        l1_recorder = SignalStateRecorder()
+        sim1 = Simulator("l1a")
+        clk1 = Clock(sim1, "clk", period=100)
+        map1, _ = build_memory_map()
+        model = Layer1PowerModel(default_table(), recorder=l1_recorder)
+        bus1 = EcBusLayer1(sim1, clk1, map1, power_model=model)
+        run_on(sim1, clk1, bus1, SCRIPTS[script_name](), pipelined=True)
+        rtl_recorder = SignalStateRecorder()
+        sim2, clk2, bus2, _ = build_rtl(recorder=rtl_recorder)
+        run_on(sim2, clk2, bus2, SCRIPTS[script_name](), pipelined=True)
+        for recorder in (l1_recorder, rtl_recorder):
+            checker = check_recorder(recorder)
+            assert checker.clean, f"{script_name}: {checker.summary()}"
+
+    def test_transition_counts_match(self):
+        """Aggregate interface transition counts agree between the
+        layer-1 transition counter and the RTL activity log."""
+        activity = InterfaceActivityLog()
+        sim2, clk2, bus2, _ = build_rtl(activity=activity)
+        run_on(sim2, clk2, bus2, SCRIPTS["bursts"]())
+
+        sim1 = Simulator("l1")
+        clk1 = Clock(sim1, "clk", period=100)
+        map1, _ = build_memory_map()
+        model = Layer1PowerModel(default_table())
+        bus1 = EcBusLayer1(sim1, clk1, map1, power_model=model)
+        run_on(sim1, clk1, bus1, SCRIPTS["bursts"]())
+
+        for name, count in model.transition_counts.items():
+            assert activity.transitions(name) == count, name

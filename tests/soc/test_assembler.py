@@ -1,0 +1,128 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.soc.assembler import (HALT_WORD, AssemblerError, assemble,
+                                 load_words, parse_register)
+
+
+class TestRegisters:
+    def test_named_registers(self):
+        assert parse_register("$zero") == 0
+        assert parse_register("$t0") == 8
+        assert parse_register("$sp") == 29
+        assert parse_register("$ra") == 31
+
+    def test_numeric_registers(self):
+        assert parse_register("$0") == 0
+        assert parse_register("$31") == 31
+
+    def test_unknown_register(self):
+        with pytest.raises(AssemblerError):
+            parse_register("$nope")
+
+
+class TestEncoding:
+    def test_halt(self):
+        assert load_words("halt") == [HALT_WORD]
+
+    def test_nop(self):
+        assert load_words("nop") == [0]
+
+    def test_addu_encoding(self):
+        # addu $t0, $t1, $t2 -> rs=9 rt=10 rd=8 funct=0x21
+        word = load_words("addu $t0, $t1, $t2")[0]
+        assert word == (9 << 21) | (10 << 16) | (8 << 11) | 0x21
+
+    def test_addiu_encoding(self):
+        word = load_words("addiu $t0, $zero, 42")[0]
+        assert word == (0x09 << 26) | (8 << 16) | 42
+
+    def test_negative_immediate(self):
+        word = load_words("addiu $t0, $t0, -1")[0]
+        assert word & 0xFFFF == 0xFFFF
+
+    def test_lw_encoding(self):
+        word = load_words("lw $t1, 8($s0)")[0]
+        assert word == (0x23 << 26) | (16 << 21) | (9 << 16) | 8
+
+    def test_sw_with_zero_offset(self):
+        word = load_words("sw $t1, ($s0)")[0]
+        assert word == (0x2B << 26) | (16 << 21) | (9 << 16)
+
+    def test_lui_encoding(self):
+        word = load_words("lui $t0, 0x40")[0]
+        assert word == (0x0F << 26) | (8 << 16) | 0x40
+
+    def test_shift_encoding(self):
+        word = load_words("sll $t0, $t1, 4")[0]
+        assert word == (9 << 16) | (8 << 11) | (4 << 6)
+
+    def test_shift_amount_range(self):
+        with pytest.raises(AssemblerError):
+            load_words("sll $t0, $t1, 32")
+
+    def test_jr_encoding(self):
+        word = load_words("jr $ra")[0]
+        assert word == (31 << 21) | 0x08
+
+
+class TestLabels:
+    def test_backward_branch(self):
+        words = load_words("""
+            loop: addiu $t0, $t0, 1
+                  bne $t0, $t1, loop
+        """)
+        # branch at pc=4 to 0: delta = (0 - 8)/4 = -2
+        assert words[1] & 0xFFFF == (-2) & 0xFFFF
+
+    def test_forward_branch(self):
+        words = load_words("""
+                  beq $t0, $zero, done
+                  nop
+            done: halt
+        """)
+        assert words[0] & 0xFFFF == 1  # (8 - 4)/4
+
+    def test_jump_to_label(self):
+        words = load_words("""
+                  j entry
+                  nop
+            entry: halt
+        """)
+        assert words[0] == (0x02 << 26) | (8 >> 2)
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            load_words("a: nop\na: nop")
+
+    def test_label_with_origin(self):
+        words = assemble("entry: j entry", origin=0x1000)
+        assert words[0] == (0x02 << 26) | (0x1000 >> 2)
+
+    def test_comments_ignored(self):
+        words = load_words("nop # this is a comment\n# full line\nhalt")
+        assert words == [0, HALT_WORD]
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            load_words("frobnicate $t0")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            load_words("addu $t0, $t1")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblerError):
+            load_words("lw $t0, $t1")
+
+    def test_branch_out_of_range(self):
+        source = "start: nop\n" + "nop\n" * 40000 + "beq $t0, $t1, start"
+        with pytest.raises(AssemblerError):
+            load_words(source)
+
+    def test_misaligned_jump(self):
+        with pytest.raises(AssemblerError):
+            load_words("j 0x3")

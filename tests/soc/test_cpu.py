@@ -1,0 +1,235 @@
+"""Integration tests: assembly programs running on the ISS through the
+layer-1 bus of the full smart card platform."""
+
+import pytest
+
+from repro.soc import RAM_BASE, SmartCardPlatform
+
+
+def run_program(source, max_cycles=20_000, layer=1):
+    platform = SmartCardPlatform(bus_layer=layer, with_cpu=True)
+    platform.load_assembly(source)
+    platform.cpu.run_to_halt(max_cycles)
+    return platform
+
+
+RAM_HI = RAM_BASE >> 16
+
+
+class TestArithmetic:
+    def test_addiu_chain(self):
+        platform = run_program("""
+            addiu $t0, $zero, 5
+            addiu $t0, $t0, 7
+            halt
+        """)
+        assert platform.cpu.registers[8] == 12
+
+    def test_addu_subu(self):
+        platform = run_program("""
+            addiu $t0, $zero, 30
+            addiu $t1, $zero, 12
+            addu  $t2, $t0, $t1
+            subu  $t3, $t0, $t1
+            halt
+        """)
+        assert platform.cpu.registers[10] == 42
+        assert platform.cpu.registers[11] == 18
+
+    def test_logic_ops(self):
+        platform = run_program("""
+            addiu $t0, $zero, 0x0F0F
+            addiu $t1, $zero, 0x00FF
+            and   $t2, $t0, $t1
+            or    $t3, $t0, $t1
+            xor   $t4, $t0, $t1
+            halt
+        """)
+        assert platform.cpu.registers[10] == 0x0F0F & 0x00FF
+        assert platform.cpu.registers[11] == 0x0F0F | 0x00FF
+        assert platform.cpu.registers[12] == 0x0F0F ^ 0x00FF
+
+    def test_slt_signed(self):
+        platform = run_program("""
+            addiu $t0, $zero, -1
+            addiu $t1, $zero, 1
+            slt   $t2, $t0, $t1
+            slt   $t3, $t1, $t0
+            sltu  $t4, $t0, $t1
+            halt
+        """)
+        assert platform.cpu.registers[10] == 1  # -1 < 1 signed
+        assert platform.cpu.registers[11] == 0
+        assert platform.cpu.registers[12] == 0  # 0xFFFFFFFF > 1 unsigned
+
+    def test_shifts(self):
+        platform = run_program("""
+            addiu $t0, $zero, -8
+            sll   $t1, $t0, 1
+            srl   $t2, $t0, 1
+            sra   $t3, $t0, 1
+            halt
+        """)
+        assert platform.cpu.registers[9] == (-16) & 0xFFFFFFFF
+        assert platform.cpu.registers[10] == 0x7FFFFFFC
+        assert platform.cpu.registers[11] == (-4) & 0xFFFFFFFF
+
+    def test_lui_ori_address_formation(self):
+        platform = run_program(f"""
+            lui  $s0, {RAM_HI:#x}
+            ori  $s0, $s0, {RAM_BASE & 0xFFFF:#x}
+            halt
+        """)
+        assert platform.cpu.registers[16] == RAM_BASE
+
+    def test_zero_register_stays_zero(self):
+        platform = run_program("""
+            addiu $zero, $zero, 99
+            halt
+        """)
+        assert platform.cpu.registers[0] == 0
+
+
+class TestMemoryAccess:
+    def test_store_load_roundtrip(self):
+        platform = run_program(f"""
+            lui   $s0, {RAM_HI:#x}
+            addiu $t0, $zero, 1234
+            sw    $t0, 0($s0)
+            lw    $t1, 0($s0)
+            halt
+        """)
+        assert platform.cpu.registers[9] == 1234
+        assert platform.ram.peek(0) == 1234
+
+    def test_byte_store_and_signed_load(self):
+        platform = run_program(f"""
+            lui   $s0, {RAM_HI:#x}
+            addiu $t0, $zero, -1
+            sb    $t0, 5($s0)
+            lb    $t1, 5($s0)
+            lbu   $t2, 5($s0)
+            halt
+        """)
+        assert platform.cpu.registers[9] == 0xFFFFFFFF
+        assert platform.cpu.registers[10] == 0xFF
+
+    def test_halfword_access(self):
+        platform = run_program(f"""
+            lui   $s0, {RAM_HI:#x}
+            addiu $t0, $zero, -2
+            sh    $t0, 2($s0)
+            lh    $t1, 2($s0)
+            lhu   $t2, 2($s0)
+            halt
+        """)
+        assert platform.cpu.registers[9] == 0xFFFFFFFE
+        assert platform.cpu.registers[10] == 0xFFFE
+
+    def test_eeprom_write_is_slow_but_correct(self):
+        eeprom_hi = 0x0020
+        platform = run_program(f"""
+            lui   $s0, {eeprom_hi:#x}
+            addiu $t0, $zero, 77
+            sw    $t0, 16($s0)
+            lw    $t1, 16($s0)
+            halt
+        """)
+        assert platform.cpu.registers[9] == 77
+        assert platform.eeprom.programming_operations == 1
+
+
+class TestControlFlow:
+    def test_countdown_loop(self):
+        platform = run_program("""
+                  addiu $t0, $zero, 10
+                  addiu $t1, $zero, 0
+            loop: addiu $t1, $t1, 3
+                  addiu $t0, $t0, -1
+                  bne   $t0, $zero, loop
+                  halt
+        """)
+        assert platform.cpu.registers[9] == 30
+
+    def test_jal_and_jr(self):
+        platform = run_program("""
+                  jal  func
+                  halt
+            func: addiu $v0, $zero, 99
+                  jr   $ra
+        """)
+        assert platform.cpu.registers[2] == 99
+
+    def test_beq_taken_and_not_taken(self):
+        platform = run_program("""
+                  addiu $t0, $zero, 1
+                  beq   $t0, $zero, skip
+                  addiu $t1, $zero, 5
+            skip: halt
+        """)
+        assert platform.cpu.registers[9] == 5
+
+
+class TestFaults:
+    def test_load_from_unmapped_faults(self):
+        platform = SmartCardPlatform(bus_layer=1, with_cpu=True)
+        platform.load_assembly("""
+            lui  $s0, 0x0800
+            lw   $t0, 0($s0)
+            halt
+        """)
+        platform.cpu.run_to_halt(10_000)
+        assert platform.cpu.fault is not None
+        assert "load fault" in platform.cpu.fault
+
+    def test_store_to_rom_faults(self):
+        platform = SmartCardPlatform(bus_layer=1, with_cpu=True)
+        platform.load_assembly("""
+            addiu $t0, $zero, 1
+            sw    $t0, 64($zero)
+            halt
+        """)
+        platform.cpu.run_to_halt(10_000)
+        assert platform.cpu.fault is not None
+
+    def test_illegal_instruction_faults(self):
+        platform = SmartCardPlatform(bus_layer=1, with_cpu=True)
+        platform.load_rom([0xFC00_0000])  # opcode 0x3F: undefined
+        platform.cpu.run_to_halt(10_000)
+        assert "illegal opcode" in platform.cpu.fault
+
+
+class TestBothLayers:
+    @pytest.mark.parametrize("layer", [1, 2])
+    def test_program_result_identical_across_layers(self, layer):
+        platform = run_program(f"""
+                  lui   $s0, {RAM_HI:#x}
+                  addiu $t0, $zero, 0
+                  addiu $t2, $zero, 8
+            loop: sw    $t0, 0($s0)
+                  lw    $t1, 0($s0)
+                  addu  $t3, $t3, $t1
+                  addiu $t0, $t0, 1
+                  bne   $t0, $t2, loop
+                  halt
+        """, layer=layer)
+        assert platform.cpu.registers[11] == sum(range(8))
+
+
+class TestPeripheralAccessFromCpu:
+    def test_uart_transmit_via_mmio(self):
+        uart_hi = 0x0040
+        platform = SmartCardPlatform(bus_layer=1, with_cpu=True)
+        platform.load_assembly(f"""
+            lui   $s0, {uart_hi:#x}
+            addiu $t0, $zero, 1       # CTRL_ENABLE
+            sw    $t0, 8($s0)         # CTRL register
+            addiu $t1, $zero, 0x41    # 'A'
+            sw    $t1, 0($s0)         # DATA register
+            addiu $t2, $zero, 200
+        spin: addiu $t2, $t2, -1
+            bne   $t2, $zero, spin
+            halt
+        """)
+        platform.cpu.run_to_halt(20_000)
+        assert platform.uart.transmitted == [0x41]

@@ -1,0 +1,134 @@
+"""Tests for the multiply/divide unit and jalr."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.soc import SmartCardPlatform
+
+
+def run_program(source, max_cycles=50_000):
+    platform = SmartCardPlatform(bus_layer=1, with_cpu=True)
+    platform.load_assembly(source)
+    platform.cpu.run_to_halt(max_cycles)
+    assert platform.cpu.fault is None
+    return platform
+
+
+class TestMultiply:
+    def test_mult_positive(self):
+        platform = run_program("""
+            addiu $t0, $zero, 1234
+            addiu $t1, $zero, 567
+            mult  $t0, $t1
+            mflo  $t2
+            mfhi  $t3
+            halt
+        """)
+        assert platform.cpu.registers[10] == 1234 * 567
+        assert platform.cpu.registers[11] == 0
+
+    def test_mult_negative_sign_extension(self):
+        platform = run_program("""
+            addiu $t0, $zero, -3
+            addiu $t1, $zero, 7
+            mult  $t0, $t1
+            mflo  $t2
+            mfhi  $t3
+            halt
+        """)
+        assert platform.cpu.registers[10] == (-21) & 0xFFFFFFFF
+        assert platform.cpu.registers[11] == 0xFFFFFFFF  # sign bits
+
+    def test_multu_large_values(self):
+        platform = run_program("""
+            lui   $t0, 0x8000
+            addiu $t1, $zero, 4
+            multu $t0, $t1
+            mflo  $t2
+            mfhi  $t3
+            halt
+        """)
+        assert platform.cpu.registers[10] == 0
+        assert platform.cpu.registers[11] == 2  # 0x8000_0000 * 4 >> 32
+
+
+class TestDivide:
+    def test_div_quotient_and_remainder(self):
+        platform = run_program("""
+            addiu $t0, $zero, 100
+            addiu $t1, $zero, 7
+            div   $t0, $t1
+            mflo  $t2
+            mfhi  $t3
+            halt
+        """)
+        assert platform.cpu.registers[10] == 14
+        assert platform.cpu.registers[11] == 2
+
+    def test_div_negative_truncates_toward_zero(self):
+        platform = run_program("""
+            addiu $t0, $zero, -7
+            addiu $t1, $zero, 2
+            div   $t0, $t1
+            mflo  $t2
+            mfhi  $t3
+            halt
+        """)
+        assert platform.cpu.registers[10] == (-3) & 0xFFFFFFFF
+        assert platform.cpu.registers[11] == (-1) & 0xFFFFFFFF
+
+    def test_divu(self):
+        platform = run_program("""
+            lui   $t0, 0xFFFF
+            ori   $t0, $t0, 0xFFFF
+            addiu $t1, $zero, 10
+            divu  $t0, $t1
+            mflo  $t2
+            halt
+        """)
+        assert platform.cpu.registers[10] == 0xFFFFFFFF // 10
+
+    def test_div_by_zero_is_silent(self):
+        # MIPS leaves HI/LO unpredictable; we leave them unchanged
+        platform = run_program("""
+            addiu $t0, $zero, 5
+            div   $t0, $zero
+            halt
+        """)
+        assert platform.cpu.fault is None
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 0x7FFF), st.integers(1, 0x7FFF))
+    def test_div_property(self, a, b):
+        platform = run_program(f"""
+            addiu $t0, $zero, {a}
+            addiu $t1, $zero, {b}
+            div   $t0, $t1
+            mflo  $t2
+            mfhi  $t3
+            halt
+        """)
+        assert platform.cpu.registers[10] == a // b
+        assert platform.cpu.registers[11] == a % b
+
+
+class TestJalr:
+    def test_jalr_two_operand_form(self):
+        platform = run_program("""
+            addiu $t0, $zero, func
+            jalr  $s7, $t0
+            halt
+      func: addiu $v0, $zero, 88
+            jr    $s7
+        """)
+        assert platform.cpu.registers[2] == 88
+
+    def test_jalr_one_operand_defaults_to_ra(self):
+        platform = run_program("""
+            addiu $t0, $zero, func
+            jalr  $t0
+            halt
+      func: addiu $v0, $zero, 77
+            jr    $ra
+        """)
+        assert platform.cpu.registers[2] == 77

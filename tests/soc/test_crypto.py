@@ -1,0 +1,178 @@
+"""Tests of the XTEA crypto coprocessor: reference cipher, PIO
+protocol, and DMA mastering through the arbiter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ec import MemoryMap, data_read, data_write
+from repro.kernel import Clock, Simulator
+from repro.soc.crypto import (CRYPT_CYCLES, CTRL, CTRL_DMA_START,
+                              CTRL_START, CryptoCoprocessor, DIN0, DIN1,
+                              DmaDriver, DOUT0, DOUT1, DST, KEY0, LEN,
+                              SRC, STATUS, STATUS_BUSY, STATUS_DONE,
+                              xtea_decrypt, xtea_encrypt)
+from repro.tlm import (BlockingMaster, BusArbiter, EcBusLayer1, MemorySlave,
+                       PipelinedMaster, run_script)
+
+RAM_BASE = 0x0001_0000
+CRYPTO_BASE = 0x0005_0000
+
+KEY = [0x00010203, 0x04050607, 0x08090A0B, 0x0C0D0E0F]
+
+
+class TestReferenceCipher:
+    def test_published_test_vector(self):
+        assert xtea_encrypt(0x41424344, 0x45464748, KEY) == \
+            (0x497DF3D0, 0x72612CB5)
+
+    def test_zero_vector(self):
+        assert xtea_encrypt(0, 0, [0, 0, 0, 0]) == \
+            (0xDEE9D4D8, 0xF7131ED9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 0xFFFFFFFF), st.integers(0, 0xFFFFFFFF),
+           st.lists(st.integers(0, 0xFFFFFFFF), min_size=4, max_size=4))
+    def test_decrypt_inverts_encrypt(self, v0, v1, key):
+        assert xtea_decrypt(*xtea_encrypt(v0, v1, key), key) == (v0, v1)
+
+    def test_different_keys_different_ciphertext(self):
+        a = xtea_encrypt(1, 2, [1, 2, 3, 4])
+        b = xtea_encrypt(1, 2, [1, 2, 3, 5])
+        assert a != b
+
+
+def build_system():
+    simulator = Simulator("crypto")
+    clock = Clock(simulator, "clk", period=100)
+    memory_map = MemoryMap()
+    ram = MemorySlave(RAM_BASE, 0x1000, name="ram")
+    crypto = CryptoCoprocessor(CRYPTO_BASE)
+    memory_map.add_slave(ram, "ram")
+    memory_map.add_slave(crypto, "crypto")
+    bus = EcBusLayer1(simulator, clock, memory_map)
+    arbiter = BusArbiter(simulator, clock, bus)
+    DmaDriver(simulator, clock, crypto)
+    return simulator, clock, bus, arbiter, ram, crypto
+
+
+def reg_write(register, value):
+    return data_write(CRYPTO_BASE + 4 * register, [value])
+
+
+def reg_read(register):
+    return data_read(CRYPTO_BASE + 4 * register)
+
+
+class TestPioProtocol:
+    def test_encrypt_one_block_over_the_bus(self):
+        simulator, clock, bus, _, _, crypto = build_system()
+        script = [reg_write(KEY0 + i, KEY[i]) for i in range(4)]
+        script += [reg_write(DIN0, 0x41424344),
+                   reg_write(DIN1, 0x45464748),
+                   reg_write(CTRL, CTRL_START)]
+        # poll STATUS until DONE, then read the ciphertext out
+        polls = [reg_read(STATUS) for _ in range(CRYPT_CYCLES + 4)]
+        script += polls
+        script += [reg_read(DOUT0), reg_read(DOUT1)]
+        master = BlockingMaster(simulator, clock, bus, script)
+        run_script(simulator, master, 10_000, clock)
+        assert master.completed[-2].data == [0x497DF3D0]
+        assert master.completed[-1].data == [0x72612CB5]
+        assert crypto.blocks_processed == 1
+
+    def test_status_shows_busy_then_done(self):
+        simulator, clock, bus, _, _, crypto = build_system()
+        script = [reg_write(CTRL, CTRL_START), reg_read(STATUS)]
+        master = BlockingMaster(simulator, clock, bus, script)
+        run_script(simulator, master, 10_000, clock)
+        assert master.completed[1].data[0] & STATUS_BUSY
+        simulator.run(100 * (CRYPT_CYCLES + 2))
+        assert crypto.registers[STATUS] & STATUS_DONE
+
+    def test_engine_takes_crypt_cycles(self):
+        crypto = CryptoCoprocessor(CRYPTO_BASE)
+        crypto._on_ctrl(CTRL_START)
+        for _ in range(CRYPT_CYCLES - 1):
+            crypto.tick()
+        assert crypto.blocks_processed == 0
+        crypto.tick()
+        assert crypto.blocks_processed == 1
+
+
+class TestDma:
+    def _prepare(self, blocks):
+        simulator, clock, bus, arbiter, ram, crypto = build_system()
+        crypto.attach_dma_port(arbiter.port("crypto_dma", priority=1))
+        plaintext = []
+        for index in range(blocks):
+            v0 = 0x1000_0000 + index
+            v1 = 0x2000_0000 + index * 3
+            ram.poke(8 * index, v0)
+            ram.poke(8 * index + 4, v1)
+            plaintext.append((v0, v1))
+        for i in range(4):
+            crypto.registers[KEY0 + i] = KEY[i]
+        crypto.registers[SRC] = RAM_BASE
+        crypto.registers[DST] = RAM_BASE + 0x800
+        crypto.registers[LEN] = blocks
+        return simulator, clock, bus, ram, crypto, plaintext
+
+    def test_dma_encrypts_blocks_in_place(self):
+        blocks = 3
+        simulator, clock, bus, ram, crypto, plaintext = \
+            self._prepare(blocks)
+        crypto._on_ctrl(CTRL_DMA_START)
+        simulator.run(100 * (blocks * (CRYPT_CYCLES + 20) + 50))
+        assert not crypto.dma_active
+        assert crypto.blocks_processed == blocks
+        for index, (v0, v1) in enumerate(plaintext):
+            expected = xtea_encrypt(v0, v1, KEY)
+            got = (ram.peek(0x800 + 8 * index),
+                   ram.peek(0x800 + 8 * index + 4))
+            assert got == expected, index
+
+    def test_dma_requires_master_port(self):
+        simulator, clock, bus, arbiter, ram, crypto = build_system()
+        with pytest.raises(RuntimeError):
+            crypto._on_ctrl(CTRL_DMA_START)
+
+    def test_dma_and_cpu_share_the_bus(self):
+        """A second master hammers the bus while the DMA runs; both
+        finish and the ciphertext is still correct."""
+        blocks = 2
+        simulator, clock, bus, ram, crypto, plaintext = \
+            self._prepare(blocks)
+        # competing CPU-like traffic through a higher-priority port
+        arbiter = crypto._dma_port.arbiter
+        cpu_port = arbiter.port("cpu", priority=0)
+        cpu_script = [data_read(RAM_BASE + 0xC00 + 4 * (i % 64))
+                      for i in range(100)]
+        cpu = PipelinedMaster(simulator, clock, cpu_port, cpu_script,
+                              name="cpu")
+        crypto._on_ctrl(CTRL_DMA_START)
+        simulator.run(100 * 2_000)
+        assert cpu.done
+        assert not crypto.dma_active
+        for index, (v0, v1) in enumerate(plaintext):
+            expected = xtea_encrypt(v0, v1, KEY)
+            got = (ram.peek(0x800 + 8 * index),
+                   ram.peek(0x800 + 8 * index + 4))
+            assert got == expected
+
+    def test_dma_bus_error_aborts(self):
+        simulator, clock, bus, arbiter, ram, crypto = build_system()
+        crypto.attach_dma_port(arbiter.port("crypto_dma"))
+        crypto.registers[SRC] = 0x0800_0000  # unmapped
+        crypto.registers[DST] = RAM_BASE
+        crypto.registers[LEN] = 1
+        crypto._on_ctrl(CTRL_DMA_START)
+        simulator.run(100 * 200)
+        assert not crypto.dma_active
+        assert crypto.registers[STATUS] & (1 << 2)  # error bit
+
+    def test_energy_ledger_tracks_rounds(self):
+        simulator, clock, bus, _, _, crypto = build_system()
+        crypto._on_ctrl(CTRL_START)
+        simulator.run(100 * (CRYPT_CYCLES + 2))
+        assert crypto.event_counts["round_pair"] == CRYPT_CYCLES
+        assert crypto.event_counts["block_done"] == 1

@@ -1,0 +1,124 @@
+"""Tests of the general memory-to-memory DMA controller."""
+
+import pytest
+
+from repro.ec import MemoryMap, data_read
+from repro.kernel import Clock, Module, Simulator
+from repro.soc.dma import (CTRL, CTRL_BURST, CTRL_START, DST, LEN, SRC,
+                           STATUS, STATUS_DONE, STATUS_ERROR,
+                           DmaController)
+from repro.tlm import BusArbiter, EcBusLayer1, MemorySlave, \
+    PipelinedMaster
+
+RAM_BASE = 0x0001_0000
+DMA_BASE = 0x0009_0000
+
+
+class _Ticker(Module):
+    def __init__(self, simulator, clock, dma):
+        super().__init__(simulator, "ticker")
+        self.method(dma.tick, name="tick",
+                    sensitive=[clock.posedge_event], dont_initialize=True)
+
+
+def build(burst=False):
+    simulator = Simulator("dma")
+    clock = Clock(simulator, "clk", period=100)
+    memory_map = MemoryMap()
+    ram = MemorySlave(RAM_BASE, 0x2000, name="ram")
+    dma = DmaController(DMA_BASE)
+    memory_map.add_slave(ram, "ram")
+    memory_map.add_slave(dma, "dma")
+    bus = EcBusLayer1(simulator, clock, memory_map)
+    arbiter = BusArbiter(simulator, clock, bus)
+    dma.attach_port(arbiter.port("dma", priority=1))
+    _Ticker(simulator, clock, dma)
+    return simulator, clock, bus, arbiter, ram, dma
+
+
+def start_transfer(dma, src, dst, words, burst=False):
+    dma.registers[SRC] = src
+    dma.registers[DST] = dst
+    dma.registers[LEN] = words
+    dma._on_ctrl(CTRL_START | (CTRL_BURST if burst else 0))
+
+
+class TestBasicTransfer:
+    @pytest.mark.parametrize("burst", [False, True],
+                             ids=["single", "burst"])
+    def test_copies_a_buffer(self, burst):
+        simulator, clock, bus, _, ram, dma = build()
+        words = [0x1000 + i for i in range(10)]
+        ram.load(0, words)
+        start_transfer(dma, RAM_BASE, RAM_BASE + 0x800, 10, burst)
+        simulator.run(100 * 500)
+        assert not dma.busy
+        assert dma.registers[STATUS] & STATUS_DONE
+        assert [ram.peek(0x800 + 4 * i) for i in range(10)] == words
+        assert dma.words_moved == 10
+
+    def test_zero_length_finishes_immediately(self):
+        simulator, clock, bus, _, ram, dma = build()
+        start_transfer(dma, RAM_BASE, RAM_BASE + 0x100, 0)
+        simulator.run(100 * 50)
+        assert dma.registers[STATUS] & STATUS_DONE
+
+    def test_burst_uses_fewer_transactions(self):
+        results = {}
+        for burst in (False, True):
+            simulator, clock, bus, _, ram, dma = build()
+            ram.load(0, list(range(16)))
+            bus.enable_tracing()
+            start_transfer(dma, RAM_BASE, RAM_BASE + 0x800, 16, burst)
+            simulator.run(100 * 1000)
+            assert dma.registers[STATUS] & STATUS_DONE
+            results[burst] = len(bus.trace_log)
+        assert results[True] < results[False]
+
+    def test_unaligned_tail_handled_by_burst_mode(self):
+        simulator, clock, bus, _, ram, dma = build()
+        ram.load(0, list(range(1, 8)))  # 7 words: 4 + 2 + 1
+        start_transfer(dma, RAM_BASE, RAM_BASE + 0x800, 7, burst=True)
+        simulator.run(100 * 500)
+        assert [ram.peek(0x800 + 4 * i) for i in range(7)] == \
+            list(range(1, 8))
+
+
+class TestErrors:
+    def test_unmapped_source_sets_error(self):
+        simulator, clock, bus, _, ram, dma = build()
+        start_transfer(dma, 0x0800_0000, RAM_BASE, 4)
+        simulator.run(100 * 200)
+        assert dma.registers[STATUS] & STATUS_ERROR
+        assert not dma.busy
+
+    def test_start_without_port_raises(self):
+        dma = DmaController(DMA_BASE)
+        dma.registers[LEN] = 1
+        with pytest.raises(RuntimeError):
+            dma._on_ctrl(CTRL_START)
+
+    def test_start_while_busy_ignored(self):
+        simulator, clock, bus, _, ram, dma = build()
+        start_transfer(dma, RAM_BASE, RAM_BASE + 0x800, 16)
+        dma.tick()
+        assert dma.busy
+        start_transfer(dma, RAM_BASE, RAM_BASE + 0xC00, 1)
+        simulator.run(100 * 500)
+        # the second descriptor was dropped: only the first ran
+        assert dma.words_moved == 16
+
+
+class TestConcurrency:
+    def test_dma_and_cpu_style_master_share_bus(self):
+        simulator, clock, bus, arbiter, ram, dma = build()
+        ram.load(0, [7] * 32)
+        cpu_port = arbiter.port("cpu", priority=0)
+        cpu = PipelinedMaster(simulator, clock, cpu_port,
+                              [data_read(RAM_BASE + 0x1000 + 4 * i)
+                               for i in range(50)], name="cpu")
+        start_transfer(dma, RAM_BASE, RAM_BASE + 0x800, 32, burst=True)
+        simulator.run(100 * 2000)
+        assert cpu.done
+        assert dma.registers[STATUS] & STATUS_DONE
+        assert [ram.peek(0x800 + 4 * i) for i in range(32)] == [7] * 32

@@ -1,0 +1,112 @@
+"""Tests of the firmware routine library against Python references."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.soc import RAM_BASE, SmartCardPlatform
+from repro.soc.firmware import (checksum32_program, checksum32_reference,
+                                crc16_program, crc16_reference,
+                                memcmp_program, memcpy_program,
+                                memset_program)
+
+SRC = RAM_BASE
+DST = RAM_BASE + 0x400
+RESULT = RAM_BASE + 0x7F0
+FLAG = RAM_BASE + 0x7F8
+
+
+def run_firmware(program, setup_words=None, max_cycles=500_000):
+    platform = SmartCardPlatform(bus_layer=1, with_cpu=True)
+    if setup_words:
+        for offset, words in setup_words.items():
+            platform.ram.load(offset, words)
+    platform.load_assembly(program)
+    platform.cpu.run_to_halt(max_cycles)
+    assert platform.cpu.fault is None
+    assert platform.ram.peek(FLAG - RAM_BASE) == 1, "flag not set"
+    return platform
+
+
+class TestMemcpy:
+    def test_copies_exactly(self):
+        words = [0xDEAD0000 + i for i in range(20)]
+        platform = run_firmware(
+            memcpy_program(SRC, DST, 20, FLAG), {0: words})
+        assert [platform.ram.peek(0x400 + 4 * i)
+                for i in range(20)] == words
+
+    def test_zero_words(self):
+        platform = run_firmware(memcpy_program(SRC, DST, 0, FLAG))
+        assert platform.ram.peek(0x400) == 0
+
+
+class TestMemset:
+    def test_fills(self):
+        platform = run_firmware(memset_program(DST, 0x5A5A, 16, FLAG))
+        assert all(platform.ram.peek(0x400 + 4 * i) == 0x5A5A
+                   for i in range(16))
+
+    def test_does_not_overrun(self):
+        platform = run_firmware(memset_program(DST, 0x7777, 4, FLAG))
+        assert platform.ram.peek(0x400 + 16) == 0
+
+
+class TestMemcmp:
+    def test_equal_buffers(self):
+        words = [3, 1, 4, 1, 5]
+        platform = run_firmware(
+            memcmp_program(SRC, DST, 5, RESULT, FLAG),
+            {0: words, 0x400: list(words)})
+        assert platform.ram.peek(RESULT - RAM_BASE) == 0
+
+    def test_differing_buffers(self):
+        platform = run_firmware(
+            memcmp_program(SRC, DST, 4, RESULT, FLAG),
+            {0: [1, 2, 3, 4], 0x400: [1, 2, 9, 4]})
+        assert platform.ram.peek(RESULT - RAM_BASE) == 1
+
+
+class TestChecksum:
+    def test_known_sum(self):
+        words = [0xFFFFFFFF, 1, 2]
+        platform = run_firmware(
+            checksum32_program(SRC, 3, RESULT, FLAG), {0: words})
+        assert platform.ram.peek(RESULT - RAM_BASE) == \
+            checksum32_reference(words)
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(st.integers(0, 0xFFFFFFFF), min_size=1, max_size=12))
+    def test_checksum_property(self, words):
+        platform = run_firmware(
+            checksum32_program(SRC, len(words), RESULT, FLAG),
+            {0: words})
+        assert platform.ram.peek(RESULT - RAM_BASE) == \
+            checksum32_reference(words)
+
+
+class TestCrc16:
+    def test_reference_known_vector(self):
+        # CRC-16/CCITT-FALSE("123456789") = 0x29B1
+        assert crc16_reference(b"123456789") == 0x29B1
+
+    def test_firmware_matches_reference_on_known_vector(self):
+        data = b"123456789"
+        padded = data + bytes(-len(data) % 4)
+        words = [int.from_bytes(padded[i:i + 4], "little")
+                 for i in range(0, len(padded), 4)]
+        platform = run_firmware(
+            crc16_program(SRC, len(data), RESULT, FLAG), {0: words})
+        assert platform.ram.peek(RESULT - RAM_BASE) == 0x29B1
+
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.binary(min_size=1, max_size=16))
+    def test_firmware_crc_property(self, data):
+        padded = data + bytes(-len(data) % 4)
+        words = [int.from_bytes(padded[i:i + 4], "little")
+                 for i in range(0, len(padded), 4)]
+        platform = run_firmware(
+            crc16_program(SRC, len(data), RESULT, FLAG), {0: words})
+        assert platform.ram.peek(RESULT - RAM_BASE) == \
+            crc16_reference(data)

@@ -1,0 +1,110 @@
+"""Tests of the core's interrupt handling against the platform's
+interrupt controller (the Figure-1 interrupt system, end to end)."""
+
+import pytest
+
+from repro.soc import INTC_BASE, RAM_BASE, SmartCardPlatform, TIMER_BASE
+
+#: the platform wires the vector to ROM_BASE + 0x180 = instruction 96
+VECTOR_INDEX = 0x180 // 4
+
+
+def program_with_handler(main_body: str, handler_body: str) -> str:
+    """Main program + handler placed at the vector via nop padding."""
+    main_lines = main_body.strip("\n")
+    # count main instructions to pad up to the vector
+    count = len([line for line in main_lines.splitlines()
+                 if line.split("#")[0].strip()
+                 and not line.split("#")[0].strip().endswith(":")])
+    if count > VECTOR_INDEX:
+        raise ValueError("main body too long for the vector layout")
+    padding = "\n".join("        nop" for _ in range(VECTOR_INDEX - count))
+    return f"{main_lines}\n{padding}\nhandler:\n{handler_body}"
+
+
+TIMER_IRQ_PROGRAM = program_with_handler(
+    f"""
+        lui   $s0, {RAM_BASE >> 16:#x}
+        lui   $s1, {TIMER_BASE >> 16:#x}
+        ori   $s1, $s1, {TIMER_BASE & 0xFFFF:#x}
+        lui   $s2, {INTC_BASE >> 16:#x}
+        ori   $s2, $s2, {INTC_BASE & 0xFFFF:#x}
+        addiu $t0, $zero, 1
+        sw    $t0, 4($s2)          # INTC ENABLE line 0 (timer 0)
+        addiu $t0, $zero, 12
+        sw    $t0, 4($s1)          # timer0 RELOAD = 12
+        sw    $t0, 0($s1)          # timer0 COUNT = 12
+        addiu $t0, $zero, 7        # enable | irq | auto_reload
+        sw    $t0, 8($s1)          # timer0 CTRL
+        ei
+wait:   lw    $t1, 16($s0)         # RAM[16]: interrupts serviced
+        slti  $t2, $t1, 3
+        bne   $t2, $zero, wait
+        di
+        halt
+""",
+    """
+        lw    $t3, 16($s0)         # ticks serviced so far
+        addiu $t3, $t3, 1
+        sw    $t3, 16($s0)
+        addiu $t4, $zero, 1
+        sw    $t4, 0($s2)          # INTC PENDING: W1C acknowledge
+        eret
+""")
+
+
+class TestTimerInterrupts:
+    def test_handler_services_timer_irqs(self):
+        platform = SmartCardPlatform(with_cpu=True)
+        platform.load_assembly(TIMER_IRQ_PROGRAM)
+        platform.cpu.run_to_halt(200_000)
+        assert platform.cpu.fault is None
+        assert platform.ram.peek(16) >= 3
+        assert platform.cpu.interrupts_taken >= 3
+        assert platform.timers.overflows[0] >= 3
+
+    def test_no_interrupts_without_ei(self):
+        program = TIMER_IRQ_PROGRAM.replace("        ei\n",
+                                            "        nop\n")
+        # without ei the wait loop never ends: bound the run and check
+        platform = SmartCardPlatform(with_cpu=True)
+        platform.load_assembly(program)
+        with pytest.raises(TimeoutError):
+            platform.cpu.run_to_halt(3_000)
+        assert platform.cpu.interrupts_taken == 0
+
+    def test_epc_restores_the_interrupted_loop(self):
+        platform = SmartCardPlatform(with_cpu=True)
+        platform.load_assembly(TIMER_IRQ_PROGRAM)
+        platform.cpu.run_to_halt(200_000)
+        # the main loop ran to completion after repeated interruptions
+        assert platform.cpu.halted
+        assert not platform.cpu.in_interrupt
+
+
+class TestInterruptMachinery:
+    def test_interrupts_disabled_by_default(self):
+        platform = SmartCardPlatform(with_cpu=True)
+        assert not platform.cpu.interrupts_enabled
+
+    def test_no_reentrant_interrupts(self):
+        """While in the handler, further pending lines do not re-enter."""
+        platform = SmartCardPlatform(with_cpu=True)
+        core = platform.cpu
+        core.interrupts_enabled = True
+        platform.intc.registers[1] = 0b11
+        platform.intc.raise_irq(0)
+        assert core._maybe_take_interrupt()
+        platform.intc.raise_irq(1)
+        assert not core._maybe_take_interrupt()  # already in handler
+
+    def test_vector_and_epc(self):
+        platform = SmartCardPlatform(with_cpu=True)
+        core = platform.cpu
+        core.interrupts_enabled = True
+        core.pc = 0x40
+        platform.intc.registers[1] = 0b1
+        platform.intc.raise_irq(0)
+        assert core._maybe_take_interrupt()
+        assert core.pc == core.interrupt_vector
+        assert core.epc == 0x40

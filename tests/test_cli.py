@@ -1,0 +1,69 @@
+"""Tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    @pytest.mark.parametrize("command", [
+        "report", "table1", "table2", "table3", "figure6", "casestudy",
+        "coprocessor", "characterize", "trace", "vcd", "sweep",
+        "robustness"])
+    def test_commands_parse(self, command):
+        args = build_parser().parse_args([command])
+        assert args.command == command
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Layer one model" in out and "Layer two model" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "TL layer 2 estimation" in capsys.readouterr().out
+
+    def test_figure6(self, capsys):
+        assert main(["figure6"]) == 0
+        assert "sample cycle" in capsys.readouterr().out
+
+    def test_coprocessor(self, capsys):
+        assert main(["coprocessor", "--blocks", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "software" in out and "dma" in out
+
+    def test_characterize_writes_table(self, tmp_path, capsys):
+        output = tmp_path / "table.json"
+        assert main(["characterize", "-o", str(output)]) == 0
+        from repro.power import CharacterizationTable
+        table = CharacterizationTable.load(output)
+        assert table.coefficient("EB_A") > 0
+
+    def test_trace_to_stdout(self, capsys):
+        assert main(["trace"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# repro bus trace v1")
+
+    def test_vcd_to_file(self, tmp_path, capsys):
+        output = tmp_path / "bus.vcd"
+        assert main(["vcd", "-o", str(output)]) == 0
+        content = output.read_text()
+        assert content.startswith("$date")
+        assert "EB_A" in content
+
+    def test_trace_to_file(self, tmp_path, capsys):
+        output = tmp_path / "program.trace"
+        assert main(["trace", "-o", str(output)]) == 0
+        from repro.workloads import BusTrace
+        trace = BusTrace.load(output)
+        assert len(trace) > 10

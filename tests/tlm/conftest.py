@@ -1,0 +1,56 @@
+"""Shared fixtures for the TLM model tests: a small platform with
+memories of differing wait states, mirroring the Figure-1 smart card."""
+
+import pytest
+
+from repro.ec import AccessRights, MemoryMap, WaitStates
+from repro.kernel import Clock, Simulator
+from repro.tlm import EcBusLayer1, EcBusLayer2, ErrorSlave, MemorySlave
+
+CLOCK_PERIOD = 100
+
+ROM_BASE = 0x0000_0000
+RAM_BASE = 0x0001_0000
+EEPROM_BASE = 0x0002_0000
+ERROR_BASE = 0x000F_0000
+
+
+class Platform:
+    """A simulator + clock + memory map + bus, for one model layer."""
+
+    def __init__(self, layer, power_model=None):
+        self.simulator = Simulator("test_platform")
+        self.clock = Clock(self.simulator, "clk", period=CLOCK_PERIOD)
+        self.memory_map = MemoryMap()
+        self.rom = MemorySlave(
+            ROM_BASE, 0x1000, WaitStates(address=0, read=1),
+            AccessRights.READ | AccessRights.EXECUTE, name="rom")
+        self.ram = MemorySlave(RAM_BASE, 0x1000, WaitStates(),
+                               name="ram")
+        self.eeprom = MemorySlave(
+            EEPROM_BASE, 0x1000, WaitStates(address=1, read=2, write=3),
+            AccessRights.READ | AccessRights.WRITE, name="eeprom")
+        self.error_slave = ErrorSlave(ERROR_BASE)
+        for slave, name in ((self.rom, "rom"), (self.ram, "ram"),
+                            (self.eeprom, "eeprom"),
+                            (self.error_slave, "error")):
+            self.memory_map.add_slave(slave, name)
+        bus_class = {1: EcBusLayer1, 2: EcBusLayer2}[layer]
+        self.bus = bus_class(self.simulator, self.clock, self.memory_map,
+                             power_model=power_model)
+
+
+@pytest.fixture
+def l1():
+    return Platform(layer=1)
+
+
+@pytest.fixture
+def l2():
+    return Platform(layer=2)
+
+
+@pytest.fixture(params=[1, 2], ids=["layer1", "layer2"])
+def any_layer(request):
+    """Run a test against both bus layers."""
+    return Platform(layer=request.param)

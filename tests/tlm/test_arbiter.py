@@ -1,0 +1,135 @@
+"""Tests of the multi-master bus arbiter."""
+
+import pytest
+
+from repro.ec import BusState, MemoryMap, WaitStates, data_read, data_write
+from repro.kernel import Clock, Simulator
+from repro.tlm import (BlockingMaster, BusArbiter, EcBusLayer1, MemorySlave,
+                       PipelinedMaster, run_script)
+
+RAM_BASE = 0x1000
+
+
+def build(policy="priority", grants_per_cycle=1, ram_waits=WaitStates()):
+    simulator = Simulator("arb")
+    clock = Clock(simulator, "clk", period=100)
+    memory_map = MemoryMap()
+    ram = MemorySlave(RAM_BASE, 0x1000, ram_waits, name="ram")
+    memory_map.add_slave(ram, "ram")
+    bus = EcBusLayer1(simulator, clock, memory_map)
+    arbiter = BusArbiter(simulator, clock, bus, policy=policy,
+                         grants_per_cycle=grants_per_cycle)
+    return simulator, clock, bus, arbiter, ram
+
+
+class TestConstruction:
+    def test_policy_validation(self):
+        simulator, clock, bus, _, _ = build()
+        with pytest.raises(ValueError):
+            BusArbiter(simulator, clock, bus, policy="coin_flip")
+
+    def test_grants_validation(self):
+        simulator, clock, bus, _, _ = build()
+        with pytest.raises(ValueError):
+            BusArbiter(simulator, clock, bus, grants_per_cycle=0)
+
+
+class TestSingleMaster:
+    def test_transactions_complete_through_port(self):
+        simulator, clock, bus, arbiter, ram = build()
+        port = arbiter.port("cpu")
+        script = [data_write(RAM_BASE, [0x77]), data_read(RAM_BASE)]
+        master = BlockingMaster(simulator, clock, port, script)
+        run_script(simulator, master, 1_000, clock)
+        assert master.completed[1].data == [0x77]
+        assert port.grants == 2
+
+    def test_arbitration_adds_one_cycle_latency(self):
+        # the same blocking script takes one extra cycle per
+        # transaction through the registered arbiter
+        def run(arbitrated):
+            simulator, clock, bus, arbiter, _ = build()
+            interface = arbiter.port("cpu") if arbitrated else bus
+            script = [data_read(RAM_BASE + 4 * i) for i in range(4)]
+            master = BlockingMaster(simulator, clock, interface, script)
+            run_script(simulator, master, 1_000, clock)
+            return max(t.data_done_cycle for t in master.completed)
+
+        direct_last = run(arbitrated=False)
+        arbitrated_last = run(arbitrated=True)
+        # one extra cycle of registered-arbitration latency per txn
+        assert arbitrated_last == direct_last + 4
+
+
+class TestPriorityPolicy:
+    def test_high_priority_master_wins_contention(self):
+        simulator, clock, bus, arbiter, _ = build(policy="priority")
+        fast_port = arbiter.port("cpu", priority=0)
+        slow_port = arbiter.port("dma", priority=5)
+        fast_txns = [data_read(RAM_BASE + 4 * i) for i in range(6)]
+        slow_txns = [data_read(RAM_BASE + 0x100 + 4 * i)
+                     for i in range(6)]
+        fast = PipelinedMaster(simulator, clock, fast_port,
+                               list(fast_txns), name="fast")
+        slow = PipelinedMaster(simulator, clock, slow_port,
+                               list(slow_txns), name="slow")
+        simulator.run(100 * 200)
+        assert fast.done and slow.done
+        # with one grant per cycle the high-priority master's stream
+        # finishes no later than the low-priority one's
+        fast_finish = max(t.data_done_cycle for t in fast_txns)
+        slow_finish = max(t.data_done_cycle for t in slow_txns)
+        assert fast_finish <= slow_finish
+        # and the low-priority port waited longer per transaction
+        assert slow_port.wait_cycles > fast_port.wait_cycles
+
+
+class TestRoundRobinPolicy:
+    def test_both_masters_make_progress(self):
+        simulator, clock, bus, arbiter, _ = build(policy="round_robin")
+        port_a = arbiter.port("a")
+        port_b = arbiter.port("b")
+        txns_a = [data_read(RAM_BASE + 4 * i) for i in range(8)]
+        txns_b = [data_read(RAM_BASE + 0x200 + 4 * i) for i in range(8)]
+        master_a = PipelinedMaster(simulator, clock, port_a,
+                                   list(txns_a), name="a")
+        master_b = PipelinedMaster(simulator, clock, port_b,
+                                   list(txns_b), name="b")
+        simulator.run(100 * 300)
+        assert master_a.done and master_b.done
+        # fairness: completions interleave rather than serialise
+        order = sorted(txns_a + txns_b, key=lambda t: t.data_done_cycle)
+        first_half = order[:8]
+        assert any(t in txns_a for t in first_half)
+        assert any(t in txns_b for t in first_half)
+
+
+class TestThroughput:
+    def test_grants_per_cycle_bounds_acceptance(self):
+        simulator, clock, bus, arbiter, _ = build(grants_per_cycle=1)
+        port = arbiter.port("cpu")
+        txns = [data_read(RAM_BASE + 4 * i) for i in range(4)]
+        master = PipelinedMaster(simulator, clock, port, list(txns))
+        simulator.run(100 * 100)
+        # with one grant per cycle, issue cycles are strictly increasing
+        issues = sorted(t.issue_cycle for t in txns)
+        assert len(set(issues)) == len(issues)
+
+    def test_wider_arbiter_accepts_in_parallel(self):
+        simulator, clock, bus, arbiter, _ = build(grants_per_cycle=4)
+        port = arbiter.port("cpu")
+        txns = [data_read(RAM_BASE + 4 * i) for i in range(4)]
+        master = PipelinedMaster(simulator, clock, port, list(txns))
+        simulator.run(100 * 100)
+        issues = [t.issue_cycle for t in txns]
+        assert len(set(issues)) < len(issues)  # some same-cycle grants
+
+    def test_total_grants_counted(self):
+        simulator, clock, bus, arbiter, _ = build()
+        port = arbiter.port("cpu")
+        master = PipelinedMaster(
+            simulator, clock, port,
+            [data_read(RAM_BASE + 4 * i) for i in range(5)])
+        simulator.run(100 * 100)
+        assert arbiter.total_grants == 5
+        assert arbiter.pending_requests == 0

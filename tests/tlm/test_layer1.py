@@ -1,0 +1,235 @@
+"""Unit tests for the cycle-accurate layer-1 bus model.
+
+The cycle counts asserted here define the protocol's reference timing:
+single transfer latency = address wait states + (data waits + 1) per
+beat; pipelined streams are limited by the data phase; reads and writes
+reorder across their separate queues (§3.1, §4.1 examples).
+"""
+
+import pytest
+
+from repro.ec import BusState, MergePattern, data_read, data_write, \
+    instruction_fetch
+from repro.tlm import BlockingMaster, PipelinedMaster, run_script
+
+from .conftest import EEPROM_BASE, ERROR_BASE, RAM_BASE, ROM_BASE
+
+
+def run_blocking(platform, script, max_cycles=10_000):
+    master = BlockingMaster(platform.simulator, platform.clock,
+                            platform.bus, script)
+    cycles = run_script(platform.simulator, master, max_cycles,
+                        platform.clock)
+    return master, cycles
+
+
+def run_pipelined(platform, script, window=4, max_cycles=10_000):
+    master = PipelinedMaster(platform.simulator, platform.clock,
+                             platform.bus, script, window=window)
+    cycles = run_script(platform.simulator, master, max_cycles,
+                        platform.clock)
+    return master, cycles
+
+
+class TestSingleTransfers:
+    def test_zero_wait_read_occupies_one_cycle(self, l1):
+        master, _ = run_blocking(l1, [data_read(RAM_BASE)])
+        txn = master.completed[0]
+        assert txn.state is BusState.OK
+        assert txn.latency_cycles == 0  # request -> finish in one cycle
+
+    def test_read_returns_written_data(self, l1):
+        script = [data_write(RAM_BASE + 8, [0xCAFEBABE]),
+                  data_read(RAM_BASE + 8)]
+        master, _ = run_blocking(l1, script)
+        assert master.completed[1].data == [0xCAFEBABE]
+
+    def test_address_wait_states_delay_completion(self, l1):
+        # eeprom: address=1, read=2 -> latency = 1 + 2 = 3 cycles
+        master, _ = run_blocking(l1, [data_read(EEPROM_BASE)])
+        assert master.completed[0].latency_cycles == 3
+
+    def test_write_wait_states(self, l1):
+        # eeprom write: address=1, write=3 -> latency 4
+        master, _ = run_blocking(l1, [data_write(EEPROM_BASE, [1])])
+        assert master.completed[0].latency_cycles == 4
+
+    def test_rom_read_wait_state(self, l1):
+        # rom: address=0, read=1 -> latency 1
+        master, _ = run_blocking(l1, [data_read(ROM_BASE)])
+        assert master.completed[0].latency_cycles == 1
+
+    def test_byte_write_merges_lanes(self, l1):
+        script = [
+            data_write(RAM_BASE, [0x11223344]),
+            data_write(RAM_BASE + 1, [0xAA << 8], MergePattern.BYTE),
+            data_read(RAM_BASE),
+        ]
+        master, _ = run_blocking(l1, script)
+        assert master.completed[2].data == [0x1122AA44]
+
+    def test_halfword_write(self, l1):
+        script = [
+            data_write(RAM_BASE, [0x11223344]),
+            data_write(RAM_BASE + 2, [0xBEEF << 16], MergePattern.HALFWORD),
+            data_read(RAM_BASE),
+        ]
+        master, _ = run_blocking(l1, script)
+        assert master.completed[2].data == [0xBEEF3344]
+
+    def test_instruction_fetch_requires_execute_right(self, l1):
+        master, _ = run_blocking(l1, [instruction_fetch(ROM_BASE)])
+        assert master.completed[0].state is BusState.OK
+        master2, _ = run_blocking(l1, [instruction_fetch(RAM_BASE + 0x10)])
+        # ram has ALL rights, so this succeeds too
+        assert master2.completed[0].state is BusState.OK
+        master3, _ = run_blocking(l1, [instruction_fetch(EEPROM_BASE)])
+        # eeprom: READ|WRITE only -> execute denied
+        assert master3.completed[0].state is BusState.ERROR
+
+
+class TestBursts:
+    def test_burst_read_latency(self, l1):
+        # ram burst of 4, zero waits: 4 data cycles -> latency 3
+        master, _ = run_blocking(l1, [data_read(RAM_BASE, burst_length=4)])
+        assert master.completed[0].latency_cycles == 3
+
+    def test_burst_read_with_wait_states(self, l1):
+        # eeprom burst of 4: addr 1 + 4 beats * (2+1) = 13 -> latency 12
+        master, _ = run_blocking(l1,
+                                 [data_read(EEPROM_BASE, burst_length=4)])
+        assert master.completed[0].latency_cycles == 12
+
+    def test_burst_write_data_lands_in_memory(self, l1):
+        payload = [0x10, 0x20, 0x30, 0x40]
+        master, _ = run_blocking(l1, [data_write(RAM_BASE + 0x40, payload)])
+        assert master.completed[0].state is BusState.OK
+        for i, word in enumerate(payload):
+            assert l1.ram.peek(0x40 + 4 * i) == word
+
+    def test_burst_read_collects_all_beats(self, l1):
+        l1.ram.load(0x80, [7, 8, 9, 10])
+        master, _ = run_blocking(l1,
+                                 [data_read(RAM_BASE + 0x80, burst_length=4)])
+        assert master.completed[0].data == [7, 8, 9, 10]
+
+    def test_burst_crossing_slave_boundary_errors(self, l1):
+        txn = data_read(RAM_BASE + 0x1000 - 8, burst_length=4)
+        master, _ = run_blocking(l1, [txn])
+        assert master.completed[0].state is BusState.ERROR
+
+
+class TestErrors:
+    def test_unmapped_address_is_bus_error(self, l1):
+        master, _ = run_blocking(l1, [data_read(0x0800_0000)])
+        assert master.completed[0].state is BusState.ERROR
+        assert master.errors
+
+    def test_rights_violation_is_bus_error(self, l1):
+        master, _ = run_blocking(l1, [data_write(ROM_BASE, [1])])
+        assert master.completed[0].state is BusState.ERROR
+
+    def test_error_slave_signals_error_in_data_phase(self, l1):
+        master, _ = run_blocking(l1, [data_read(ERROR_BASE)])
+        assert master.completed[0].state is BusState.ERROR
+
+    def test_error_does_not_wedge_the_bus(self, l1):
+        script = [data_read(0x0800_0000), data_read(RAM_BASE)]
+        master, _ = run_blocking(l1, script)
+        assert master.completed[0].state is BusState.ERROR
+        assert master.completed[1].state is BusState.OK
+
+    def test_budget_released_after_error(self, l1):
+        script = [data_read(0x0800_0000) for _ in range(8)]
+        master, _ = run_blocking(l1, script)
+        assert len(master.errors) == 8
+        assert l1.bus.budget.total_in_flight() == 0
+
+
+class TestPipelining:
+    def test_back_to_back_reads_one_per_cycle(self, l1):
+        # 8 zero-wait single reads, pipelined: data phase is the
+        # bottleneck at one beat per cycle
+        script = [data_read(RAM_BASE + 4 * i) for i in range(8)]
+        master, cycles = run_pipelined(l1, script)
+        busy = (master.completed[-1].data_done_cycle
+                - master.completed[0].issue_cycle + 1)
+        assert busy == 8
+
+    def test_blocking_back_to_back_matches_pipelined(self, l1):
+        # the blocking master re-issues in the completion cycle, so
+        # zero-wait single reads also stream at one per cycle
+        script = [data_read(RAM_BASE + 4 * i) for i in range(8)]
+        master, _ = run_blocking(l1, script)
+        busy = (master.completed[-1].data_done_cycle
+                - master.completed[0].issue_cycle + 1)
+        assert busy == 8
+
+    def test_address_pipelines_over_data(self, l1):
+        # eeprom reads: addr tenure 2 cycles, data 3 cycles/beat.
+        # pipelined stream is data-limited: 3 cycles per transaction.
+        script = [data_read(EEPROM_BASE + 4 * i) for i in range(6)]
+        master, cycles = run_pipelined(l1, script)
+        first = master.completed[0]
+        last = master.completed[-1]
+        busy = last.data_done_cycle - first.issue_cycle + 1
+        # first txn: 1 addr wait + 3 data cycles = 4; 5 more at 3 each
+        assert busy == 4 + 5 * 3
+
+    def test_outstanding_budget_enforced(self, l1):
+        # 6 reads of the slow eeprom with a large master window: the
+        # 4-deep data-read budget must cap concurrency
+        script = [data_read(EEPROM_BASE + 4 * i) for i in range(6)]
+        master, _ = run_pipelined(l1, script, window=6)
+        assert master.done
+        from repro.ec import TransactionKind
+        assert l1.bus.budget.peak[TransactionKind.DATA_READ] <= 4
+
+    def test_read_write_reordering(self, l1):
+        # a slow eeprom read followed by a fast ram write: the write
+        # finishes first because read and write queues are independent
+        read = data_read(EEPROM_BASE)
+        write = data_write(RAM_BASE, [1])
+        master, _ = run_pipelined(l1, [read, write])
+        assert write.data_done_cycle < read.data_done_cycle
+
+    def test_instruction_and_data_interleave(self, l1):
+        script = [instruction_fetch(ROM_BASE, burst_length=4),
+                  data_read(RAM_BASE),
+                  instruction_fetch(ROM_BASE + 0x10, burst_length=4)]
+        master, _ = run_pipelined(l1, script)
+        assert all(t.state is BusState.OK for t in master.completed)
+
+
+class TestIdleGaps:
+    def test_gap_delays_issue(self, l1):
+        first = data_read(RAM_BASE)
+        second = data_read(RAM_BASE + 4)
+        master, _ = run_blocking(l1, [first, (5, second)])
+        assert second.issue_cycle - first.data_done_cycle >= 5
+
+    def test_gap_before_first_transaction(self, l1):
+        txn = data_read(RAM_BASE)
+        master, _ = run_blocking(l1, [(3, txn)])
+        assert master.done
+
+
+class TestBookkeeping:
+    def test_queues_drain_completely(self, l1):
+        script = [data_read(RAM_BASE + 4 * i) for i in range(5)]
+        run_pipelined(l1, script)
+        assert not l1.bus.busy
+        assert len(l1.bus.request_queue) == 0
+        assert len(l1.bus.read_queue) == 0
+        assert len(l1.bus.finish_pool) == 0
+
+    def test_transactions_completed_counter(self, l1):
+        script = [data_read(RAM_BASE)] * 1  # single item
+        master, _ = run_blocking(l1, script)
+        assert l1.bus.transactions_completed == 1
+
+    def test_slave_access_counters(self, l1):
+        run_blocking(l1, [data_read(RAM_BASE, burst_length=4),
+                          data_write(RAM_BASE, [1, 2])])
+        assert l1.ram.reads == 4
+        assert l1.ram.writes == 2

@@ -1,0 +1,166 @@
+"""Unit tests for the timed layer-2 bus model.
+
+Layer 2 must match layer 1 cycle-for-cycle whenever slave wait states
+are static (its counters are exact then); its documented inaccuracy —
+the wait-state snapshot at request creation (§3.2) — is demonstrated by
+a slave whose wait states change while requests are queued.
+"""
+
+import pytest
+
+from repro.ec import (BusState, MergePattern, WaitStates, data_read,
+                      data_write, instruction_fetch)
+from repro.tlm import BlockingMaster, PipelinedMaster, run_script
+
+from .conftest import EEPROM_BASE, ERROR_BASE, RAM_BASE, ROM_BASE, Platform
+
+
+def run_master(platform, script, pipelined=False, max_cycles=10_000):
+    cls = PipelinedMaster if pipelined else BlockingMaster
+    master = cls(platform.simulator, platform.clock, platform.bus, script)
+    run_script(platform.simulator, master, max_cycles, platform.clock)
+    return master
+
+
+class TestFunctionalBehaviour:
+    def test_read_returns_written_data(self, l2):
+        script = [data_write(RAM_BASE + 8, [0x1234]),
+                  data_read(RAM_BASE + 8)]
+        master = run_master(l2, script)
+        assert master.completed[1].data == [0x1234]
+
+    def test_burst_block_transfer(self, l2):
+        l2.ram.load(0, [5, 6, 7, 8])
+        master = run_master(l2, [data_read(RAM_BASE, burst_length=4)])
+        assert master.completed[0].data == [5, 6, 7, 8]
+
+    def test_burst_write_block(self, l2):
+        master = run_master(l2, [data_write(RAM_BASE, [9, 10, 11, 12])])
+        assert [l2.ram.peek(i * 4) for i in range(4)] == [9, 10, 11, 12]
+
+    def test_sub_word_write(self, l2):
+        script = [data_write(RAM_BASE, [0xAABBCCDD]),
+                  data_write(RAM_BASE + 3, [0x11 << 24], MergePattern.BYTE),
+                  data_read(RAM_BASE)]
+        master = run_master(l2, script)
+        assert master.completed[2].data == [0x11BBCCDD]
+
+    def test_unmapped_address_errors(self, l2):
+        master = run_master(l2, [data_read(0x0800_0000)])
+        assert master.completed[0].state is BusState.ERROR
+
+    def test_rights_violation_errors(self, l2):
+        master = run_master(l2, [data_write(ROM_BASE, [1])])
+        assert master.completed[0].state is BusState.ERROR
+
+    def test_error_slave_propagates(self, l2):
+        master = run_master(l2, [data_read(ERROR_BASE)])
+        assert master.completed[0].state is BusState.ERROR
+
+    def test_budget_released_after_completion(self, l2):
+        script = [data_read(RAM_BASE + 4 * i) for i in range(10)]
+        run_master(l2, script, pipelined=True)
+        assert l2.bus.budget.total_in_flight() == 0
+
+
+class TestTimingMatchesLayer1WhenStatic:
+    """With static wait states layer 2's counters are exact."""
+
+    SCRIPTS = {
+        "single_reads": lambda: [data_read(RAM_BASE + 4 * i)
+                                 for i in range(8)],
+        "eeprom_reads": lambda: [data_read(EEPROM_BASE + 4 * i)
+                                 for i in range(4)],
+        "bursts": lambda: [data_read(RAM_BASE, burst_length=4),
+                           data_read(EEPROM_BASE, burst_length=4),
+                           data_write(RAM_BASE + 0x20, [1, 2, 3, 4])],
+        "mixed": lambda: [instruction_fetch(ROM_BASE, burst_length=4),
+                          data_read(EEPROM_BASE),
+                          data_write(RAM_BASE, [7]),
+                          data_read(RAM_BASE),
+                          data_write(EEPROM_BASE + 8, [9, 10])],
+        "with_gaps": lambda: [data_read(RAM_BASE),
+                              (3, data_read(EEPROM_BASE)),
+                              (1, data_write(RAM_BASE, [5]))],
+    }
+
+    @pytest.mark.parametrize("script_name", sorted(SCRIPTS))
+    @pytest.mark.parametrize("pipelined", [False, True],
+                             ids=["blocking", "pipelined"])
+    def test_completion_cycles_match(self, script_name, pipelined):
+        results = {}
+        for layer in (1, 2):
+            platform = Platform(layer)
+            script = self.SCRIPTS[script_name]()
+            master = run_master(platform, script, pipelined=pipelined)
+            results[layer] = [
+                (t.issue_cycle, t.address_done_cycle, t.data_done_cycle)
+                for t in master.completed]
+        assert results[1] == results[2]
+
+    def test_single_latencies(self, l2):
+        master = run_master(l2, [data_read(RAM_BASE)])
+        assert master.completed[0].latency_cycles == 0
+        platform = Platform(2)
+        master = run_master(platform, [data_read(EEPROM_BASE)])
+        assert master.completed[0].latency_cycles == 3  # addr 1 + read 2
+
+    def test_burst_latency(self, l2):
+        master = run_master(l2, [data_read(EEPROM_BASE, burst_length=4)])
+        # addr 1 + 4 * (2 + 1) = 13 cycles -> latency 12
+        assert master.completed[0].latency_cycles == 12
+
+
+class TestSnapshotInaccuracy:
+    """The documented layer-2 error: stale wait-state snapshots."""
+
+    def _run_with_dynamic_eeprom(self, layer):
+        platform = Platform(layer)
+        # two eeprom reads issued back to back; after the first is
+        # accepted the eeprom becomes slower (programming busy)
+        first = data_read(EEPROM_BASE)
+        second = data_read(EEPROM_BASE + 4)
+        third = data_read(EEPROM_BASE + 8)
+
+        original = platform.eeprom.wait_states
+
+        def slow_down(value):
+            platform.eeprom.wait_states = WaitStates(
+                address=original.address, read=original.read + 4,
+                write=original.write)
+
+        master = PipelinedMaster(platform.simulator, platform.clock,
+                                 platform.bus, [first, second, third])
+        # slow the slave down two cycles into the run
+        from repro.kernel import Process
+        ticks = []
+
+        def saboteur():
+            ticks.append(1)
+            if len(ticks) == 2:
+                slow_down(None)
+
+        Process(platform.simulator, saboteur, "saboteur",
+                dont_initialize=True).sensitive(
+            platform.clock.posedge_event)
+        run_script(platform.simulator, master, 10_000, platform.clock)
+        return [t.data_done_cycle for t in master.completed]
+
+    def test_layers_diverge_under_dynamic_wait_states(self):
+        done1 = self._run_with_dynamic_eeprom(1)
+        done2 = self._run_with_dynamic_eeprom(2)
+        # layer 1 sees the slowdown live; layer 2 used the snapshot
+        # taken at request creation for requests already accepted
+        assert done1 != done2
+        assert done1[-1] > done2[-1]
+
+
+class TestBookkeeping:
+    def test_bus_not_busy_after_drain(self, l2):
+        run_master(l2, [data_read(RAM_BASE + 4 * i) for i in range(5)],
+                   pipelined=True)
+        assert not l2.bus.busy
+
+    def test_transactions_completed(self, l2):
+        run_master(l2, [data_read(RAM_BASE), data_write(RAM_BASE, [1])])
+        assert l2.bus.transactions_completed == 2

@@ -1,0 +1,152 @@
+"""Direct unit tests for the transaction queues, the finish pool and
+the behavioural-slave building blocks."""
+
+import pytest
+
+from repro.ec import (AccessRights, BusState, SlaveResponse, WaitStates,
+                      data_read, data_write)
+from repro.tlm.queues import FinishPool, TransactionQueue
+from repro.tlm.slave import (BehaviouralSlave, ErrorSlave, MemorySlave,
+                             RegisterSlave, _lane_merge)
+
+
+class TestTransactionQueue:
+    def test_fifo_order(self):
+        queue = TransactionQueue("q")
+        first, second = data_read(0x0), data_read(0x4)
+        queue.push(first)
+        queue.push(second)
+        assert queue.head() is first
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_empty_head_is_none(self):
+        assert TransactionQueue("q").head() is None
+
+    def test_bool_and_len(self):
+        queue = TransactionQueue("q")
+        assert not queue and len(queue) == 0
+        queue.push(data_read(0x0))
+        assert queue and len(queue) == 1
+
+    def test_statistics(self):
+        queue = TransactionQueue("q")
+        for i in range(3):
+            queue.push(data_read(4 * i))
+        queue.pop()
+        queue.push(data_read(0x100))
+        assert queue.total_pushed == 4
+        assert queue.peak_occupancy == 3
+
+    def test_iteration(self):
+        queue = TransactionQueue("q")
+        txns = [data_read(4 * i) for i in range(3)]
+        for txn in txns:
+            queue.push(txn)
+        assert list(queue) == txns
+
+
+class TestFinishPool:
+    def test_collect_by_identity(self):
+        pool = FinishPool()
+        txn = data_read(0x0)
+        pool.push(txn)
+        assert txn in pool
+        assert pool.collect(txn)
+        assert not pool.collect(txn)  # gone after pickup
+
+    def test_collect_wrong_transaction(self):
+        pool = FinishPool()
+        pool.push(data_read(0x0))
+        assert not pool.collect(data_read(0x4))
+        assert len(pool) == 1
+
+    def test_total_finished(self):
+        pool = FinishPool()
+        for i in range(5):
+            pool.push(data_read(4 * i))
+        assert pool.total_finished == 5
+
+
+class TestLaneMerge:
+    @pytest.mark.parametrize("old,new,enables,expected", [
+        (0x11223344, 0xAABBCCDD, 0b1111, 0xAABBCCDD),
+        (0x11223344, 0xAABBCCDD, 0b0001, 0x112233DD),
+        (0x11223344, 0xAABBCCDD, 0b1000, 0xAA223344),
+        (0x11223344, 0xAABBCCDD, 0b0110, 0x11BBCC44),
+        (0x11223344, 0xAABBCCDD, 0b0000, 0x11223344),
+    ])
+    def test_merge(self, old, new, enables, expected):
+        assert _lane_merge(old, new, enables) == expected
+
+
+class TestBlockInterface:
+    def test_read_block_returns_words(self):
+        memory = MemorySlave(0x0, 0x100)
+        memory.load(0, [1, 2, 3, 4])
+        words, error = memory.read_block(0, 4, 0b1111)
+        assert not error
+        assert words == [1, 2, 3, 4]
+        assert memory.reads == 4
+
+    def test_write_block_stores_words(self):
+        memory = MemorySlave(0x0, 0x100)
+        error = memory.write_block(8, [7, 8], 0b1111)
+        assert not error
+        assert memory.peek(8) == 7 and memory.peek(12) == 8
+        assert memory.writes == 2
+
+    def test_single_beat_block_respects_enables(self):
+        memory = MemorySlave(0x0, 0x100)
+        memory.poke(0, 0x11223344)
+        memory.write_block(0, [0x000000FF], 0b0001)
+        assert memory.peek(0) == 0x112233FF
+
+    def test_error_slave_blocks_report_error(self):
+        slave = ErrorSlave(0x0)
+        words, error = slave.read_block(0, 2, 0b1111)
+        assert error and words == []
+        assert slave.write_block(0, [1], 0b1111)
+
+
+class TestRegisterSlaveHooks:
+    def test_read_hook_overrides_storage(self):
+        regs = RegisterSlave(0x0, 4)
+        regs.on_read(2, lambda: 0x1234)
+        assert regs.do_read(8, 0b1111).data == 0x1234
+
+    def test_write_hook_sees_merged_value(self):
+        seen = []
+        regs = RegisterSlave(0x0, 4)
+        regs.registers[1] = 0xAABBCCDD
+        regs.on_write(1, seen.append)
+        regs.do_write(4, 0b0001, 0x000000EE)
+        assert seen == [0xAABBCCEE]
+
+    def test_unhooked_register_is_plain_storage(self):
+        regs = RegisterSlave(0x0, 4)
+        regs.do_write(12, 0b1111, 99)
+        assert regs.do_read(12, 0b1111).data == 99
+
+
+class TestSlaveConstruction:
+    def test_memory_size_must_be_word_multiple(self):
+        with pytest.raises(ValueError):
+            MemorySlave(0x0, 0x101)
+
+    def test_offset_of_validates_window(self):
+        memory = MemorySlave(0x1000, 0x100)
+        assert memory.offset_of(0x1004) == 4
+        with pytest.raises(ValueError):
+            memory.offset_of(0x2000)
+
+    def test_contains(self):
+        memory = MemorySlave(0x1000, 0x100)
+        assert memory.contains(0x1000)
+        assert memory.contains(0x10FF)
+        assert not memory.contains(0x1100)
+
+    def test_wait_states_setter(self):
+        memory = MemorySlave(0x0, 0x100)
+        memory.wait_states = WaitStates(read=3)
+        assert memory.wait_states.read == 3

@@ -1,0 +1,81 @@
+"""Tests of the APDU-session workload generator."""
+
+import random
+
+import pytest
+
+from repro.ec import BusState, TransactionKind
+from repro.kernel import Clock, Simulator
+from repro.soc.smartcard import EEPROM_BASE, SmartCardPlatform, UART_BASE
+from repro.tlm import PipelinedMaster, run_script
+from repro.workloads import apdu_session
+from repro.workloads.apdu import COMMANDS
+
+
+class TestGeneration:
+    def test_session_begins_with_select(self):
+        session = apdu_session(random.Random(1), commands=5)
+        assert session.commands[0] == "select"
+
+    def test_command_count(self):
+        session = apdu_session(random.Random(2), commands=8)
+        assert len(session.commands) == 8
+        assert sum(session.histogram().values()) == 8
+
+    def test_reproducible_for_seed(self):
+        def summary(seed):
+            session = apdu_session(random.Random(seed), commands=12)
+            items = []
+            for item in session.script:
+                gap, txn = item if isinstance(item, tuple) else (0, item)
+                items.append((gap, txn.kind, txn.address,
+                              txn.burst_length, tuple(txn.data)))
+            return session.commands, items
+
+        assert summary(7) == summary(7)
+
+    def test_different_seeds_differ(self):
+        a = apdu_session(random.Random(1), commands=12)
+        b = apdu_session(random.Random(2), commands=12)
+        assert a.commands != b.commands or len(a) != len(b)
+
+    def test_histogram_keys(self):
+        session = apdu_session(random.Random(3), commands=30)
+        assert set(session.histogram()) == set(COMMANDS)
+
+    def test_contains_fetch_and_data_traffic(self):
+        session = apdu_session(random.Random(4), commands=10)
+        kinds = set()
+        for item in session.script:
+            txn = item[1] if isinstance(item, tuple) else item
+            kinds.add(txn.kind)
+        assert TransactionKind.INSTRUCTION_READ in kinds
+        assert TransactionKind.DATA_READ in kinds
+        assert TransactionKind.DATA_WRITE in kinds
+
+
+class TestExecution:
+    @pytest.mark.parametrize("layer", [1, 2])
+    def test_session_runs_clean_on_platform(self, layer):
+        platform = SmartCardPlatform(bus_layer=layer)
+        for region in platform.memory_map.regions:
+            if hasattr(region.slave, "bind_cycle_source"):
+                region.slave.bind_cycle_source(
+                    lambda: platform.bus.cycle)
+        session = apdu_session(random.Random(5), commands=12)
+        master = PipelinedMaster(platform.simulator, platform.clock,
+                                 platform.bus, session.script)
+        run_script(platform.simulator, master, 100_000, platform.clock)
+        assert master.done
+        assert all(t.state is BusState.OK for t in master.completed)
+
+    def test_update_record_touches_eeprom(self):
+        platform = SmartCardPlatform(bus_layer=1)
+        rng = random.Random(6)
+        # force sessions until one contains an update_record
+        session = apdu_session(rng, commands=20)
+        assert "update_record" in session.commands
+        master = PipelinedMaster(platform.simulator, platform.clock,
+                                 platform.bus, session.script)
+        run_script(platform.simulator, master, 200_000, platform.clock)
+        assert platform.eeprom.writes > 0

@@ -1,0 +1,112 @@
+"""Tests for the random workload generators (reproducibility, mixes,
+windows)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ec import Transaction, TransactionKind
+from repro.workloads import (Mix, TABLE3_MIX, Window, generate_script,
+                             sub_word_script, table3_script)
+
+
+def transactions_of(script):
+    return [item[1] if isinstance(item, tuple) else item
+            for item in script]
+
+
+class TestGenerateScript:
+    def test_reproducible_for_seed(self):
+        windows = [Window(0x1000, 0x1000)]
+        a = generate_script(random.Random(7), 50, windows)
+        b = generate_script(random.Random(7), 50, windows)
+        summary_a = [(t.kind, t.address, t.burst_length, tuple(t.data))
+                     for t in transactions_of(a)]
+        summary_b = [(t.kind, t.address, t.burst_length, tuple(t.data))
+                     for t in transactions_of(b)]
+        assert summary_a == summary_b
+
+    def test_count(self):
+        script = generate_script(random.Random(1), 123,
+                                 [Window(0x0, 0x1000)])
+        assert len(script) == 123
+
+    def test_addresses_stay_in_windows(self):
+        windows = [Window(0x1000, 0x800), Window(0x4000, 0x400)]
+        script = generate_script(random.Random(3), 200, windows)
+        for txn in transactions_of(script):
+            in_any = any(w.base <= txn.address
+                         and txn.address + txn.num_bytes <= w.base + w.size
+                         for w in windows)
+            assert in_any, hex(txn.address)
+
+    def test_write_only_to_writable_windows(self):
+        windows = [Window(0x1000, 0x400, writable=False),
+                   Window(0x2000, 0x400, writable=True)]
+        script = generate_script(random.Random(5), 100, windows)
+        for txn in transactions_of(script):
+            if txn.kind is TransactionKind.DATA_WRITE:
+                assert txn.address >= 0x2000
+
+    def test_instruction_bursts_need_executable_window(self):
+        mix = Mix(0, 0, 0, 0, instruction_burst=1.0)
+        with pytest.raises(ValueError):
+            generate_script(random.Random(1), 10,
+                            [Window(0x0, 0x1000, executable=False)], mix)
+
+    def test_instruction_bursts_land_in_executable_window(self):
+        mix = Mix(0, 0, 0, 0, instruction_burst=1.0)
+        windows = [Window(0x0, 0x1000, executable=True)]
+        script = generate_script(random.Random(1), 20, windows, mix)
+        for txn in transactions_of(script):
+            assert txn.kind is TransactionKind.INSTRUCTION_READ
+            assert txn.burst_length == 4
+
+    def test_empty_windows_rejected(self):
+        with pytest.raises(ValueError):
+            generate_script(random.Random(1), 10, [])
+
+    def test_gap_probability_produces_gaps(self):
+        script = generate_script(random.Random(9), 200,
+                                 [Window(0x0, 0x1000)],
+                                 gap_probability=0.5, max_gap=3)
+        gaps = [item for item in script if isinstance(item, tuple)]
+        assert gaps
+        assert all(1 <= gap <= 3 for gap, _ in gaps)
+
+    def test_mix_weights_respected_roughly(self):
+        mix = Mix(single_read=1.0, single_write=0.0, burst_read=0.0,
+                  burst_write=0.0)
+        script = generate_script(random.Random(2), 50,
+                                 [Window(0x0, 0x1000)], mix)
+        assert all(t.kind is TransactionKind.DATA_READ
+                   and t.burst_length == 1
+                   for t in transactions_of(script))
+
+
+class TestTable3Script:
+    def test_covers_all_four_categories(self):
+        script = table3_script(random.Random(42), 400, 0x1000, 0x8000)
+        kinds = set()
+        for txn in transactions_of(script):
+            kinds.add((txn.kind, txn.is_burst))
+        assert (TransactionKind.DATA_READ, False) in kinds
+        assert (TransactionKind.DATA_READ, True) in kinds
+        assert (TransactionKind.DATA_WRITE, False) in kinds
+        assert (TransactionKind.DATA_WRITE, True) in kinds
+
+
+class TestSubWordScript:
+    def test_valid_alignment(self):
+        script = sub_word_script(random.Random(6), 100, 0x1000)
+        for txn in transactions_of(script):
+            assert txn.pattern.alignment_ok(txn.address)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_any_seed_valid(self, seed):
+        script = sub_word_script(random.Random(seed), 10, 0x2000)
+        assert len(script) == 10
+        for txn in transactions_of(script):
+            assert isinstance(txn, Transaction)
