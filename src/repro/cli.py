@@ -12,6 +12,8 @@ usable without writing Python:
 ``coprocessor``           the §1 crypto HW/SW interface study
 ``characterize``          run the characterisation flow; optionally save
                           the table as JSON
+``faults``                fault-injection campaign: completion rate and
+                          recovery cost (cycles, energy) per bus layer
 ``trace``                 run the §4.1 test program and dump its bus
                           trace
 ========================  ==============================================
@@ -98,6 +100,20 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
     from repro.experiments import run_robustness
     print(run_robustness().format())
     return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.experiments import run_fault_campaign
+    try:
+        result = run_fault_campaign(
+            rates=tuple(args.rates), classes=tuple(args.classes),
+            seed=args.seed, layers=tuple(args.layers))
+    except ValueError as error:
+        print(f"repro faults: error: {error}", file=sys.stderr)
+        return 2
+    print(result.format())
+    # a campaign that cannot finish its scripts is a failed campaign
+    return 1 if any(cell.failures for cell in result.cells) else 0
 
 
 def _cmd_vcd(args: argparse.Namespace) -> int:
@@ -195,6 +211,24 @@ def build_parser() -> argparse.ArgumentParser:
         "robustness",
         help="accuracy errors across workload classes"
     ).set_defaults(func=_cmd_robustness)
+
+    faults = sub.add_parser(
+        "faults",
+        help="fault-injection campaign: recovery cost per layer")
+    faults.add_argument("--rates", type=float, nargs="+",
+                        default=[0.0, 0.02, 0.05, 0.1],
+                        help="fault rates to sweep (0 is the baseline)")
+    faults.add_argument("--classes", nargs="+",
+                        default=["random_mix", "burst_heavy",
+                                 "eeprom_contention"],
+                        help="robustness workload classes to replay")
+    faults.add_argument("--layers", nargs="+",
+                        default=["layer1", "layer2", "gate-level"],
+                        choices=["layer1", "layer2", "gate-level"],
+                        help="bus models to run each cell on")
+    faults.add_argument("--seed", default=2004,
+                        help="campaign seed (any int or string)")
+    faults.set_defaults(func=_cmd_faults)
 
     vcd = sub.add_parser(
         "vcd", help="dump the test program's bus waveform as VCD")

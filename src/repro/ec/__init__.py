@@ -11,6 +11,7 @@ from .decoder import DecodeError, MapConflictError, MemoryMap, Region
 from .interfaces import (BusMasterInterface, Slave, SlaveControlInterface,
                          SlaveDataInterface, SlaveResponse, WaitStates)
 from .limits import OutstandingBudget
+from .recovery import ErrorCause, FaultReport, RetryPolicy
 from .signals import (EC_SIGNALS, SIGNALS_BY_GROUP, SIGNALS_BY_NAME,
                       SignalGroup, SignalSpec, hamming_distance,
                       total_interface_bits)
@@ -34,6 +35,8 @@ __all__ = [
     "DecodeError",
     "Direction",
     "EC_SIGNALS",
+    "ErrorCause",
+    "FaultReport",
     "LEGAL_BURST_LENGTHS",
     "MapConflictError",
     "MAX_OUTSTANDING_PER_KIND",
@@ -44,6 +47,7 @@ __all__ = [
     "ProtocolChecker",
     "ProtocolError",
     "Region",
+    "RetryPolicy",
     "SIGNALS_BY_GROUP",
     "SIGNALS_BY_NAME",
     "SignalGroup",

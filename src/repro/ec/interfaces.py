@@ -143,3 +143,14 @@ class BusMasterInterface(abc.ABC):
         if transaction.kind is TransactionKind.DATA_READ:
             return self.data_read(transaction)
         return self.data_write(transaction)
+
+    def cancel(self, transaction: Transaction) -> bool:
+        """Withdraw an unfinished transaction from the bus.
+
+        Used by master-side watchdogs to abort stuck transfers.  Returns
+        True when the transaction was evicted (its outstanding-budget
+        slot is released); False when the bus no longer holds it — it
+        finished, or the model does not support cancellation — in which
+        case the master must keep re-invoking :meth:`issue`.
+        """
+        return False

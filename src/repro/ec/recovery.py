@@ -1,0 +1,103 @@
+"""Error-cause and recovery vocabulary of the EC bus models.
+
+The protocol's ``ERROR`` state (§3.1) says nothing about *why* a
+transaction failed, yet a power-aware smart card in the field must
+distinguish a decode mistake (software bug, never retry) from a
+transient slave error or a tearing EEPROM write (retry after backoff)
+from a hung slave (abort via watchdog, then retry).  This module
+defines that vocabulary once, at the bottom layer, so the bus models,
+the masters and the fault-injection subsystem all speak about failure
+and recovery in the same terms.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+
+class ErrorCause(enum.Enum):
+    """Why a transaction terminated with ``ERROR``."""
+
+    #: unmapped address, rights violation or window-crossing burst
+    DECODE = "decode"
+    #: the slave's data interface answered ``ERROR``
+    SLAVE_ERROR = "slave_error"
+    #: the master's per-transaction watchdog aborted a stuck transfer
+    TIMEOUT = "timeout"
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Master-side recovery policy for failed transactions.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total issue attempts per script item, the first included.
+    backoff_cycles:
+        Idle cycles the master inserts before re-issuing a failed
+        transaction (models firmware error-handler latency).
+    timeout_cycles:
+        Per-transaction watchdog: an attempt still unfinished this many
+        cycles after it was first issued is cancelled on the bus and
+        treated as an error with cause :attr:`ErrorCause.TIMEOUT`.
+        ``None`` disables the watchdog.
+    retry_on:
+        Error causes the policy retries; decode errors are permanent
+        by default — re-issuing an unmapped address cannot succeed.
+    """
+
+    max_attempts: int = 3
+    backoff_cycles: int = 2
+    timeout_cycles: typing.Optional[int] = None
+    retry_on: typing.FrozenSet[ErrorCause] = frozenset(
+        {ErrorCause.SLAVE_ERROR, ErrorCause.TIMEOUT})
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_cycles < 0:
+            raise ValueError("backoff_cycles must be >= 0")
+        if self.timeout_cycles is not None and self.timeout_cycles < 1:
+            raise ValueError("timeout_cycles must be >= 1 (or None)")
+
+    def should_retry(self, cause: typing.Optional["ErrorCause"],
+                     attempts: int) -> bool:
+        """True if a failure of *cause* after *attempts* gets a retry."""
+        if attempts >= self.max_attempts:
+            return False
+        if cause is None:
+            return False
+        return cause in self.retry_on
+
+
+@dataclasses.dataclass
+class FaultReport:
+    """Structured record of one recovery episode on a master.
+
+    One report per script item that ever failed; ``recovered`` tells
+    whether a retry eventually completed it.  ``cycles_lost`` is the
+    recovery overhead: the span from the first issue to the final
+    completion minus the latency the successful attempt would have had
+    on its own.  ``retry_energy_pj`` is the energy the platform spent
+    between the first failure and the resolution, if the master was
+    given an energy probe (``None`` otherwise).
+    """
+
+    address: int
+    kind: str
+    cause: typing.Optional[ErrorCause]
+    attempts: int
+    recovered: bool
+    first_issue_cycle: typing.Optional[int]
+    resolved_cycle: typing.Optional[int]
+    cycles_lost: typing.Optional[int]
+    retry_energy_pj: typing.Optional[float] = None
+
+    def __repr__(self) -> str:
+        cause = self.cause.value if self.cause else "?"
+        outcome = "recovered" if self.recovered else "gave up"
+        return (f"FaultReport(@{self.address:#010x} {self.kind} "
+                f"{cause} attempts={self.attempts} {outcome})")

@@ -18,6 +18,9 @@ from .types import (ADDRESS_MASK, BYTES_PER_WORD, DATA_MASK,
                     LEGAL_BURST_LENGTHS, BusState, Direction, MergePattern,
                     ProtocolError, TransactionKind)
 
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from .recovery import ErrorCause
+
 _ids = itertools.count(1)
 
 
@@ -52,6 +55,7 @@ class Transaction:
     state: BusState = BusState.REQUEST
     beats_done: int = 0
     error: bool = False
+    error_cause: typing.Optional["ErrorCause"] = None
     issue_cycle: typing.Optional[int] = None
     address_done_cycle: typing.Optional[int] = None
     data_done_cycle: typing.Optional[int] = None
@@ -134,9 +138,11 @@ class Transaction:
             self.data_done_cycle = cycle
             self.state = BusState.OK
 
-    def fail(self, cycle: int) -> None:
+    def fail(self, cycle: int,
+             cause: typing.Optional["ErrorCause"] = None) -> None:
         """Terminate the transaction with a bus error."""
         self.error = True
+        self.error_cause = cause
         self.state = BusState.ERROR
         self.data_done_cycle = cycle
 

@@ -18,6 +18,8 @@ from .common import (RunResult, characterization, evaluation_script,
                      percent_error, run_on_layer, run_on_rtl,
                      test_program_trace)
 from .export import write_csv_reports
+from .fault_campaign import (CampaignCell, FaultCampaignResult,
+                             run_fault_campaign)
 from .figure6 import Figure6Result, run_figure6
 from .report import full_report
 from .robustness import RobustnessResult, run_robustness
@@ -27,8 +29,10 @@ from .table3 import Table3Result, run_table3
 
 __all__ = [
     "BusSweepResult",
+    "CampaignCell",
     "CaseStudyResult",
     "CoprocessorStudyResult",
+    "FaultCampaignResult",
     "Figure6Result",
     "RobustnessResult",
     "RunResult",
@@ -42,6 +46,7 @@ __all__ = [
     "run_bus_sweep",
     "run_casestudy",
     "run_coprocessor_study",
+    "run_fault_campaign",
     "run_figure6",
     "run_on_layer",
     "run_on_rtl",

@@ -1,0 +1,31 @@
+"""Fault injection and fault tolerance for the bus models.
+
+The paper's protocol defines an ``ERROR`` state (§3.1); this package
+makes error traffic a first-class modeled workload: seeded, composable
+fault injectors (:mod:`repro.faults.injectors`), a wrapper that attaches
+them to any behavioural slave identically under every model layer
+(:mod:`repro.faults.wrapper`), and — together with the master-side
+:class:`~repro.ec.RetryPolicy` — the machinery behind the
+``fault_campaign`` experiment that measures what recovery *costs* in
+cycles and energy on each layer.
+"""
+
+from .injectors import (BitFlipInjector, ErrorSlave, FaultAction,
+                        FaultEvent, FaultInjector, FaultKind,
+                        IntermittentErrorInjector, StuckWaitInjector,
+                        TransientErrorInjector, WriteTearInjector)
+from .wrapper import FaultySlave
+
+__all__ = [
+    "BitFlipInjector",
+    "ErrorSlave",
+    "FaultAction",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultySlave",
+    "IntermittentErrorInjector",
+    "StuckWaitInjector",
+    "TransientErrorInjector",
+    "WriteTearInjector",
+]

@@ -19,8 +19,8 @@ from __future__ import annotations
 
 import typing
 
-from repro.ec import (BusState, DecodeError, Direction, MemoryMap, Region,
-                      Transaction)
+from repro.ec import (BusState, DecodeError, Direction, ErrorCause,
+                      MemoryMap, Region, Transaction)
 from repro.kernel import Clock, Simulator
 from repro.tlm.bus_base import EcBusBase
 
@@ -114,7 +114,7 @@ class RtlBus(EcBusBase):
             region = self._decode(transaction)
             if region is None:
                 # decode/rights failure: bus error, no address tenure
-                transaction.fail(self.cycle)
+                transaction.fail(self.cycle, ErrorCause.DECODE)
                 self.finish_pool.push(transaction)
             else:
                 self._addr_active = transaction
@@ -194,7 +194,7 @@ class RtlBus(EcBusBase):
         if response.state is BusState.ERROR:
             new["EB_RdVal"] = 0
             new["EB_RBErr"] = 1
-            transaction.fail(self.cycle)
+            transaction.fail(self.cycle, ErrorCause.SLAVE_ERROR)
             self.finish_pool.push(transaction)
             channel.active = None
             return
@@ -238,7 +238,7 @@ class RtlBus(EcBusBase):
         if response.state is BusState.ERROR:
             new["EB_WDRdy"] = 0
             new["EB_WBErr"] = 1
-            transaction.fail(self.cycle)
+            transaction.fail(self.cycle, ErrorCause.SLAVE_ERROR)
             self.finish_pool.push(transaction)
             channel.active = None
             return
@@ -251,6 +251,33 @@ class RtlBus(EcBusBase):
             channel.active = None
         else:
             channel.wait = None
+
+    # ------------------------------------------------------------------
+
+    def _evict(self, transaction: Transaction) -> bool:
+        """Remove *transaction* from the BIU queue or a channel engine."""
+        if transaction in self._biu_queue:
+            self._biu_queue.remove(transaction)
+            return True
+        if self._addr_active is transaction:
+            self._addr_active = None
+            self._addr_region = None
+            self._addr_wait = 0
+            return True
+        for channel in (self._read, self._write):
+            for entry in channel.pending:
+                if entry[0] is transaction:
+                    channel.pending.remove(entry)
+                    return True
+            if channel.active is not None \
+                    and channel.active[0] is transaction:
+                # activation of the next transaction re-samples the
+                # wait-state register, so no countdown leaks across
+                channel.active = None
+                channel.wait = None
+                channel.beat = 0
+                return True
+        return False
 
     # ------------------------------------------------------------------
 

@@ -13,6 +13,7 @@ Table-1 timing experiment.
 
 from __future__ import annotations
 
+import random
 import typing
 
 from repro.ec import AccessRights, SlaveResponse, WaitStates
@@ -50,16 +51,34 @@ class Eeprom(MemorySlave):
     write beat) the device inserts ``busy_extra_waits`` additional wait
     states on every access.  The busy window is measured against a
     cycle source the platform binds after bus construction.
+
+    Write tearing (the classic smart card failure: the card is pulled
+    from the reader mid-programming) is modelled with *tear_rate* and a
+    caller-supplied *tear_rng*: a torn write commits only the byte
+    lanes in *tear_committed_enables* and answers ``ERROR``, leaving a
+    partially-programmed word for the retry to repair.  With the
+    default ``tear_rate=0.0`` the device never tears, and no random
+    stream is consumed.
     """
 
     def __init__(self, base_address: int, size: int = 32 * 1024,
                  name: str = "eeprom", program_cycles: int = 12,
-                 busy_extra_waits: int = 4) -> None:
+                 busy_extra_waits: int = 4, tear_rate: float = 0.0,
+                 tear_rng: typing.Optional[random.Random] = None,
+                 tear_committed_enables: int = 0b0011) -> None:
         super().__init__(base_address, size,
                          WaitStates(address=1, read=2, write=3),
                          AccessRights.READ | AccessRights.WRITE, name)
+        if not 0.0 <= tear_rate <= 1.0:
+            raise ValueError(f"tear_rate must be in [0, 1], got {tear_rate}")
+        if tear_rate and tear_rng is None:
+            raise ValueError("a nonzero tear_rate needs a seeded tear_rng")
         self.program_cycles = program_cycles
         self.busy_extra_waits = busy_extra_waits
+        self.tear_rate = tear_rate
+        self.tear_rng = tear_rng
+        self.tear_committed_enables = tear_committed_enables
+        self.torn_writes = 0
         self._base_waits = WaitStates(address=1, read=2, write=3)
         self._busy_until = -1
         self._cycle_source: typing.Callable[[], int] = lambda: 0
@@ -86,6 +105,16 @@ class Eeprom(MemorySlave):
 
     def do_write(self, offset: int, byte_enables: int,
                  data: int) -> SlaveResponse:
+        if (self.tear_rate
+                and self.tear_rng.random() < self.tear_rate):
+            # programming started, then tore: some lanes are committed,
+            # the cell is left busy, and the voltage monitor flags it
+            committed = byte_enables & self.tear_committed_enables
+            if committed:
+                super().do_write(offset, committed, data)
+            self.torn_writes += 1
+            self._busy_until = self._cycle_source() + self.program_cycles
+            return SlaveResponse.error()
         response = super().do_write(offset, byte_enables, data)
         self._busy_until = self._cycle_source() + self.program_cycles
         self.programming_operations += 1

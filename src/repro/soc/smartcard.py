@@ -9,6 +9,7 @@ peripherals once per clock cycle.
 
 from __future__ import annotations
 
+import random
 import typing
 
 from repro.ec import MemoryMap
@@ -49,6 +50,8 @@ class SmartCardPlatform(Module):
                  bus_factory: typing.Optional[BusFactory] = None,
                  with_cpu: bool = False,
                  rom_image: typing.Optional[typing.Sequence[int]] = None,
+                 eeprom_tear_rate: float = 0.0,
+                 fault_seed: typing.Union[int, str, None] = None,
                  ) -> None:
         simulator = Simulator("smartcard")
         super().__init__(simulator, "platform")
@@ -66,7 +69,10 @@ class SmartCardPlatform(Module):
         self.rng = TrueRandomNumberGenerator(RNG_BASE)
         self.rom = Rom(ROM_BASE)
         self.flash = Flash(FLASH_BASE)
-        self.eeprom = Eeprom(EEPROM_BASE)
+        self.eeprom = Eeprom(
+            EEPROM_BASE, tear_rate=eeprom_tear_rate,
+            tear_rng=(random.Random(f"{fault_seed}/eeprom-tear")
+                      if eeprom_tear_rate else None))
         self.ram = ScratchpadRam(RAM_BASE)
         self.memory_map = MemoryMap()
         for slave, name in ((self.rom, "rom"), (self.flash, "flash"),

@@ -15,7 +15,17 @@ from .layer3 import EcBusLayer3
 from .master import (BlockingMaster, PipelinedMaster, ScriptedMaster,
                      normalise_script, run_script)
 from .queues import FinishPool, TransactionQueue
-from .slave import BehaviouralSlave, ErrorSlave, MemorySlave, RegisterSlave
+from .slave import BehaviouralSlave, MemorySlave, RegisterSlave
+
+
+def __getattr__(name: str):
+    # lazy alias for the ErrorSlave that moved to repro.faults (which
+    # imports BehaviouralSlave from this package — eager re-export
+    # would be circular)
+    if name == "ErrorSlave":
+        from repro.faults.injectors import ErrorSlave
+        return ErrorSlave
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "ArbiterPort",

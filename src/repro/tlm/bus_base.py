@@ -67,6 +67,26 @@ class EcBusBase(Module, BusMasterInterface):
         """Layer-specific admission of a fresh transaction."""
         raise NotImplementedError  # pragma: no cover
 
+    def cancel(self, transaction: Transaction) -> bool:
+        """Withdraw an unfinished transaction (watchdog abort).
+
+        A transaction sitting in the finish pool has already completed;
+        it cannot be cancelled and the master must collect it with its
+        next interface call instead.
+        """
+        if transaction in self.finish_pool:
+            return False
+        if transaction.issue_cycle is None:
+            return False  # never accepted: nothing to withdraw
+        if not self._evict(transaction):
+            return False
+        self.budget.release(transaction)
+        return True
+
+    def _evict(self, transaction: Transaction) -> bool:
+        """Layer-specific removal from the internal pipeline stages."""
+        raise NotImplementedError  # pragma: no cover
+
     @property
     def busy(self) -> bool:  # pragma: no cover - overridden
         raise NotImplementedError

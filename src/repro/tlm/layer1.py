@@ -24,8 +24,8 @@ from __future__ import annotations
 
 import typing
 
-from repro.ec import (BusState, DecodeError, Direction, MemoryMap, Region,
-                      SlaveResponse, Transaction)
+from repro.ec import (BusState, DecodeError, Direction, ErrorCause,
+                      MemoryMap, Region, SlaveResponse, Transaction)
 from repro.kernel import Clock, Simulator
 
 from .bus_base import EcBusBase
@@ -119,7 +119,7 @@ class EcBusLayer1(EcBusBase):
                 region = self.memory_map.decode_checked(
                     head.address, head.kind, head.num_bytes)
             except DecodeError:
-                head.fail(self.cycle)
+                head.fail(self.cycle, ErrorCause.DECODE)
                 self.finish_pool.push(head)
                 self._drive_address_idle()
                 return
@@ -176,7 +176,7 @@ class EcBusLayer1(EcBusBase):
         if response.state is BusState.ERROR:
             queue.pop()
             del self._regions[transaction.txn_id]
-            transaction.fail(self.cycle)
+            transaction.fail(self.cycle, ErrorCause.SLAVE_ERROR)
             self.finish_pool.push(transaction)
         elif response.state is BusState.OK:
             transaction.complete_beat(self.cycle, value)
@@ -185,6 +185,29 @@ class EcBusLayer1(EcBusBase):
                 del self._regions[transaction.txn_id]
                 self.finish_pool.push(transaction)
         # WAIT: beat stays at the head; retried next cycle
+
+    # ------------------------------------------------------------------
+
+    def _evict(self, transaction: Transaction) -> bool:
+        """Remove *transaction* from whichever pipeline stage holds it."""
+        if self.request_queue.remove(transaction):
+            return True
+        fsm = self._address_fsm
+        if fsm.current is transaction:
+            fsm.finish()
+            return True
+        for queue in (self.read_queue, self.write_queue):
+            was_head = queue.head() is transaction
+            if queue.remove(transaction):
+                region = self._regions.pop(transaction.txn_id)
+                # the head may have started a paced beat: clear the
+                # slave's wait-state countdown so the next transaction
+                # (or a retry of this one) re-samples from scratch
+                if was_head and hasattr(region.slave, "cancel_pending"):
+                    region.slave.cancel_pending(
+                        "r" if queue is self.read_queue else "w")
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # signal reconstruction hooks (the TL-to-RTL adapter of §3.3)

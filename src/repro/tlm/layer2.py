@@ -31,8 +31,8 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-from repro.ec import (DecodeError, Direction, MemoryMap, Region,
-                      Transaction)
+from repro.ec import (DecodeError, Direction, ErrorCause, MemoryMap,
+                      Region, Transaction)
 from repro.kernel import Clock, Simulator
 
 from .bus_base import EcBusBase
@@ -114,7 +114,7 @@ class EcBusLayer2(EcBusBase):
         self.address_queue.pop()
         head.address_done_cycle = self.cycle
         if item.decode_failed:
-            self._finish_error(item)
+            self._finish_error(item, ErrorCause.DECODE)
             return
         if self.power_model is not None:
             self.power_model.address_phase_finished(head)
@@ -153,30 +153,47 @@ class EcBusLayer2(EcBusBase):
             words, error = slave.read_block(
                 base_offset, transaction.burst_length,
                 transaction.byte_enables(0))
-            if not error:
-                for beat, word in enumerate(words):
-                    transaction.complete_beat(self.cycle, word)
+            # beats served before a mid-burst error still completed on
+            # the bus — record them so beats_done (and the data words
+            # already latched) match the layer-1 beat-level account
+            for word in words:
+                transaction.complete_beat(self.cycle, word)
         else:
-            error = slave.write_block(
+            beats_ok, error = slave.write_block(
                 base_offset, transaction.data, transaction.byte_enables(0))
-            if not error:
-                for _ in range(transaction.burst_length):
-                    transaction.complete_beat(self.cycle)
+            for _ in range(beats_ok):
+                transaction.complete_beat(self.cycle)
         if error:
-            self._finish_error(item)
+            self._finish_error(item, ErrorCause.SLAVE_ERROR)
             return
         if self.power_model is not None:
             self.power_model.data_phase_finished(transaction)
         del self._items[transaction.txn_id]
         self.finish_pool.push(transaction)
 
-    def _finish_error(self, item: _TimedRequest) -> None:
+    def _finish_error(self, item: _TimedRequest,
+                      cause: ErrorCause) -> None:
         transaction = item.transaction
-        transaction.fail(self.cycle)
+        transaction.fail(self.cycle, cause)
         self._items.pop(transaction.txn_id, None)
         if self.power_model is not None:
             self.power_model.data_phase_finished(transaction)
         self.finish_pool.push(transaction)
+
+    def _evict(self, transaction: Transaction) -> bool:
+        """Remove *transaction* from whichever phase queue holds it."""
+        if transaction.txn_id not in self._items:
+            return False
+        item = self._items[transaction.txn_id]
+        if not self.address_queue.remove(transaction):
+            for queue in (self._read_queue, self._write_queue):
+                if item in queue:
+                    queue.remove(item)
+                    break
+            else:
+                return False
+        del self._items[transaction.txn_id]
+        return True
 
     # ------------------------------------------------------------------
 

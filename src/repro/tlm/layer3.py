@@ -29,8 +29,8 @@ from __future__ import annotations
 
 import typing
 
-from repro.ec import (BYTES_PER_WORD, BusState, DecodeError, MemoryMap,
-                      Transaction, TransactionKind)
+from repro.ec import (BYTES_PER_WORD, BusState, DecodeError, ErrorCause,
+                      MemoryMap, Transaction, TransactionKind)
 from repro.ec.interfaces import BusMasterInterface
 
 
@@ -75,7 +75,7 @@ class EcBusLayer3(BusMasterInterface):
             address, TransactionKind.DATA_WRITE,
             len(words) * BYTES_PER_WORD)
         base = region.slave.offset_of(address)
-        error = region.slave.write_block(base, list(words), 0b1111)
+        _, error = region.slave.write_block(base, list(words), 0b1111)
         if error:
             self.errors += 1
             raise DecodeError(f"slave error writing {address:#x}")
@@ -103,7 +103,7 @@ class EcBusLayer3(BusMasterInterface):
                 transaction.num_bytes)
         except DecodeError:
             transaction.issue_cycle = 0
-            transaction.fail(0)
+            transaction.fail(0, ErrorCause.DECODE)
             self.errors += 1
             return BusState.ERROR
         transaction.issue_cycle = 0
@@ -112,26 +112,27 @@ class EcBusLayer3(BusMasterInterface):
         base = slave.offset_of(transaction.address)
         if transaction.kind is TransactionKind.DATA_WRITE:
             if transaction.burst_length == 1:
-                error = slave.write_block(base, transaction.data,
-                                          transaction.byte_enables(0))
+                beats_ok, error = slave.write_block(
+                    base, transaction.data, transaction.byte_enables(0))
             else:
-                error = slave.write_block(base, transaction.data, 0b1111)
+                beats_ok, error = slave.write_block(
+                    base, transaction.data, 0b1111)
+            for _ in range(beats_ok):
+                transaction.complete_beat(0)
             if error:
-                transaction.fail(0)
+                transaction.fail(0, ErrorCause.SLAVE_ERROR)
                 self.errors += 1
                 return BusState.ERROR
-            for _ in range(transaction.burst_length):
-                transaction.complete_beat(0)
         else:
             words, error = slave.read_block(
                 base, transaction.burst_length,
                 transaction.byte_enables(0))
-            if error:
-                transaction.fail(0)
-                self.errors += 1
-                return BusState.ERROR
             for word in words:
                 transaction.complete_beat(0, word)
+            if error:
+                transaction.fail(0, ErrorCause.SLAVE_ERROR)
+                self.errors += 1
+                return BusState.ERROR
         self.transactions_completed += 1
         return BusState.OK
 

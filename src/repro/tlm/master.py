@@ -16,13 +16,23 @@ disciplines are provided:
 A script item is either a :class:`~repro.ec.Transaction` or an
 ``(idle_gap, Transaction)`` pair requesting *idle_gap* idle cycles
 before the transaction is issued.
+
+Both masters optionally carry a :class:`~repro.ec.RetryPolicy` — the
+fault-tolerance layer of a power-aware card OS: failed transactions are
+re-issued (as fresh clones) after a backoff, a per-transaction watchdog
+cancels transfers stuck on a hung slave instead of letting the whole
+run hit :func:`run_script`'s global :class:`TimeoutError`, and every
+recovery episode is recorded as a :class:`~repro.ec.FaultReport`.
+Without a policy the behaviour is bit-identical to the fault-oblivious
+masters the accuracy experiments were built on.
 """
 
 from __future__ import annotations
 
 import typing
 
-from repro.ec import BusState, Transaction
+from repro.ec import (BusState, ErrorCause, FaultReport, RetryPolicy,
+                      Transaction)
 from repro.ec.interfaces import BusMasterInterface
 from repro.kernel import Clock, Module, Simulator
 
@@ -44,18 +54,41 @@ def normalise_script(script: typing.Iterable[ScriptItem]
     return items
 
 
+class _Recovery:
+    """Per-script-item recovery bookkeeping across retry attempts."""
+
+    __slots__ = ("attempts", "cause", "first_issue_cycle",
+                 "first_error_cycle", "energy_at_first_error")
+
+    def __init__(self) -> None:
+        self.attempts = 0  # failed attempts so far
+        self.cause: typing.Optional[ErrorCause] = None  # last failure's
+        self.first_issue_cycle: typing.Optional[int] = None
+        self.first_error_cycle: typing.Optional[int] = None
+        self.energy_at_first_error: typing.Optional[float] = None
+
+
 class ScriptedMaster(Module):
     """Common machinery for script-replaying masters."""
 
     def __init__(self, simulator: Simulator, clock: Clock,
                  bus: BusMasterInterface,
                  script: typing.Iterable[ScriptItem],
-                 name: str = "master") -> None:
+                 name: str = "master",
+                 retry_policy: typing.Optional[RetryPolicy] = None,
+                 energy_probe: typing.Optional[
+                     typing.Callable[[], float]] = None) -> None:
         super().__init__(simulator, name)
         self.bus = bus
+        self.clock = clock
         self.script = normalise_script(script)
+        self.retry_policy = retry_policy
+        self.energy_probe = energy_probe
         self.completed: typing.List[Transaction] = []
         self.errors: typing.List[Transaction] = []
+        self.fault_reports: typing.List[FaultReport] = []
+        self.retries = 0   # re-issues of failed transactions
+        self.timeouts = 0  # watchdog aborts
         self._next_index = 0
         self._idle_remaining = self.script[0][0] if self.script else 0
         self.done = len(self.script) == 0
@@ -83,6 +116,84 @@ class ScriptedMaster(Module):
         if self._next_index < len(self.script):
             self._idle_remaining = self.script[self._next_index][0]
 
+    # -- recovery machinery (inert without a retry policy) ----------------
+
+    def _watchdog_expired(self, transaction: Transaction,
+                          attempt_start: int) -> bool:
+        policy = self.retry_policy
+        return (policy is not None
+                and policy.timeout_cycles is not None
+                and not transaction.finished
+                and self.clock.cycles - attempt_start
+                > policy.timeout_cycles)
+
+    def _abort(self, transaction: Transaction) -> bool:
+        """Watchdog abort: cancel on the bus, mark as timed out."""
+        if not self.bus.cancel(transaction):
+            return False  # already finishing: collect it normally
+        transaction.fail(self.clock.cycles, ErrorCause.TIMEOUT)
+        self.timeouts += 1
+        return True
+
+    def _handle_finished(self, transaction: Transaction,
+                         rec: _Recovery) -> typing.Optional[Transaction]:
+        """Process a finished attempt; returns a retry clone or None.
+
+        None means the script item is final and has been recorded
+        (successfully, or as a permanent error).
+        """
+        if rec.first_issue_cycle is None:
+            rec.first_issue_cycle = transaction.issue_cycle
+        if not transaction.error:
+            self._finalize(transaction, rec)
+            return None
+        rec.attempts += 1
+        rec.cause = transaction.error_cause
+        if rec.first_error_cycle is None:
+            rec.first_error_cycle = transaction.data_done_cycle
+            if self.energy_probe is not None:
+                rec.energy_at_first_error = self.energy_probe()
+        policy = self.retry_policy
+        if policy is None or not policy.should_retry(
+                transaction.error_cause, rec.attempts):
+            self._finalize(transaction, rec)
+            return None
+        self.retries += 1
+        return transaction.clone()
+
+    def _finalize(self, transaction: Transaction, rec: _Recovery) -> None:
+        """Record the final outcome of a script item (+ fault report).
+
+        Reports are an artefact of the opt-in recovery layer: without
+        a policy, errors land in ``self.errors`` exactly as before.
+        """
+        if self.retry_policy is not None and rec.attempts > 0:
+            recovered = not transaction.error
+            resolved = transaction.data_done_cycle
+            cycles_lost = None
+            if (resolved is not None
+                    and rec.first_issue_cycle is not None):
+                span = resolved - rec.first_issue_cycle
+                if recovered and transaction.latency_cycles is not None:
+                    span -= transaction.latency_cycles
+                cycles_lost = max(span, 0)
+            retry_energy = None
+            if (self.energy_probe is not None
+                    and rec.energy_at_first_error is not None):
+                retry_energy = (self.energy_probe()
+                                - rec.energy_at_first_error)
+            self.fault_reports.append(FaultReport(
+                address=transaction.address,
+                kind=transaction.kind.value,
+                cause=rec.cause,
+                attempts=rec.attempts + (0 if transaction.error else 1),
+                recovered=recovered,
+                first_issue_cycle=rec.first_issue_cycle,
+                resolved_cycle=resolved,
+                cycles_lost=cycles_lost,
+                retry_energy_pj=retry_energy))
+        self._record(transaction)
+
 
 class BlockingMaster(ScriptedMaster):
     """Issues one transaction at a time; waits for completion."""
@@ -90,37 +201,80 @@ class BlockingMaster(ScriptedMaster):
     def __init__(self, simulator: Simulator, clock: Clock,
                  bus: BusMasterInterface,
                  script: typing.Iterable[ScriptItem],
-                 name: str = "blocking_master") -> None:
-        super().__init__(simulator, clock, bus, script, name)
+                 name: str = "blocking_master",
+                 retry_policy: typing.Optional[RetryPolicy] = None,
+                 energy_probe: typing.Optional[
+                     typing.Callable[[], float]] = None) -> None:
+        super().__init__(simulator, clock, bus, script, name,
+                         retry_policy, energy_probe)
         self._current: typing.Optional[Transaction] = None
+        self._rec: typing.Optional[_Recovery] = None
+        self._attempt_start = 0
+        self._pending_retry: typing.Optional[Transaction] = None
+        self._retry_wait = 0
 
     def _nothing_in_flight(self) -> bool:
-        return self._current is None
+        return self._current is None and self._pending_retry is None
+
+    def _start_item(self) -> None:
+        self._current = self.script[self._next_index][1]
+        self._next_index += 1
+        self._rec = _Recovery()
+        self._attempt_start = self.clock.cycles
 
     def _on_clock(self) -> None:
         if self.done:
             return
+        if (self._current is not None
+                and self._watchdog_expired(self._current,
+                                           self._attempt_start)):
+            if self._abort(self._current):
+                aborted, self._current = self._current, None
+                self._resolve_attempt(aborted)
+                return
+        if self._current is None and self._pending_retry is not None:
+            if self._retry_wait > 0:
+                self._retry_wait -= 1
+                return
+            self._current = self._pending_retry
+            self._pending_retry = None
+            self._attempt_start = self.clock.cycles
         if self._current is None:
             if self._next_index >= len(self.script):
                 return
             if self._idle_remaining > 0:
                 self._idle_remaining -= 1
                 return
-            self._current = self.script[self._next_index][1]
-            self._next_index += 1
+            self._start_item()
         state = self.bus.issue(self._current)
         if state.finished:
             finished = self._current
             self._current = None
-            self._arm_gap_for_next()
-            self._record(finished)
+            self._resolve_attempt(finished)
             # back-to-back issue: the BIU starts the next request in the
             # same cycle it samples a completion (EC back-to-back reads)
-            if (self._idle_remaining == 0
+            if (self._current is None and self._pending_retry is None
+                    and self._idle_remaining == 0
                     and self._next_index < len(self.script)):
-                self._current = self.script[self._next_index][1]
-                self._next_index += 1
+                self._start_item()
                 self.bus.issue(self._current)
+
+    def _resolve_attempt(self, finished: Transaction) -> None:
+        """Finalize or schedule a retry for the attempt just ended."""
+        clone = self._handle_finished(finished, self._rec)
+        if clone is None:
+            self._rec = None
+            self._arm_gap_for_next()
+            return
+        backoff = self.retry_policy.backoff_cycles
+        if backoff == 0:
+            # immediate re-issue, mirroring the back-to-back path
+            self._current = clone
+            self._attempt_start = self.clock.cycles
+            self.bus.issue(self._current)
+        else:
+            self._pending_retry = clone
+            self._retry_wait = backoff
 
 
 class PipelinedMaster(ScriptedMaster):
@@ -129,22 +283,39 @@ class PipelinedMaster(ScriptedMaster):
     def __init__(self, simulator: Simulator, clock: Clock,
                  bus: BusMasterInterface,
                  script: typing.Iterable[ScriptItem],
-                 window: int = 4, name: str = "pipelined_master") -> None:
+                 window: int = 4, name: str = "pipelined_master",
+                 retry_policy: typing.Optional[RetryPolicy] = None,
+                 energy_probe: typing.Optional[
+                     typing.Callable[[], float]] = None) -> None:
         if window < 1:
             raise ValueError("window must be at least 1")
-        super().__init__(simulator, clock, bus, script, name)
+        super().__init__(simulator, clock, bus, script, name,
+                         retry_policy, energy_probe)
         self.window = window
         self._in_flight: typing.List[Transaction] = []
+        #: txn_id -> [recovery record, attempt-start clock cycle]
+        self._meta: typing.Dict[int, list] = {}
+        #: [backoff countdown, clone, recovery record] awaiting re-issue
+        self._retry_queue: typing.List[list] = []
 
     def _nothing_in_flight(self) -> bool:
-        return not self._in_flight
+        return not self._in_flight and not self._retry_queue
 
     def _on_clock(self) -> None:
         if self.done:
             return
+        finished: typing.List[Transaction] = []
+        # watchdog: abort in-flight transactions stuck past the budget
+        if (self.retry_policy is not None
+                and self.retry_policy.timeout_cycles is not None):
+            for transaction in list(self._in_flight):
+                meta = self._meta[transaction.txn_id]
+                if self._watchdog_expired(transaction, meta[1]):
+                    if self._abort(transaction):
+                        self._in_flight.remove(transaction)
+                        finished.append(transaction)
         # advance everything already in flight, collecting completions
         still_flying: typing.List[Transaction] = []
-        finished: typing.List[Transaction] = []
         for transaction in self._in_flight:
             state = self.bus.issue(transaction)
             if state.finished:
@@ -152,6 +323,22 @@ class PipelinedMaster(ScriptedMaster):
             else:
                 still_flying.append(transaction)
         self._in_flight = still_flying
+        # re-issue retries whose backoff elapsed, window permitting
+        for entry in self._retry_queue:
+            if entry[0] > 0:
+                entry[0] -= 1
+        while (self._retry_queue and self._retry_queue[0][0] <= 0
+               and len(self._in_flight) < self.window):
+            _, clone, rec = self._retry_queue[0]
+            state = self.bus.issue(clone)
+            if state is BusState.WAIT:
+                break  # budget full: retry the same clone next cycle
+            self._retry_queue.pop(0)
+            self._meta[clone.txn_id] = [rec, self.clock.cycles]
+            if state.finished:
+                finished.append(clone)
+            else:
+                self._in_flight.append(clone)
         # issue new work while the window, gaps and script allow
         if self._idle_remaining > 0:
             self._idle_remaining -= 1
@@ -165,12 +352,18 @@ class PipelinedMaster(ScriptedMaster):
                     break  # budget full: retry the same item next cycle
                 self._next_index += 1
                 self._arm_gap_for_next()
+                self._meta[transaction.txn_id] = [_Recovery(),
+                                                  self.clock.cycles]
                 if state.finished:
                     finished.append(transaction)
                 else:
                     self._in_flight.append(transaction)
         for transaction in finished:
-            self._record(transaction)
+            rec = self._meta.pop(transaction.txn_id)[0]
+            clone = self._handle_finished(transaction, rec)
+            if clone is not None:
+                self._retry_queue.append(
+                    [self.retry_policy.backoff_cycles, clone, rec])
 
 
 def run_script(simulator: Simulator, master: ScriptedMaster,
@@ -178,7 +371,9 @@ def run_script(simulator: Simulator, master: ScriptedMaster,
     """Run until the master finishes; returns elapsed clock cycles.
 
     Raises :class:`TimeoutError` if the script does not complete within
-    *max_cycles* — a guard against protocol deadlocks in tests.
+    *max_cycles* — a guard against protocol deadlocks in tests.  The
+    message reports how far the master got, including its recovery
+    statistics, so a stuck run is diagnosable from the exception alone.
     """
     start_cycle = clock.cycles
     slice_cycles = 64
@@ -190,4 +385,6 @@ def run_script(simulator: Simulator, master: ScriptedMaster,
             return clock.cycles - start_cycle
     raise TimeoutError(
         f"master {master.name!r} not done after {max_cycles} cycles "
-        f"({len(master.completed)}/{len(master.script)} transactions)")
+        f"({len(master.completed)}/{len(master.script)} transactions, "
+        f"{len(master.errors)} errors, {master.retries} retries, "
+        f"{master.timeouts} watchdog timeouts)")

@@ -37,6 +37,14 @@ class TransactionQueue:
     def pop(self) -> Transaction:
         return self._fifo.popleft()
 
+    def remove(self, transaction: Transaction) -> bool:
+        """Evict *transaction* from anywhere in the FIFO; True if held."""
+        try:
+            self._fifo.remove(transaction)
+        except ValueError:
+            return False
+        return True
+
     def __len__(self) -> int:
         return len(self._fifo)
 

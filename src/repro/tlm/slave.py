@@ -105,6 +105,19 @@ class BehaviouralSlave(Slave):
         self.writes += 1
         return self.do_write(offset, byte_enables, data)
 
+    def cancel_pending(self, direction: typing.Optional[str] = None
+                       ) -> None:
+        """Clear the wait-state countdown of an in-progress beat.
+
+        Called by the bus models when a watchdog evicts the transaction
+        the beat belongs to, so the next beat (a different transaction,
+        or a retry of the same one) re-samples the wait states instead
+        of inheriting a stale countdown.  *direction* is ``"r"``,
+        ``"w"`` or ``None`` for both.
+        """
+        for slot in ("r", "w") if direction is None else (direction,):
+            self._pending[slot] = None
+
     # -- layer-2 block interface (pointer passing, §3.2) -----------------------
 
     def read_block(self, offset: int, num_words: int, byte_enables: int
@@ -114,29 +127,35 @@ class BehaviouralSlave(Slave):
         Data for the whole transaction is produced at once at the end of
         the data phase — the layer-2 "pointer passing" abstraction.
         *byte_enables* applies to single (sub-word) transfers; bursts
-        are whole words.
+        are whole words.  On a mid-burst error *words* holds the beats
+        served before the fault — the same partial progress the layer-1
+        beat-level interface would have delivered.
         """
-        words = []
+        words: typing.List[int] = []
         for beat in range(num_words):
             enables = byte_enables if num_words == 1 else 0b1111
             response = self.do_read(offset + beat * BYTES_PER_WORD, enables)
             if response.state is not _OK:
-                return [], True
+                return words, True
             self.reads += 1
             words.append(response.data)
         return words, False
 
     def write_block(self, offset: int, words: typing.Sequence[int],
-                    byte_enables: int) -> bool:
-        """Layer-2 single-call burst write; returns the error flag."""
+                    byte_enables: int) -> typing.Tuple[int, bool]:
+        """Layer-2 single-call burst write.
+
+        Returns ``(beats_ok, error_flag)`` — the number of beats
+        committed before a fault, mirroring layer 1's partial progress.
+        """
         for beat, word in enumerate(words):
             enables = byte_enables if len(words) == 1 else 0b1111
             response = self.do_write(offset + beat * BYTES_PER_WORD,
                                      enables, word)
             if response.state is not _OK:
-                return True
+                return beat, True
             self.writes += 1
-        return False
+        return len(words), False
 
     # -- hooks ---------------------------------------------------------------
 
@@ -246,16 +265,11 @@ class RegisterSlave(BehaviouralSlave):
         return SlaveResponse.ok()
 
 
-class ErrorSlave(BehaviouralSlave):
-    """A slave that always answers with a bus error (fault injection)."""
-
-    def __init__(self, base_address: int, size: int = 0x100,
-                 name: str = "error") -> None:
-        super().__init__(base_address, size, name=name)
-
-    def do_read(self, offset: int, byte_enables: int) -> SlaveResponse:
-        return SlaveResponse.error()
-
-    def do_write(self, offset: int, byte_enables: int,
-                 data: int) -> SlaveResponse:
-        return SlaveResponse.error()
+def __getattr__(name: str):
+    # ErrorSlave moved to the fault-injection subsystem; the alias is
+    # resolved lazily (PEP 562) to avoid a circular import with
+    # repro.faults, which subclasses BehaviouralSlave from this module.
+    if name == "ErrorSlave":
+        from repro.faults.injectors import ErrorSlave
+        return ErrorSlave
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,133 @@
+"""Seeded determinism of the robustness workloads, the EEPROM tear
+model and the fault campaign: one seed, one result, bit for bit."""
+
+import random
+
+import pytest
+
+from repro.ec import BusState
+from repro.experiments.fault_campaign import run_fault_campaign
+from repro.experiments.robustness import (DEFAULT_SEED, WORKLOAD_CLASSES,
+                                          class_rng, workload_script)
+from repro.soc.memory import Eeprom
+from repro.soc.smartcard import SmartCardPlatform
+
+
+def script_signature(script):
+    signature = []
+    for item in script:
+        gap, txn = item if isinstance(item, tuple) else (0, item)
+        signature.append((gap, txn.kind, txn.address, txn.burst_length,
+                          txn.pattern, tuple(txn.data)))
+    return signature
+
+
+class TestSeededWorkloads:
+    @pytest.mark.parametrize("name", list(WORKLOAD_CLASSES))
+    def test_same_seed_same_script(self, name):
+        first = script_signature(workload_script(name, seed=123))
+        second = script_signature(workload_script(name, seed=123))
+        assert first == second
+
+    def test_different_seed_different_script(self):
+        first = script_signature(workload_script("random_mix", seed=1))
+        second = script_signature(workload_script("random_mix", seed=2))
+        assert first != second
+
+    def test_class_streams_are_independent(self):
+        # consuming one class's stream must not shift another's
+        a1 = class_rng(9, "random_mix").random()
+        burn = class_rng(9, "sparse")
+        for _ in range(100):
+            burn.random()
+        a2 = class_rng(9, "random_mix").random()
+        assert a1 == a2
+
+    def test_default_seed_is_stable(self):
+        assert script_signature(workload_script("subword")) \
+            == script_signature(workload_script("subword", DEFAULT_SEED))
+
+
+class TestEepromTear:
+    def test_tear_commits_partial_lanes(self):
+        eeprom = Eeprom(0x0, tear_rate=1.0, tear_rng=random.Random(1),
+                        tear_committed_enables=0b0011)
+        eeprom.poke(0, 0x11223344)
+        response = eeprom.do_write(0, 0b1111, 0xAABBCCDD)
+        assert response.state is BusState.ERROR
+        assert eeprom.torn_writes == 1
+        assert eeprom.peek(0) == 0x1122CCDD  # low half committed
+        assert eeprom.programming_operations == 0
+
+    def test_torn_write_still_opens_busy_window(self):
+        eeprom = Eeprom(0x0, tear_rate=1.0, tear_rng=random.Random(1))
+        cycle = [10]
+        eeprom.bind_cycle_source(lambda: cycle[0])
+        eeprom.do_write(0, 0b1111, 1)
+        assert eeprom.busy
+
+    def test_rate_zero_never_tears(self):
+        eeprom = Eeprom(0x0)
+        for i in range(20):
+            assert eeprom.do_write(4 * i, 0b1111, i).state is BusState.OK
+        assert eeprom.torn_writes == 0
+
+    def test_nonzero_rate_requires_rng(self):
+        with pytest.raises(ValueError):
+            Eeprom(0x0, tear_rate=0.5)
+
+    def test_same_seed_same_tears(self):
+        patterns = []
+        for _ in range(2):
+            eeprom = Eeprom(0x0, tear_rate=0.5,
+                            tear_rng=random.Random("tear"))
+            patterns.append([
+                eeprom.do_write(4 * i, 0b1111, i).state
+                for i in range(50)])
+        assert patterns[0] == patterns[1]
+
+    def test_platform_wiring(self):
+        platform = SmartCardPlatform(eeprom_tear_rate=0.25,
+                                     fault_seed=7)
+        assert platform.eeprom.tear_rate == 0.25
+        assert platform.eeprom.tear_rng is not None
+
+    def test_platform_default_has_no_tearing(self):
+        platform = SmartCardPlatform()
+        assert platform.eeprom.tear_rate == 0.0
+
+
+class TestCampaignDeterminism:
+    def test_same_seed_same_report(self):
+        kwargs = dict(rates=(0.0, 0.05), classes=("eeprom_contention",),
+                      layers=("layer1",), seed="determinism")
+        first = run_fault_campaign(**kwargs)
+        second = run_fault_campaign(**kwargs)
+        assert first.format() == second.format()
+
+    def test_campaign_completes_under_retry(self):
+        result = run_fault_campaign(
+            rates=(0.0, 0.05), classes=("random_mix",),
+            layers=("layer1", "layer2"))
+        for cell in result.cells:
+            assert cell.completion_rate == 1.0
+        faulted = result.cell("layer1", "random_mix", 0.05)
+        assert faulted.retries > 0
+        assert faulted.cycle_overhead > 0
+        assert faulted.energy_overhead_pj > 0
+        assert faulted.retry_energy_pj is not None
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload class"):
+            run_fault_campaign(rates=(0.0,), classes=("nope",),
+                               layers=("layer1",))
+
+    def test_out_of_range_rate_rejected(self):
+        with pytest.raises(ValueError, match="fault rates"):
+            run_fault_campaign(rates=(-0.5,), classes=("random_mix",),
+                               layers=("layer1",))
+
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(ValueError):
+            run_fault_campaign(rates=(0.0,), classes=("random_mix",),
+                               layers=("layer9",))

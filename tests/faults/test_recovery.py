@@ -1,0 +1,192 @@
+"""Master-side recovery: retry, backoff, the watchdog and FaultReport."""
+
+import pytest
+
+from repro.ec import (BusState, ErrorCause, RetryPolicy, data_read,
+                      data_write)
+from repro.tlm import BlockingMaster, PipelinedMaster, run_script
+
+from .conftest import (FailFirstInjector, FaultPlatform,
+                       FrozenWindowInjector, RAM_BASE)
+
+
+def run_master(platform, script, master_cls=BlockingMaster,
+               max_cycles=20_000, **kwargs):
+    master = master_cls(platform.simulator, platform.clock,
+                        platform.bus, script, **kwargs)
+    run_script(platform.simulator, master, max_cycles, platform.clock)
+    return master
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_cycles=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_cycles=0)
+
+    def test_should_retry_respects_budget(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry(ErrorCause.SLAVE_ERROR, 2)
+        assert not policy.should_retry(ErrorCause.SLAVE_ERROR, 3)
+
+    def test_should_retry_respects_cause_set(self):
+        policy = RetryPolicy(retry_on=frozenset({ErrorCause.TIMEOUT}))
+        assert not policy.should_retry(ErrorCause.SLAVE_ERROR, 1)
+        assert policy.should_retry(ErrorCause.TIMEOUT, 1)
+
+
+class TestRetryOnError:
+    def test_transient_fault_is_recovered(self, fault_layer):
+        platform = FaultPlatform(fault_layer, [FailFirstInjector(2)])
+        master = run_master(
+            platform, [data_read(RAM_BASE)],
+            retry_policy=RetryPolicy(max_attempts=5, backoff_cycles=1))
+        assert master.errors == []
+        assert len(master.completed) == 1
+        assert master.completed[0].state is BusState.OK
+        assert master.retries == 2
+        report, = master.fault_reports
+        assert report.recovered
+        assert report.attempts == 3  # two failures + the success
+        assert report.cause is ErrorCause.SLAVE_ERROR
+        assert report.cycles_lost > 0
+
+    def test_retry_budget_exhaustion(self, fault_layer):
+        platform = FaultPlatform(fault_layer, [FailFirstInjector(100)])
+        master = run_master(
+            platform, [data_read(RAM_BASE)],
+            retry_policy=RetryPolicy(max_attempts=3, backoff_cycles=1))
+        assert len(master.errors) == 1
+        assert master.retries == 2  # attempts 2 and 3
+        report, = master.fault_reports
+        assert not report.recovered
+        assert report.attempts == 3
+
+    def test_torn_write_retry_repairs_the_word(self, fault_layer):
+        platform = FaultPlatform(fault_layer, [FailFirstInjector(1)])
+        master = run_master(
+            platform, [data_write(RAM_BASE + 8, [0xDEADBEEF])],
+            retry_policy=RetryPolicy(max_attempts=3, backoff_cycles=2))
+        assert master.errors == []
+        assert platform.faulty.peek(8) == 0xDEADBEEF
+
+    def test_no_policy_keeps_error_semantics(self, fault_layer):
+        platform = FaultPlatform(fault_layer, [FailFirstInjector(1)])
+        master = run_master(platform, [data_read(RAM_BASE)])
+        assert len(master.errors) == 1
+        assert master.retries == 0
+        assert master.fault_reports == []
+
+    def test_decode_error_not_retried_by_default(self, fault_layer):
+        platform = FaultPlatform(fault_layer)
+        master = run_master(
+            platform, [data_read(0x00F0_0000)],  # unmapped
+            retry_policy=RetryPolicy(max_attempts=5))
+        assert len(master.errors) == 1
+        assert master.errors[0].error_cause is ErrorCause.DECODE
+        assert master.retries == 0
+
+    def test_backoff_spends_idle_cycles(self):
+        latencies = {}
+        for backoff in (1, 8):
+            platform = FaultPlatform("layer1", [FailFirstInjector(2)])
+            master = run_master(
+                platform, [data_read(RAM_BASE), data_read(RAM_BASE + 4)],
+                retry_policy=RetryPolicy(max_attempts=5,
+                                         backoff_cycles=backoff))
+            assert master.errors == []
+            last = master.completed[-1]
+            latencies[backoff] = last.data_done_cycle
+        assert latencies[8] >= latencies[1] + 2 * (8 - 1)
+
+
+class TestWatchdog:
+    POLICY = RetryPolicy(max_attempts=10, backoff_cycles=2,
+                         timeout_cycles=50)
+
+    def test_hung_slave_is_aborted_and_retried(self, fault_layer):
+        platform = FaultPlatform(
+            fault_layer, [FrozenWindowInjector(until_cycle=200)])
+        master = run_master(platform, [data_read(RAM_BASE)],
+                            retry_policy=self.POLICY)
+        assert master.errors == []
+        assert master.timeouts >= 1
+        assert len(master.completed) == 1
+        report, = master.fault_reports
+        assert report.recovered
+        assert report.cause is ErrorCause.TIMEOUT
+
+    def test_watchdog_prevents_global_timeout(self, fault_layer):
+        # without the watchdog this same platform hangs run_script
+        platform = FaultPlatform(
+            fault_layer, [FrozenWindowInjector(until_cycle=10 ** 9)])
+        with pytest.raises(TimeoutError):
+            run_master(platform, [data_read(RAM_BASE)], max_cycles=500)
+
+    def test_run_script_timeout_reports_recovery_state(self, fault_layer):
+        platform = FaultPlatform(
+            fault_layer, [FrozenWindowInjector(until_cycle=10 ** 9)])
+        with pytest.raises(TimeoutError) as excinfo:
+            run_master(platform, [data_read(RAM_BASE)], max_cycles=500)
+        message = str(excinfo.value)
+        assert "0/1 transactions" in message
+        assert "retries" in message
+        assert "watchdog timeouts" in message
+
+
+class TestPipelinedRecovery:
+    def test_faulting_transaction_inside_window(self, fault_layer):
+        # beat at offset 0x20 fails twice; five neighbours are clean
+        platform = FaultPlatform(
+            fault_layer, [FailFirstInjector(2, offsets={0x20})])
+        script = [data_read(RAM_BASE + 4 * i) for i in range(6)] \
+            + [data_read(RAM_BASE + 0x20)]
+        master = run_master(
+            platform, script, master_cls=PipelinedMaster,
+            retry_policy=RetryPolicy(max_attempts=5, backoff_cycles=1))
+        assert master.errors == []
+        assert len(master.completed) == len(script)
+        assert master.retries == 2
+        report, = master.fault_reports
+        assert report.recovered and report.attempts == 3
+
+    def test_watchdog_in_pipelined_window(self, fault_layer):
+        platform = FaultPlatform(
+            fault_layer, [FrozenWindowInjector(until_cycle=200)])
+        script = [data_read(RAM_BASE + 4 * i) for i in range(4)]
+        master = run_master(
+            platform, script, master_cls=PipelinedMaster,
+            retry_policy=RetryPolicy(max_attempts=20, backoff_cycles=2,
+                                     timeout_cycles=50))
+        assert master.errors == []
+        assert len(master.completed) == len(script)
+        assert master.timeouts >= 1
+
+    def test_energy_probe_prices_recovery(self):
+        from repro.experiments.common import characterization
+        from repro.power import Layer1PowerModel
+        from repro.ec import MemoryMap
+        from repro.kernel import Clock, Simulator
+        from repro.faults import FaultySlave
+        from repro.tlm import EcBusLayer1, MemorySlave
+
+        simulator = Simulator("probe")
+        clock = Clock(simulator, "clk", period=100)
+        ram = MemorySlave(RAM_BASE, 0x1000, name="ram")
+        faulty = FaultySlave(ram, [FailFirstInjector(2)])
+        memory_map = MemoryMap()
+        memory_map.add_slave(faulty, "ram")
+        model = Layer1PowerModel(characterization().table)
+        bus = EcBusLayer1(simulator, clock, memory_map,
+                          power_model=model)
+        master = BlockingMaster(
+            simulator, clock, bus, [data_read(RAM_BASE)],
+            retry_policy=RetryPolicy(max_attempts=5, backoff_cycles=1),
+            energy_probe=lambda: model.total_energy_pj)
+        run_script(simulator, master, 20_000, clock)
+        report, = master.fault_reports
+        assert report.retry_energy_pj is not None
+        assert report.retry_energy_pj > 0

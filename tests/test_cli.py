@@ -17,7 +17,7 @@ class TestParser:
     @pytest.mark.parametrize("command", [
         "report", "table1", "table2", "table3", "figure6", "casestudy",
         "coprocessor", "characterize", "trace", "vcd", "sweep",
-        "robustness"])
+        "robustness", "faults"])
     def test_commands_parse(self, command):
         args = build_parser().parse_args([command])
         assert args.command == command
@@ -48,6 +48,15 @@ class TestCommands:
         from repro.power import CharacterizationTable
         table = CharacterizationTable.load(output)
         assert table.coefficient("EB_A") > 0
+
+    def test_faults_small_campaign(self, capsys):
+        assert main(["faults", "--rates", "0", "0.05",
+                     "--classes", "eeprom_contention",
+                     "--layers", "layer1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fault-injection campaign" in out
+        assert "eeprom_contention" in out
+        assert "unrecovered transactions across all cells: 0" in out
 
     def test_trace_to_stdout(self, capsys):
         assert main(["trace"]) == 0

@@ -91,8 +91,8 @@ class TestBlockInterface:
 
     def test_write_block_stores_words(self):
         memory = MemorySlave(0x0, 0x100)
-        error = memory.write_block(8, [7, 8], 0b1111)
-        assert not error
+        beats_ok, error = memory.write_block(8, [7, 8], 0b1111)
+        assert not error and beats_ok == 2
         assert memory.peek(8) == 7 and memory.peek(12) == 8
         assert memory.writes == 2
 
@@ -106,7 +106,8 @@ class TestBlockInterface:
         slave = ErrorSlave(0x0)
         words, error = slave.read_block(0, 2, 0b1111)
         assert error and words == []
-        assert slave.write_block(0, [1], 0b1111)
+        beats_ok, error = slave.write_block(0, [1], 0b1111)
+        assert error and beats_ok == 0
 
 
 class TestRegisterSlaveHooks:
