@@ -90,29 +90,49 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_resume(args: argparse.Namespace, command: str) -> bool:
+    if args.resume and not args.journal:
+        print(f"repro {command}: error: --resume requires --journal",
+              file=sys.stderr)
+        return False
+    return True
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments import run_bus_sweep
-    print(run_bus_sweep().format())
+    if not _check_resume(args, "sweep"):
+        return 2
+    print(run_bus_sweep(journal_path=args.journal,
+                        resume=args.resume).format())
     return 0
 
 
 def _cmd_robustness(args: argparse.Namespace) -> int:
     from repro.experiments import run_robustness
-    print(run_robustness().format())
+    if not _check_resume(args, "robustness"):
+        return 2
+    print(run_robustness(journal_path=args.journal,
+                         resume=args.resume).format())
     return 0
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
     from repro.experiments import run_fault_campaign
+    if not _check_resume(args, "faults"):
+        return 2
     try:
         result = run_fault_campaign(
             rates=tuple(args.rates), classes=tuple(args.classes),
-            seed=args.seed, layers=tuple(args.layers))
+            seed=args.seed, layers=tuple(args.layers),
+            journal_path=args.journal, resume=args.resume,
+            cell_wall_seconds=args.cell_wall_seconds)
     except ValueError as error:
         print(f"repro faults: error: {error}", file=sys.stderr)
         return 2
     print(result.format())
     # a campaign that cannot finish its scripts is a failed campaign
+    if any(cell.status != "ok" for cell in result.cells):
+        return 1
     return 1 if any(cell.failures for cell in result.cells) else 0
 
 
@@ -203,14 +223,25 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("-o", "--output", help="write to a file")
     trace.set_defaults(func=_cmd_trace)
 
-    sub.add_parser(
-        "sweep", help="fetch-path (burst x line-buffer) sweep"
-    ).set_defaults(func=_cmd_sweep)
+    def add_supervision(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--journal", metavar="PATH",
+            help="checkpoint finished sweep cells to a JSONL journal")
+        command.add_argument(
+            "--resume", action="store_true",
+            help="replay cells already in --journal instead of "
+                 "re-running them")
 
-    sub.add_parser(
+    sweep = sub.add_parser(
+        "sweep", help="fetch-path (burst x line-buffer) sweep")
+    add_supervision(sweep)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    robustness = sub.add_parser(
         "robustness",
-        help="accuracy errors across workload classes"
-    ).set_defaults(func=_cmd_robustness)
+        help="accuracy errors across workload classes")
+    add_supervision(robustness)
+    robustness.set_defaults(func=_cmd_robustness)
 
     faults = sub.add_parser(
         "faults",
@@ -228,6 +259,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="bus models to run each cell on")
     faults.add_argument("--seed", default=2004,
                         help="campaign seed (any int or string)")
+    faults.add_argument("--cell-wall-seconds", type=float,
+                        default=None,
+                        help="wall-clock budget per sweep cell; a cell "
+                             "exceeding it degrades instead of hanging "
+                             "the campaign")
+    add_supervision(faults)
     faults.set_defaults(func=_cmd_faults)
 
     vcd = sub.add_parser(

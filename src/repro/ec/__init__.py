@@ -6,8 +6,10 @@ separate unidirectional read/write paths, slave wait states, pipelined
 address/data phases, merge patterns and the 4/4/4 outstanding budgets.
 """
 
-from .checker import ProtocolChecker, Violation, check_recorder
+from .checker import (ProtocolChecker, ProtocolViolationError, Violation,
+                      check_recorder)
 from .decoder import DecodeError, MapConflictError, MemoryMap, Region
+from .monitor import BusMonitor, Observation
 from .interfaces import (BusMasterInterface, Slave, SlaveControlInterface,
                          SlaveDataInterface, SlaveResponse, WaitStates)
 from .limits import OutstandingBudget
@@ -28,6 +30,7 @@ __all__ = [
     "ADDRESS_MASK",
     "AccessRights",
     "BusMasterInterface",
+    "BusMonitor",
     "BusState",
     "BYTES_PER_WORD",
     "DATA_BITS",
@@ -43,9 +46,11 @@ __all__ = [
     "MemoryMap",
     "MergePattern",
     "MisalignedAccessError",
+    "Observation",
     "OutstandingBudget",
     "ProtocolChecker",
     "ProtocolError",
+    "ProtocolViolationError",
     "Region",
     "RetryPolicy",
     "SIGNALS_BY_GROUP",

@@ -27,27 +27,76 @@ Checked rules:
 from __future__ import annotations
 
 import dataclasses
+import logging
 import typing
+
+from .types import ProtocolError
+
+_log = logging.getLogger(__name__)
+
+#: Valid reporting policies for :class:`ProtocolChecker`.
+POLICIES = ("collect", "log", "abort")
 
 
 @dataclasses.dataclass(frozen=True)
 class Violation:
-    """One protocol rule broken at one cycle."""
+    """One protocol rule broken at one cycle.
+
+    ``state`` is the live simulator/bus context captured at report time
+    when the checker runs online (empty for post-hoc audits).
+    """
 
     rule: str
     cycle: int
     message: str
+    state: typing.Mapping[str, typing.Any] = dataclasses.field(
+        default_factory=dict, compare=False)
 
     def __str__(self) -> str:
-        return f"[{self.rule}] cycle {self.cycle}: {self.message}"
+        text = f"[{self.rule}] cycle {self.cycle}: {self.message}"
+        if self.state:
+            context = ", ".join(f"{key}={value}" for key, value
+                                in self.state.items())
+            text += f" [{context}]"
+        return text
+
+
+class ProtocolViolationError(ProtocolError):
+    """Raised by an ``abort``-policy checker; carries the violation."""
+
+    def __init__(self, violation: Violation) -> None:
+        self.violation = violation
+        self.state = violation.state
+        super().__init__(str(violation))
 
 
 class ProtocolChecker:
-    """Feeds on per-cycle value dicts; accumulates violations."""
+    """Feeds on per-cycle value dicts; accumulates violations.
+
+    Parameters
+    ----------
+    policy:
+        ``"collect"`` (default) only accumulates violations,
+        ``"log"`` additionally logs each one as a warning, and
+        ``"abort"`` raises :class:`ProtocolViolationError` on the first
+        violation — the error carries the live state snapshot.
+    state_probe:
+        Optional callable returning a dict of live context (simulator
+        time, bus cycle, …) attached to every violation; this is what
+        turns the post-hoc auditor into an online monitor.
+    """
 
     QUALIFIERS = ("EB_A", "EB_Instr", "EB_Write", "EB_Burst", "EB_BE")
 
-    def __init__(self) -> None:
+    def __init__(self, policy: str = "collect",
+                 state_probe: typing.Optional[typing.Callable[
+                     [], typing.Mapping[str, typing.Any]]] = None) -> None:
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown checker policy {policy!r}; choose from "
+                f"{POLICIES}")
+        self.policy = policy
+        self.state_probe = state_probe
         self.violations: typing.List[Violation] = []
         self.cycles_checked = 0
         self._previous: typing.Optional[typing.Dict[str, int]] = None
@@ -135,13 +184,26 @@ class ProtocolChecker:
                          "EB_RData changed without EB_RdVal activity")
 
     def _report(self, rule: str, cycle: int, message: str) -> None:
-        self.violations.append(Violation(rule, cycle, message))
+        state = dict(self.state_probe()) if self.state_probe else {}
+        violation = Violation(rule, cycle, message, state)
+        self.violations.append(violation)
+        if self.policy == "log":
+            _log.warning("protocol violation: %s", violation)
+        elif self.policy == "abort":
+            raise ProtocolViolationError(violation)
 
     # ------------------------------------------------------------------
 
     @property
     def clean(self) -> bool:
         return not self.violations
+
+    def record(self, cycle: int, values: typing.Mapping[str, int],
+               energy_pj: float = 0.0) -> None:
+        """Recorder-compatible sink: lets a checker sit directly in a
+        bus model's signal-sink list alongside a
+        :class:`~repro.power.SignalStateRecorder`."""
+        self.check_cycle(cycle, values)
 
     def check_trace(self, cycles: typing.Sequence[int],
                     values: typing.Sequence[typing.Mapping[str, int]]

@@ -1,0 +1,184 @@
+"""Online bus monitor: the :class:`ProtocolChecker` attached live.
+
+``check_recorder`` audits a finished run post-hoc; this module attaches
+the same rule set *while the simulation runs*, on any model layer:
+
+* **layer 1 / RTL** — both reconstruct the EC wires every cycle, so the
+  monitor subscribes as a signal sink and audits each committed cycle
+  exactly as the post-hoc checker would;
+* **layer 2** — has no per-cycle wires (it books whole transactions on
+  wait-state snapshots), so the monitor falls back to transaction-level
+  invariants only.
+
+Transaction-level invariants (checked on every layer):
+
+* ``TXN_BEATS``       — an OK transaction completed all its beats,
+* ``TXN_ERROR_CAUSE`` — an errored transaction carries an
+  :class:`~repro.ec.ErrorCause`,
+* ``TXN_ORDER``       — issue ≤ address-done ≤ data-done cycles,
+* ``TXN_DATA``        — a read returned exactly ``burst_length`` words.
+
+Injected faults (slave errors, bit flips surfacing as ``EB_RBErr``…)
+are *legal* protocol, so they are not violations: the monitor records
+them as *flagged observations* (``TXN_ERROR`` / ``BEAT_ERROR``) so a
+campaign can assert that its seeded faults were actually seen on the
+wire without polluting the violation list.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from .checker import ProtocolChecker, Violation
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from .transaction import Transaction
+
+
+@dataclasses.dataclass(frozen=True)
+class Observation:
+    """A protocol-legal but noteworthy occurrence (e.g. a bus error)."""
+
+    kind: str
+    cycle: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] cycle {self.cycle}: {self.message}"
+
+
+class BusMonitor:
+    """Attachable online protocol monitor for all three bus models.
+
+    Parameters
+    ----------
+    policy:
+        Forwarded to the embedded :class:`ProtocolChecker`:
+        ``"collect"`` / ``"log"`` / ``"abort"``.
+    name:
+        Used in diagnostics when several monitors coexist.
+    """
+
+    def __init__(self, policy: str = "collect",
+                 name: str = "bus_monitor") -> None:
+        self.name = name
+        self.policy = policy
+        self.checker = ProtocolChecker(policy=policy,
+                                       state_probe=self._probe)
+        self.flagged: typing.List[Observation] = []
+        self.transactions_seen = 0
+        self.bus: typing.Optional[typing.Any] = None
+        self.wire_level = False
+
+    # -- attachment ------------------------------------------------------
+
+    def attach(self, bus) -> "BusMonitor":
+        """Hook onto *bus* (layer 1, layer 2 or RTL); returns self.
+
+        Transaction completion is observed on every layer through
+        ``bus.attach_monitor``.  Wire-level auditing additionally
+        engages where per-cycle values exist: the layer-1 power model's
+        signal sinks, or the RTL bus's own sinks.
+        """
+        self.bus = bus
+        bus.attach_monitor(self)
+        power_model = getattr(bus, "power_model", None)
+        if power_model is not None and hasattr(power_model,
+                                               "add_signal_sink"):
+            power_model.add_signal_sink(self._on_cycle)
+            self.wire_level = True
+        elif hasattr(bus, "add_signal_sink"):
+            bus.add_signal_sink(self._on_cycle)
+            self.wire_level = True
+        return self
+
+    def _probe(self) -> typing.Dict[str, typing.Any]:
+        """Live context attached to every violation (online mode)."""
+        bus = self.bus
+        if bus is None:
+            return {"monitor": self.name}
+        return {"monitor": self.name, "model": bus.name,
+                "cycle": bus.cycle, "now": bus.simulator.now,
+                "busy": bus.busy}
+
+    # -- wire-level path (layer 1 / RTL) ---------------------------------
+
+    def _on_cycle(self, cycle: int, values: typing.Mapping[str, int],
+                  energy_pj: float) -> None:
+        self.checker.check_cycle(cycle, values)
+        if values.get("EB_RBErr"):
+            self.flagged.append(Observation(
+                "BEAT_ERROR", cycle, "EB_RBErr asserted (read beat "
+                "errored on the wire)"))
+        if values.get("EB_WBErr"):
+            self.flagged.append(Observation(
+                "BEAT_ERROR", cycle, "EB_WBErr asserted (write beat "
+                "errored on the wire)"))
+
+    # -- transaction-level path (all layers) -----------------------------
+
+    def on_transaction_complete(self, bus,
+                                transaction: "Transaction") -> None:
+        self.transactions_seen += 1
+        cycle = bus.cycle
+        if transaction.error:
+            self.flagged.append(Observation(
+                "TXN_ERROR", cycle,
+                f"transaction #{transaction.txn_id} "
+                f"{transaction.kind.value}@{transaction.address:#x} "
+                f"errored (cause: {transaction.error_cause})"))
+            if transaction.error_cause is None:
+                self.checker._report(
+                    "TXN_ERROR_CAUSE", cycle,
+                    f"transaction #{transaction.txn_id} errored "
+                    f"without an ErrorCause")
+        else:
+            if transaction.beats_done != transaction.burst_length:
+                self.checker._report(
+                    "TXN_BEATS", cycle,
+                    f"transaction #{transaction.txn_id} reported OK "
+                    f"with {transaction.beats_done}/"
+                    f"{transaction.burst_length} beats")
+            if (transaction.data is None
+                    or len(transaction.data) != transaction.burst_length):
+                self.checker._report(
+                    "TXN_DATA", cycle,
+                    f"transaction #{transaction.txn_id} completed with "
+                    f"a malformed data payload")
+        issue = transaction.issue_cycle
+        addr = transaction.address_done_cycle
+        data = transaction.data_done_cycle
+        stamps = [stamp for stamp in (issue, addr, data)
+                  if stamp is not None]
+        if stamps != sorted(stamps):
+            self.checker._report(
+                "TXN_ORDER", cycle,
+                f"transaction #{transaction.txn_id} cycle stamps out of "
+                f"order: issue={issue} addr={addr} data={data}")
+
+    # -- reporting -------------------------------------------------------
+
+    @property
+    def violations(self) -> typing.List[Violation]:
+        return self.checker.violations
+
+    @property
+    def clean(self) -> bool:
+        return self.checker.clean
+
+    def summary(self) -> str:
+        lines = [f"monitor {self.name!r}: "
+                 f"{self.transactions_seen} transaction(s), "
+                 f"{self.checker.cycles_checked} cycle(s) audited "
+                 f"({'wire' if self.wire_level else 'transaction'} "
+                 f"level), {len(self.flagged)} flagged, "
+                 f"{len(self.violations)} violation(s)"]
+        lines.extend(f"  {violation}" for violation in
+                     self.violations[:20])
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"BusMonitor({self.name!r}, policy={self.policy!r}, "
+                f"violations={len(self.violations)}, "
+                f"flagged={len(self.flagged)})")

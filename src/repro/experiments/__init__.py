@@ -23,6 +23,8 @@ from .fault_campaign import (CampaignCell, FaultCampaignResult,
 from .figure6 import Figure6Result, run_figure6
 from .report import full_report
 from .robustness import RobustnessResult, run_robustness
+from .supervisor import (CampaignSupervisor, CellOutcome,
+                         CheckpointJournal, cell_key)
 from .table1 import Table1Result, run_table1
 from .table2 import Table2Result, run_table2
 from .table3 import Table3Result, run_table3
@@ -30,7 +32,10 @@ from .table3 import Table3Result, run_table3
 __all__ = [
     "BusSweepResult",
     "CampaignCell",
+    "CampaignSupervisor",
     "CaseStudyResult",
+    "CellOutcome",
+    "CheckpointJournal",
     "CoprocessorStudyResult",
     "FaultCampaignResult",
     "Figure6Result",
@@ -39,6 +44,7 @@ __all__ = [
     "Table1Result",
     "Table2Result",
     "Table3Result",
+    "cell_key",
     "characterization",
     "evaluation_script",
     "full_report",

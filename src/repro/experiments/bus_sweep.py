@@ -23,6 +23,7 @@ from repro.soc.cpu import MipsCore
 from repro.soc.smartcard import ROM_BASE, SmartCardPlatform
 
 from .common import TEST_PROGRAM, characterization
+from .supervisor import CampaignSupervisor
 
 BURST_LENGTHS = (1, 2, 4)
 BUFFER_LINES = (1, 4, 8)
@@ -36,6 +37,8 @@ class SweepPoint:
     bus_energy_pj: float
     fetch_transactions: int
     fetch_words: int
+    status: str = "ok"
+    error: typing.Optional[str] = None
 
     @property
     def label(self) -> str:
@@ -54,11 +57,18 @@ class BusSweepResult:
                 return point
         raise KeyError((burst, lines))
 
+    def _usable(self) -> typing.List[SweepPoint]:
+        usable = [point for point in self.points
+                  if point.status == "ok"]
+        if not usable:
+            raise ValueError("every sweep point degraded")
+        return usable
+
     def best_by_energy(self) -> SweepPoint:
-        return min(self.points, key=lambda point: point.bus_energy_pj)
+        return min(self._usable(), key=lambda point: point.bus_energy_pj)
 
     def best_by_cycles(self) -> SweepPoint:
-        return min(self.points, key=lambda point: point.cycles)
+        return min(self._usable(), key=lambda point: point.cycles)
 
     def format(self) -> str:
         lines = [
@@ -67,6 +77,10 @@ class BusSweepResult:
             f"{'fetch txns':>12}{'fetch words':>13}",
         ]
         for point in self.points:
+            if point.status != "ok":
+                lines.append(f"{point.label:<20}  DEGRADED: "
+                             f"{point.error}")
+                continue
             lines.append(
                 f"{point.label:<20}{point.cycles:>8}"
                 f"{point.bus_energy_pj:>11.1f}"
@@ -105,10 +119,34 @@ def run_point(fetch_burst_length: int, line_buffer_lines: int,
 
 
 def run_bus_sweep(burst_lengths: typing.Sequence[int] = BURST_LENGTHS,
-                  buffer_lines: typing.Sequence[int] = BUFFER_LINES
-                  ) -> BusSweepResult:
-    """Sweep the fetch-path parameter grid."""
+                  buffer_lines: typing.Sequence[int] = BUFFER_LINES,
+                  journal_path: typing.Optional[str] = None,
+                  resume: bool = False,
+                  max_attempts: int = 2) -> BusSweepResult:
+    """Sweep the fetch-path parameter grid.
+
+    Each grid point runs under the campaign supervisor: with
+    *journal_path* its result checkpoints to a JSONL journal, *resume*
+    replays journaled points, and a point that keeps crashing is
+    reported as degraded instead of aborting the sweep.
+    """
+    supervisor = CampaignSupervisor(
+        "bus_sweep", seed=0, journal_path=journal_path, resume=resume,
+        max_attempts=max_attempts)
     table = characterization().table
-    points = [run_point(burst, lines, table)
-              for burst in burst_lengths for lines in buffer_lines]
+    points = []
+    for burst in burst_lengths:
+        for lines in buffer_lines:
+            outcome = supervisor.run_cell(
+                {"burst": burst, "lines": lines},
+                lambda: dataclasses.asdict(
+                    run_point(burst, lines, table)))
+            if outcome.ok:
+                points.append(SweepPoint(**outcome.payload))
+            else:
+                points.append(SweepPoint(
+                    fetch_burst_length=burst, line_buffer_lines=lines,
+                    cycles=0, bus_energy_pj=0.0, fetch_transactions=0,
+                    fetch_words=0, status="degraded",
+                    error=outcome.error))
     return BusSweepResult(points)

@@ -49,6 +49,7 @@ from repro.tlm import EcBusLayer1, EcBusLayer2, PipelinedMaster, run_script
 
 from .common import CLOCK_PERIOD, _busy_cycles, characterization
 from .robustness import DEFAULT_SEED, workload_script
+from .supervisor import CampaignSupervisor
 
 #: Workload classes swept by default — a plain mix, a burst-heavy
 #: stream and the EEPROM-contention pattern (where tearing and the
@@ -89,6 +90,10 @@ class CampaignCell:
     #: summed FaultReport attribution; None where the layer cannot
     #: price energy incrementally (gate-level)
     retry_energy_pj: typing.Optional[float] = None
+    #: "ok", or "degraded" when the cell kept crashing/stalling and the
+    #: supervisor recorded a placeholder instead of sinking the sweep
+    status: str = "ok"
+    error: typing.Optional[str] = None
 
     @property
     def completion_rate(self) -> float:
@@ -125,6 +130,11 @@ class FaultCampaignResult:
             f"{'E+ (pJ)':>10}{'retry E (pJ)':>13}",
         ]
         for cell in self.cells:
+            if cell.status != "ok":
+                lines.append(
+                    f"{cell.workload:<19}{cell.rate:>6.2f}"
+                    f"  {cell.layer:<10}  DEGRADED: {cell.error}")
+                continue
             overhead = ("" if cell.cycle_overhead is None
                         else f"{cell.cycle_overhead:>+7d}")
             e_overhead = ("" if cell.energy_overhead_pj is None
@@ -140,6 +150,10 @@ class FaultCampaignResult:
         total_failures = sum(cell.failures for cell in self.cells)
         lines.append(
             f"unrecovered transactions across all cells: {total_failures}")
+        degraded = sum(1 for cell in self.cells if cell.status != "ok")
+        if degraded:
+            lines.append(f"degraded cells (crashed/stalled after "
+                         f"retries): {degraded}")
         return "\n".join(lines)
 
 
@@ -196,7 +210,9 @@ def _campaign_memory_map(seed: typing.Union[int, str], workload: str,
 
 def _run_cell(layer: str, workload: str, rate: float,
               seed: typing.Union[int, str], policy: RetryPolicy,
-              table, max_cycles: int) -> CampaignCell:
+              table, max_cycles: int,
+              wall_seconds: typing.Optional[float] = None
+              ) -> CampaignCell:
     simulator = Simulator(f"faults-{layer}")
     clock = Clock(simulator, "clk", period=CLOCK_PERIOD)
     memory_map = _campaign_memory_map(seed, workload, rate)
@@ -224,7 +240,8 @@ def _run_cell(layer: str, workload: str, rate: float,
     master = PipelinedMaster(simulator, clock, bus, script,
                              retry_policy=policy,
                              energy_probe=energy_probe)
-    run_script(simulator, master, max_cycles, clock)
+    run_script(simulator, master, max_cycles, clock,
+               wall_seconds=wall_seconds)
 
     if power_model is not None:
         if layer == "layer2":
@@ -261,14 +278,41 @@ def _run_cell(layer: str, workload: str, rate: float,
         retry_energy_pj=retry_energy)
 
 
+#: CampaignCell fields journaled per cell.  The overhead columns are
+#: deliberately *not* journaled: they are recomputed in-memory on both
+#: the fresh and the resumed path, so the two agree byte for byte.
+_JOURNALED_FIELDS = tuple(
+    field.name for field in dataclasses.fields(CampaignCell)
+    if field.name not in ("cycle_overhead", "energy_overhead_pj"))
+
+
+def _cell_payload(cell: CampaignCell) -> dict:
+    values = dataclasses.asdict(cell)
+    return {name: values[name] for name in _JOURNALED_FIELDS}
+
+
 def run_fault_campaign(
         rates: typing.Sequence[float] = DEFAULT_RATES,
         classes: typing.Sequence[str] = DEFAULT_CLASSES,
         seed: typing.Union[int, str] = DEFAULT_SEED,
         layers: typing.Sequence[str] = LAYERS,
         policy: RetryPolicy = DEFAULT_POLICY,
-        max_cycles: int = 500_000) -> FaultCampaignResult:
-    """Sweep fault rates across workload classes on every layer."""
+        max_cycles: int = 500_000,
+        journal_path: typing.Optional[str] = None,
+        resume: bool = False,
+        max_attempts: int = 2,
+        cell_wall_seconds: typing.Optional[float] = None
+        ) -> FaultCampaignResult:
+    """Sweep fault rates across workload classes on every layer.
+
+    With *journal_path* every finished cell is checkpointed to a JSONL
+    journal; *resume* then replays journaled cells instead of
+    re-running them, making an interrupted campaign restartable with
+    byte-identical results.  A cell that crashes or stalls
+    *max_attempts* times is reported as a degraded row instead of
+    aborting the sweep; *cell_wall_seconds* bounds each cell's wall
+    clock through the master's progress watchdog.
+    """
     for layer in layers:
         if layer not in LAYERS:
             raise ValueError(f"unknown layer {layer!r}; "
@@ -283,6 +327,10 @@ def run_fault_campaign(
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"fault rates must be in [0, 1], "
                              f"got {rate}")
+    supervisor = CampaignSupervisor(
+        "fault_campaign", seed, journal_path=journal_path,
+        resume=resume, max_attempts=max_attempts,
+        cell_wall_seconds=cell_wall_seconds)
     table = characterization().table
     cells = []
     baselines: typing.Dict[typing.Tuple[str, str], CampaignCell] = {}
@@ -292,12 +340,28 @@ def run_fault_campaign(
     for workload in classes:
         for rate in rate_axis:
             for layer in layers:
-                cell = _run_cell(layer, workload, rate, seed, policy,
-                                 table, max_cycles)
-                if rate == 0.0:
+                params = {"layer": layer, "workload": workload,
+                          "rate": rate}
+                outcome = supervisor.run_cell(
+                    params,
+                    lambda: _cell_payload(_run_cell(
+                        layer, workload, rate, seed, policy, table,
+                        max_cycles,
+                        wall_seconds=supervisor.cell_wall_seconds)))
+                if outcome.ok:
+                    cell = CampaignCell(**outcome.payload)
+                else:
+                    cell = CampaignCell(
+                        layer=layer, workload=workload, rate=rate,
+                        transactions=0, failures=0, retries=0,
+                        timeouts=0, recovered=0, fault_events=0,
+                        torn_writes=0, cycles=0, energy_pj=0.0,
+                        status="degraded", error=outcome.error)
+                if rate == 0.0 and cell.status == "ok":
                     baselines[(layer, workload)] = cell
                 baseline = baselines.get((layer, workload))
-                if baseline is not None and cell is not baseline:
+                if (baseline is not None and cell is not baseline
+                        and cell.status == "ok"):
                     cell.cycle_overhead = cell.cycles - baseline.cycles
                     cell.energy_overhead_pj = (cell.energy_pj
                                                - baseline.energy_pj)

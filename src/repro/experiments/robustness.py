@@ -35,6 +35,7 @@ from repro.workloads import (Mix, Window, apdu_session,
 
 from .common import (characterization, percent_error, run_on_layer,
                      run_on_rtl, test_program_trace)
+from .supervisor import CampaignSupervisor
 
 
 #: Seed of record for the study.  Every workload factory below receives
@@ -112,6 +113,8 @@ class RobustnessRow:
     layer2_timing_error: float
     layer1_energy_error: float
     layer2_energy_error: float
+    status: str = "ok"
+    error: typing.Optional[str] = None
 
 
 @dataclasses.dataclass
@@ -132,14 +135,22 @@ class RobustnessResult:
             f"{'L2 t-err':>10}{'L1 E-err':>10}{'L2 E-err':>10}",
         ]
         for row in self.rows:
+            if row.status != "ok":
+                lines.append(f"{row.workload:<20}  DEGRADED: "
+                             f"{row.error}")
+                continue
             lines.append(
                 f"{row.workload:<20}{row.cycles:>8}"
                 f"{row.layer1_timing_error:>+9.2f}%"
                 f"{row.layer2_timing_error:>+9.2f}%"
                 f"{row.layer1_energy_error:>+9.2f}%"
                 f"{row.layer2_energy_error:>+9.2f}%")
-        l1_errors = [row.layer1_energy_error for row in self.rows]
-        l2_errors = [row.layer2_energy_error for row in self.rows]
+        usable = [row for row in self.rows if row.status == "ok"]
+        if not usable:
+            lines.append("every workload class degraded")
+            return "\n".join(lines)
+        l1_errors = [row.layer1_energy_error for row in usable]
+        l2_errors = [row.layer2_energy_error for row in usable]
         lines.append(
             f"L1 energy error band: [{min(l1_errors):+.2f}%, "
             f"{max(l1_errors):+.2f}%]   "
@@ -153,22 +164,47 @@ def workload_script(name: str,
     return WORKLOAD_CLASSES[name](class_rng(seed, name))
 
 
+def _robustness_row(name: str, seed: typing.Union[int, str],
+                    table) -> RobustnessRow:
+    gate = run_on_rtl(workload_script(name, seed),
+                      estimate_power=True)
+    layer1 = run_on_layer(1, workload_script(name, seed), table=table)
+    layer2 = run_on_layer(2, workload_script(name, seed), table=table)
+    return RobustnessRow(
+        name, gate.cycles,
+        percent_error(layer1.cycles, gate.cycles),
+        percent_error(layer2.cycles, gate.cycles),
+        percent_error(layer1.energy_pj, gate.energy_pj),
+        percent_error(layer2.energy_pj, gate.energy_pj))
+
+
 def run_robustness(classes: typing.Optional[
         typing.Sequence[str]] = None,
-        seed: typing.Union[int, str] = DEFAULT_SEED) -> RobustnessResult:
-    """Measure all four errors on every workload class."""
+        seed: typing.Union[int, str] = DEFAULT_SEED,
+        journal_path: typing.Optional[str] = None,
+        resume: bool = False,
+        max_attempts: int = 2) -> RobustnessResult:
+    """Measure all four errors on every workload class.
+
+    Each class runs under the campaign supervisor: with *journal_path*
+    finished rows checkpoint to a JSONL journal, *resume* replays them,
+    and a class that keeps crashing is reported as a degraded row.
+    """
+    supervisor = CampaignSupervisor(
+        "robustness", seed, journal_path=journal_path, resume=resume,
+        max_attempts=max_attempts)
     table = characterization().table
     names = list(classes or WORKLOAD_CLASSES)
     rows = []
     for name in names:
-        gate = run_on_rtl(workload_script(name, seed),
-                          estimate_power=True)
-        layer1 = run_on_layer(1, workload_script(name, seed), table=table)
-        layer2 = run_on_layer(2, workload_script(name, seed), table=table)
-        rows.append(RobustnessRow(
-            name, gate.cycles,
-            percent_error(layer1.cycles, gate.cycles),
-            percent_error(layer2.cycles, gate.cycles),
-            percent_error(layer1.energy_pj, gate.energy_pj),
-            percent_error(layer2.energy_pj, gate.energy_pj)))
+        outcome = supervisor.run_cell(
+            {"workload": name},
+            lambda: dataclasses.asdict(
+                _robustness_row(name, seed, table)))
+        if outcome.ok:
+            rows.append(RobustnessRow(**outcome.payload))
+        else:
+            rows.append(RobustnessRow(
+                name, 0, 0.0, 0.0, 0.0, 0.0,
+                status="degraded", error=outcome.error))
     return RobustnessResult(rows)

@@ -10,18 +10,25 @@ from .event import Event
 from .module import Module, Process
 from .signal import BitSignal, Clock, Signal
 from .simulator import SimulationError, Simulator
+from .supervision import (BlockedWaiter, DeadlockError, JournalEntry,
+                          ProgressWatchdog, StallError)
 from .thread import ThreadProcess, wait_cycles
 from . import time
 
 __all__ = [
     "BitSignal",
+    "BlockedWaiter",
     "Clock",
+    "DeadlockError",
     "Event",
+    "JournalEntry",
     "Module",
     "Process",
+    "ProgressWatchdog",
     "Signal",
     "SimulationError",
     "Simulator",
+    "StallError",
     "ThreadProcess",
     "time",
     "wait_cycles",

@@ -102,6 +102,13 @@ class Event:
 
     # -- firing (called by the simulator) --------------------------------
 
+    def waiters(self) -> list[str]:
+        """Names of every process currently sensitive to this event."""
+        names = [process.name for process in self._static_waiters]
+        names.extend(process.name for process in self._dynamic_waiters
+                     if process.name not in names)
+        return names
+
     def _collect_triggered(self) -> list["Process"]:
         """Return processes to run because this event fired."""
         self._timed_handle = None

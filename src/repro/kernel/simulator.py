@@ -15,6 +15,7 @@ need, structured as the classic three-phase loop:
 
 from __future__ import annotations
 
+import collections
 import heapq
 import itertools
 import typing
@@ -24,16 +25,26 @@ from .event import Event
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .module import Process
     from .signal import SignalBase
+    from .supervision import (BlockedWaiter, DeadlockError, JournalEntry,
+                              ProgressWatchdog)
+    from .thread import ThreadProcess
 
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (e.g. running a finished simulator)."""
 
 
+#: Watchdogs are also polled every this many delta cycles within one
+#: time instant, so a delta-cycle livelock (processes immediate-notifying
+#: each other forever) still hits the wall-clock budget.
+_DELTAS_PER_WATCHDOG_CHECK = 4096
+
+
 class Simulator:
     """The simulation kernel: owns time, events, signals and processes."""
 
-    def __init__(self, name: str = "sim") -> None:
+    def __init__(self, name: str = "sim",
+                 journal_capacity: int = 32) -> None:
         self.name = name
         self.now: int = 0
         self.delta_count: int = 0
@@ -47,6 +58,18 @@ class Simulator:
         self._seq = itertools.count()
         self._stop_requested = False
         self._started = False
+        # ring buffer of the most recent event notifications — the
+        # "flight recorder" DeadlockError diagnostics embed.  Raw
+        # (time, delta, kind, event-name) tuples: this append sits on
+        # the kernel's notification hot path, so the pretty
+        # JournalEntry objects are only built in journal_entries()
+        self._journal: typing.Deque[tuple] = collections.deque(
+            maxlen=journal_capacity)
+        self._threads: list["ThreadProcess"] = []
+        self._waiter_hooks: list[typing.Callable[
+            [], typing.Iterable["BlockedWaiter"]]] = []
+        self._watchdogs: list["ProgressWatchdog"] = []
+        self._deltas_since_check = 0
 
     # -- registration (used by Event/Signal/Module constructors) ---------
 
@@ -59,9 +82,14 @@ class Simulator:
     def _register_signal(self, signal: "SignalBase") -> None:
         self._signals.append(signal)
 
+    def _register_thread(self, thread: "ThreadProcess") -> None:
+        self._threads.append(thread)
+
     # -- notification plumbing ------------------------------------------
 
     def _notify_immediate(self, event: Event) -> None:
+        self._journal.append((self.now, self.delta_count, "immediate",
+                              event.name))
         for process in event._collect_triggered():
             self._make_runnable(process)
 
@@ -103,6 +131,8 @@ class Simulator:
         if self._delta_events:
             events, self._delta_events = self._delta_events, []
             for event in events:
+                self._journal.append((self.now, self.delta_count,
+                                      "delta", event.name))
                 for process in event._collect_triggered():
                     self._make_runnable(process)
 
@@ -149,6 +179,8 @@ class Simulator:
             if entry[2]:
                 continue
             event: Event = entry[3]
+            self._journal.append((self.now, self.delta_count, "timed",
+                                  event.name))
             for process in event._collect_triggered():
                 self._make_runnable(process)
         return True
@@ -160,6 +192,15 @@ class Simulator:
         simulated time would exceed ``start + duration``; without it,
         runs until no activity remains or :meth:`stop` is called.
         Returns the simulated time consumed.
+
+        Raises :class:`~repro.kernel.DeadlockError` if all activity
+        drains while blocked waiters remain (unfinished thread
+        processes, or anything reported by a waiter hook) — a bounded
+        run that merely reaches its deadline does not deadlock-check.
+        Attached :class:`~repro.kernel.ProgressWatchdog` instances are
+        polled at every time advance (and periodically inside delta
+        storms) and raise :class:`~repro.kernel.StallError` when their
+        budgets expire.
         """
         start = self.now
         deadline = None if duration is None else start + duration
@@ -169,17 +210,91 @@ class Simulator:
             while self._run_delta():
                 if self._stop_requested:
                     return self.now - start
+                if self._watchdogs:
+                    self._deltas_since_check += 1
+                    if (self._deltas_since_check
+                            >= _DELTAS_PER_WATCHDOG_CHECK):
+                        self._check_watchdogs()
             if self._stop_requested:
                 return self.now - start
             queue = self._timed_queue
             while queue and queue[0][2]:
                 heapq.heappop(queue)
             if not queue:
+                self._check_deadlock()
                 return self.now - start
             if deadline is not None and queue[0][0] > deadline:
                 self.now = deadline
                 return self.now - start
             self._advance_time()
+            if self._watchdogs:
+                self._check_watchdogs()
+
+    # -- supervision -------------------------------------------------------
+
+    def add_waiter_hook(self, hook: typing.Callable[
+            [], typing.Iterable["BlockedWaiter"]]) -> None:
+        """Register a callable reporting blocked waiters for diagnostics.
+
+        Hooks are consulted when a deadlock or stall is being diagnosed;
+        each returns an iterable of
+        :class:`~repro.kernel.BlockedWaiter` records (empty when its
+        owner is not blocked).
+        """
+        self._waiter_hooks.append(hook)
+
+    def attach_watchdog(self, watchdog: "ProgressWatchdog") -> None:
+        """Poll *watchdog* during :meth:`run` until it is detached."""
+        watchdog.reset(self)
+        self._watchdogs.append(watchdog)
+
+    def detach_watchdog(self, watchdog: "ProgressWatchdog") -> None:
+        if watchdog in self._watchdogs:
+            self._watchdogs.remove(watchdog)
+
+    def blocked_waiters(self) -> list:
+        """Everything currently waiting: unfinished threads + hooks."""
+        from .supervision import BlockedWaiter
+        blocked = []
+        for thread in self._threads:
+            if not thread.finished:
+                blocked.append(BlockedWaiter(
+                    f"thread {thread.name!r}",
+                    thread.waiting_on or "first resume",
+                    f"resumed {thread.resume_count} times"))
+        for hook in self._waiter_hooks:
+            blocked.extend(hook())
+        return blocked
+
+    def journal_entries(self) -> tuple:
+        """The event-notification ring buffer as
+        :class:`~repro.kernel.JournalEntry` records, oldest first."""
+        from .supervision import JournalEntry
+        return tuple(JournalEntry(*entry) for entry in self._journal)
+
+    def diagnose(self, message: str, *, kind: str = "deadlock",
+                 exc_class: typing.Optional[type] = None
+                 ) -> "DeadlockError":
+        """Build a structured supervision error with the live context."""
+        from .supervision import DeadlockError
+        factory = exc_class or DeadlockError
+        return factory(message, kind=kind, now=self.now,
+                       delta_count=self.delta_count,
+                       blocked=self.blocked_waiters(),
+                       journal=self.journal_entries())
+
+    def _check_deadlock(self) -> None:
+        blocked = self.blocked_waiters()
+        if blocked:
+            raise self.diagnose(
+                f"deadlock in {self.name!r}: no runnable process and no "
+                f"pending event, but {len(blocked)} waiter(s) remain",
+                kind="deadlock")
+
+    def _check_watchdogs(self) -> None:
+        self._deltas_since_check = 0
+        for watchdog in self._watchdogs:
+            watchdog.check(self)
 
     # -- conveniences -----------------------------------------------------
 

@@ -46,12 +46,16 @@ class ThreadProcess:
         self.finished = False
         self.result: typing.Any = None
         self.resume_count = 0
+        #: human-readable description of what the thread last suspended
+        #: on — surfaced in :class:`~repro.kernel.DeadlockError` reports
+        self.waiting_on: typing.Optional[str] = None
         self.finished_event = Event(simulator, f"{name}.finished")
         self._generator = func()
         self._timer = Event(simulator, f"{name}.timer")
         # the driving engine: a method process whose dynamic
         # sensitivity is re-targeted to whatever the generator yields
         self._engine = Process(simulator, self._step, f"{name}.engine")
+        simulator._register_thread(self)
 
     def _step(self) -> None:
         if self.finished:
@@ -62,6 +66,7 @@ class ThreadProcess:
         except StopIteration as stop:
             self.finished = True
             self.result = stop.value
+            self.waiting_on = None
             self.finished_event.notify_delta()
             # park the engine so static/dynamic triggers stop firing
             self._engine.next_trigger(self._timer)
@@ -70,15 +75,19 @@ class ThreadProcess:
 
     def _wait_on(self, wanted: Yieldable) -> None:
         if wanted is None:
+            self.waiting_on = "next delta cycle"
             self._timer.cancel()
             self._timer.notify_delta()
             self._engine.next_trigger(self._timer)
         elif isinstance(wanted, Event):
+            self.waiting_on = f"event {wanted.name!r}"
             self._engine.next_trigger(wanted)
         elif isinstance(wanted, int):
             if wanted < 0:
                 raise SimulationError(
                     f"thread {self.name!r} yielded a negative delay")
+            self.waiting_on = (f"timer +{wanted} "
+                               f"(t={self.simulator.now + wanted})")
             self._timer.cancel()
             self._timer.notify_delayed(wanted)
             self._engine.next_trigger(self._timer)

@@ -85,6 +85,10 @@ class Layer1PowerModel(CycleAccuratePowerInterface):
                  ) -> None:
         self.table = table
         self.recorder = recorder
+        self._sinks: typing.List[typing.Callable[
+            [int, typing.Dict[str, int], float], None]] = []
+        if recorder is not None:
+            self._sinks.append(recorder.record)
         self._acc = EnergyAccumulator()
         self._last_cycle_energy = 0.0
         self._names = [spec.name for spec in EC_SIGNALS]
@@ -104,6 +108,13 @@ class Layer1PowerModel(CycleAccuratePowerInterface):
     def transition_counts(self) -> typing.Dict[str, int]:
         """Per-signal bit-transition counts (reporting view)."""
         return dict(zip(self._names, self._counts))
+
+    def add_signal_sink(self, sink: typing.Callable[
+            [int, typing.Dict[str, int], float], None]) -> None:
+        """Stream each cycle's committed wire values (and energy) to
+        *sink* — the hook online monitors attach through."""
+        if sink not in self._sinks:
+            self._sinks.append(sink)
 
     # ------------------------------------------------------------------
     # phase hooks invoked by EcBusLayer1 (exactly one address, one read
@@ -202,9 +213,10 @@ class Layer1PowerModel(CycleAccuratePowerInterface):
                     old[index] = new_value
         self._last_cycle_energy = energy
         self._acc.add(energy)
-        if self.recorder is not None:
-            self.recorder.record(
-                cycle, dict(zip(self._names, new)), energy)
+        if self._sinks:
+            values = dict(zip(self._names, new))
+            for sink in self._sinks:
+                sink(cycle, values, energy)
 
     # ------------------------------------------------------------------
     # PowerInterface

@@ -69,6 +69,10 @@ class RtlBus(EcBusBase):
         self.decoder: AddressDecoder = build_address_decoder(memory_map)
         self.activity_log = activity_log
         self.recorder = recorder
+        self._sinks: typing.List[typing.Callable[
+            [int, typing.Dict[str, int], float], None]] = []
+        if recorder is not None:
+            self._sinks.append(recorder.record)
         self._biu_queue: typing.List[Transaction] = []
         self._addr_active: typing.Optional[Transaction] = None
         self._addr_region: typing.Optional[Region] = None
@@ -82,6 +86,13 @@ class RtlBus(EcBusBase):
         self.control_flop_count = CONTROL_FLOP_COUNT
         self.method(self._bus_process, name="bus_process",
                     sensitive=[clock.negedge_event], dont_initialize=True)
+
+    def add_signal_sink(self, sink: typing.Callable[
+            [int, typing.Dict[str, int], float], None]) -> None:
+        """Stream each cycle's committed wire values to *sink* (RTL has
+        no per-cycle energy, so the energy argument is always 0.0)."""
+        if sink not in self._sinks:
+            self._sinks.append(sink)
 
     @staticmethod
     def _reset_values() -> typing.Dict[str, int]:
@@ -289,8 +300,8 @@ class RtlBus(EcBusBase):
         self.decoder.evaluate(new["EB_A"])
         if self.activity_log is not None:
             self.activity_log.record_cycle(self._values, new)
-        if self.recorder is not None:
-            self.recorder.record(self.cycle, new, 0.0)
+        for sink in self._sinks:
+            sink(self.cycle, new, 0.0)
         state = (self._read.state_word()
                  | (self._write.state_word() << 11)
                  | ((self._addr_wait & 0xF) << 22)

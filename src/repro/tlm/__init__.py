@@ -23,6 +23,11 @@ def __getattr__(name: str):
     # imports BehaviouralSlave from this package — eager re-export
     # would be circular)
     if name == "ErrorSlave":
+        import warnings
+        warnings.warn(
+            "importing ErrorSlave from repro.tlm is deprecated; "
+            "import it from repro.faults instead",
+            DeprecationWarning, stacklevel=2)
         from repro.faults.injectors import ErrorSlave
         return ErrorSlave
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -31,11 +31,24 @@ class EcBusBase(Module, BusMasterInterface):
         self.cycle = 0
         self.transactions_completed = 0
         self.trace_log: typing.Optional[typing.List[Transaction]] = None
+        self.monitors: typing.List[typing.Any] = []
 
     def enable_tracing(self) -> None:
         """Record every accepted transaction (the paper's §4.1 flow:
         trace the bus, replay the trace on the other model layers)."""
         self.trace_log = []
+
+    def attach_monitor(self, monitor) -> None:
+        """Register an observer notified as each transaction completes.
+
+        A monitor needs one method,
+        ``on_transaction_complete(bus, transaction)``, called when the
+        master collects the finished transaction.  This transaction-level
+        hook exists on every model layer — including layer 2, which has
+        no per-cycle wires to observe.
+        """
+        if monitor not in self.monitors:
+            self.monitors.append(monitor)
 
     # -- master interfaces --------------------------------------------------
 
@@ -52,6 +65,8 @@ class EcBusBase(Module, BusMasterInterface):
         if self.finish_pool.collect(transaction):
             self.budget.release(transaction)
             self.transactions_completed += 1
+            for monitor in self.monitors:
+                monitor.on_transaction_complete(self, transaction)
             return transaction.state  # OK or ERROR
         if transaction.issue_cycle is not None:
             return BusState.WAIT  # in progress somewhere in the pipe

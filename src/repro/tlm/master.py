@@ -34,7 +34,8 @@ import typing
 from repro.ec import (BusState, ErrorCause, FaultReport, RetryPolicy,
                       Transaction)
 from repro.ec.interfaces import BusMasterInterface
-from repro.kernel import Clock, Module, Simulator
+from repro.kernel import (BlockedWaiter, Clock, Module, ProgressWatchdog,
+                          Simulator, StallError)
 
 ScriptItem = typing.Union[Transaction, typing.Tuple[int, Transaction]]
 
@@ -95,6 +96,32 @@ class ScriptedMaster(Module):
         self.done_event = simulator.event(f"{name}.done")
         self.method(self._on_clock, name="on_clock",
                     sensitive=[clock.posedge_event], dont_initialize=True)
+        # report this master in DeadlockError/StallError diagnostics
+        # while it still has unfinished script work
+        simulator.add_waiter_hook(self._blocked_waiters)
+
+    def _blocked_waiters(self) -> typing.List[BlockedWaiter]:
+        """Waiter hook: describe this master while it is not done."""
+        if self.done:
+            return []
+        in_flight = self._in_flight_summary()
+        return [BlockedWaiter(
+            f"master {self.name!r}",
+            in_flight or "next script item",
+            f"{len(self.completed)}/{len(self.script)} transactions, "
+            f"{len(self.errors)} errors, {self.retries} retries, "
+            f"{self.timeouts} watchdog timeouts")]
+
+    def _in_flight_summary(self) -> str:
+        """Describe the in-flight transactions (subclass-specific)."""
+        return ""  # pragma: no cover - overridden
+
+    @staticmethod
+    def _describe(transaction: Transaction) -> str:
+        return (f"{transaction.kind.value}@{transaction.address:#x} "
+                f"beat {transaction.beats_done}/"
+                f"{transaction.burst_length} "
+                f"issued c{transaction.issue_cycle}")
 
     def _on_clock(self) -> None:
         raise NotImplementedError  # pragma: no cover
@@ -216,6 +243,14 @@ class BlockingMaster(ScriptedMaster):
     def _nothing_in_flight(self) -> bool:
         return self._current is None and self._pending_retry is None
 
+    def _in_flight_summary(self) -> str:
+        if self._current is not None:
+            return f"bus completion of {self._describe(self._current)}"
+        if self._pending_retry is not None:
+            return (f"retry backoff ({self._retry_wait} cycles left) for "
+                    f"{self._describe(self._pending_retry)}")
+        return ""
+
     def _start_item(self) -> None:
         self._current = self.script[self._next_index][1]
         self._next_index += 1
@@ -301,6 +336,13 @@ class PipelinedMaster(ScriptedMaster):
     def _nothing_in_flight(self) -> bool:
         return not self._in_flight and not self._retry_queue
 
+    def _in_flight_summary(self) -> str:
+        parts = [f"bus completion of {self._describe(t)}"
+                 for t in self._in_flight]
+        parts.extend(f"retry backoff for {self._describe(entry[1])}"
+                     for entry in self._retry_queue)
+        return "; ".join(parts)
+
     def _on_clock(self) -> None:
         if self.done:
             return
@@ -367,24 +409,50 @@ class PipelinedMaster(ScriptedMaster):
 
 
 def run_script(simulator: Simulator, master: ScriptedMaster,
-               max_cycles: int, clock: Clock) -> int:
+               max_cycles: int, clock: Clock,
+               stall_cycles: typing.Optional[int] = None,
+               wall_seconds: typing.Optional[float] = None) -> int:
     """Run until the master finishes; returns elapsed clock cycles.
 
-    Raises :class:`TimeoutError` if the script does not complete within
-    *max_cycles* — a guard against protocol deadlocks in tests.  The
-    message reports how far the master got, including its recovery
-    statistics, so a stuck run is diagnosable from the exception alone.
+    Raises :class:`~repro.kernel.StallError` (a
+    :class:`TimeoutError` subclass, so pre-existing guards still work)
+    if the script does not complete within *max_cycles* — a guard
+    against protocol deadlocks in tests.  The message reports how far
+    the master got, including its recovery statistics, and now also the
+    blocked-waiter/event-journal diagnostic from the kernel, so a stuck
+    run is diagnosable from the exception alone.
+
+    *stall_cycles* / *wall_seconds* optionally arm a
+    :class:`~repro.kernel.ProgressWatchdog` keyed to the master's
+    completion counters: a master making *no* progress for that many
+    bus cycles (or seconds of wall clock) trips early with the same
+    diagnostic, instead of burning the whole *max_cycles* budget.
     """
     start_cycle = clock.cycles
     slice_cycles = 64
     elapsed = 0
-    while elapsed < max_cycles:
-        simulator.run(slice_cycles * clock.period)
-        elapsed += slice_cycles
-        if master.done:
-            return clock.cycles - start_cycle
-    raise TimeoutError(
+    watchdog = None
+    if stall_cycles is not None or wall_seconds is not None:
+        watchdog = ProgressWatchdog(
+            progress=lambda: (len(master.completed), master.retries,
+                              master.timeouts, master._next_index),
+            stall_time=(None if stall_cycles is None
+                        else stall_cycles * clock.period),
+            wall_seconds=wall_seconds,
+            name=f"{master.name}.progress")
+        simulator.attach_watchdog(watchdog)
+    try:
+        while elapsed < max_cycles:
+            simulator.run(slice_cycles * clock.period)
+            elapsed += slice_cycles
+            if master.done:
+                return clock.cycles - start_cycle
+    finally:
+        if watchdog is not None:
+            simulator.detach_watchdog(watchdog)
+    raise simulator.diagnose(
         f"master {master.name!r} not done after {max_cycles} cycles "
         f"({len(master.completed)}/{len(master.script)} transactions, "
         f"{len(master.errors)} errors, {master.retries} retries, "
-        f"{master.timeouts} watchdog timeouts)")
+        f"{master.timeouts} watchdog timeouts)",
+        kind="stall", exc_class=StallError)

@@ -270,6 +270,11 @@ def __getattr__(name: str):
     # resolved lazily (PEP 562) to avoid a circular import with
     # repro.faults, which subclasses BehaviouralSlave from this module.
     if name == "ErrorSlave":
+        import warnings
+        warnings.warn(
+            "importing ErrorSlave from repro.tlm.slave is deprecated; "
+            "import it from repro.faults instead",
+            DeprecationWarning, stacklevel=2)
         from repro.faults.injectors import ErrorSlave
         return ErrorSlave
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,193 @@
+"""Online bus monitor: live protocol auditing on every model layer,
+including seeded fault-injection runs the monitor must flag."""
+
+import logging
+import random
+
+import pytest
+
+from repro.ec import (BusMonitor, MemoryMap, ProtocolViolationError,
+                      WaitStates, data_read, data_write)
+from repro.ec.checker import ProtocolChecker
+from repro.faults import FaultySlave, TransientErrorInjector
+from repro.kernel import Clock, Simulator, StallError
+from repro.power import Layer1PowerModel, Layer2PowerModel, default_table
+from repro.rtl import RtlBus
+from repro.tlm import (EcBusLayer1, EcBusLayer2, MemorySlave,
+                       PipelinedMaster, run_script)
+
+RAM_BASE = 0x1000
+
+SCRIPT = [
+    data_write(RAM_BASE, [0xAA55AA55]),
+    data_read(RAM_BASE),
+    data_read(RAM_BASE + 0x40, burst_length=4),
+    data_write(RAM_BASE + 0x80, [1, 2, 3, 4]),
+]
+
+LAYERS = ("layer1", "layer2", "rtl")
+
+
+def build_platform(layer, fault_rate=0.0, seed=7):
+    simulator = Simulator(f"mon-{layer}")
+    clock = Clock(simulator, "clk", period=100)
+    memory_map = MemoryMap()
+    ram = MemorySlave(RAM_BASE, 0x1000,
+                      WaitStates(address=0, read=1, write=1), name="ram")
+    slave = ram
+    if fault_rate:
+        slave = FaultySlave(ram, [TransientErrorInjector(
+            fault_rate, random.Random(f"{seed}/{layer}"))])
+    memory_map.add_slave(slave, "ram")
+    if layer == "layer1":
+        model = Layer1PowerModel(default_table())
+        bus = EcBusLayer1(simulator, clock, memory_map,
+                          power_model=model)
+    elif layer == "layer2":
+        model = Layer2PowerModel(default_table())
+        bus = EcBusLayer2(simulator, clock, memory_map,
+                          power_model=model)
+    else:
+        bus = RtlBus(simulator, clock, memory_map)
+    if fault_rate:
+        slave.bind_cycle_source(lambda: bus.cycle)
+    return simulator, clock, bus
+
+
+def run_monitored(layer, fault_rate=0.0, policy="collect"):
+    simulator, clock, bus = build_platform(layer, fault_rate)
+    monitor = BusMonitor(policy=policy).attach(bus)
+    script = [transaction.clone() for transaction in SCRIPT]
+    master = PipelinedMaster(simulator, clock, bus, script)
+    run_script(simulator, clock=clock, master=master, max_cycles=10_000)
+    return monitor, master
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("layer", LAYERS)
+    def test_clean_run_has_no_violations(self, layer):
+        monitor, master = run_monitored(layer)
+        assert monitor.clean, monitor.summary()
+        assert not monitor.flagged
+        assert monitor.transactions_seen == len(SCRIPT)
+        assert not master.errors
+
+    def test_wire_level_engages_on_layer1_and_rtl(self):
+        for layer in ("layer1", "rtl"):
+            monitor, _ = run_monitored(layer)
+            assert monitor.wire_level
+            assert monitor.checker.cycles_checked > 0
+
+    def test_layer2_is_transaction_level_only(self):
+        # layer 2 books wait-state snapshots, not per-cycle wires
+        monitor, _ = run_monitored("layer2")
+        assert not monitor.wire_level
+        assert monitor.checker.cycles_checked == 0
+        assert monitor.transactions_seen == len(SCRIPT)
+
+
+class TestSeededFaultRunsAreFlagged:
+    """Satellite requirement: at least one seeded fault-injection run
+    per layer that the online monitor must flag."""
+
+    @pytest.mark.parametrize("layer", LAYERS)
+    def test_injected_errors_flagged_not_violating(self, layer):
+        monitor, master = run_monitored(layer, fault_rate=1.0)
+        assert master.errors, "rate-1.0 injector must produce errors"
+        txn_flags = [obs for obs in monitor.flagged
+                     if obs.kind == "TXN_ERROR"]
+        assert len(txn_flags) == len(master.errors)
+        # injected slave errors are protocol-legal: flagged, not
+        # violations
+        assert monitor.clean, monitor.summary()
+
+    @pytest.mark.parametrize("layer", ("layer1", "rtl"))
+    def test_wire_level_beat_errors_observed(self, layer):
+        monitor, _ = run_monitored(layer, fault_rate=1.0)
+        assert any(obs.kind == "BEAT_ERROR" for obs in monitor.flagged)
+
+
+class TestTransactionInvariants:
+    class _FakeBus:
+        cycle = 123
+
+    def test_ok_with_missing_beats_is_violation(self):
+        monitor = BusMonitor()
+        transaction = data_read(RAM_BASE, burst_length=4)
+        transaction.issue_cycle = 10
+        transaction.beats_done = 2  # claims OK with 2/4 beats
+        monitor.on_transaction_complete(self._FakeBus(), transaction)
+        assert any(v.rule == "TXN_BEATS" for v in monitor.violations)
+
+    def test_error_without_cause_is_violation(self):
+        monitor = BusMonitor()
+        transaction = data_read(RAM_BASE)
+        transaction.issue_cycle = 10
+        transaction.error = True
+        monitor.on_transaction_complete(self._FakeBus(), transaction)
+        assert any(v.rule == "TXN_ERROR_CAUSE"
+                   for v in monitor.violations)
+
+    def test_out_of_order_stamps_is_violation(self):
+        monitor = BusMonitor()
+        transaction = data_read(RAM_BASE)
+        transaction.issue_cycle = 50
+        transaction.address_done_cycle = 40  # before issue
+        transaction.complete_beat(45)
+        monitor.on_transaction_complete(self._FakeBus(), transaction)
+        assert any(v.rule == "TXN_ORDER" for v in monitor.violations)
+
+
+class TestPolicies:
+    IDLE = {name: 0 for name in (
+        "EB_A", "EB_AValid", "EB_Instr", "EB_Write", "EB_Burst",
+        "EB_BFirst", "EB_BLast", "EB_BE", "EB_ARdy",
+        "EB_RData", "EB_RdVal", "EB_RBErr",
+        "EB_WData", "EB_WDRdy", "EB_WBErr")}
+
+    def violating_values(self):
+        values = dict(self.IDLE)
+        values["EB_ARdy"] = 0  # ARDY_IDLE violation
+        return values
+
+    def test_abort_policy_raises_with_live_state(self):
+        checker = ProtocolChecker(
+            policy="abort", state_probe=lambda: {"now": 1234})
+        with pytest.raises(ProtocolViolationError) as excinfo:
+            checker.check_cycle(0, self.violating_values())
+        assert excinfo.value.state == {"now": 1234}
+        assert excinfo.value.violation.rule == "ARDY_IDLE"
+        assert "now=1234" in str(excinfo.value)
+
+    def test_log_policy_logs_and_collects(self, caplog):
+        checker = ProtocolChecker(policy="log")
+        with caplog.at_level(logging.WARNING, "repro.ec.checker"):
+            checker.check_cycle(0, self.violating_values())
+        assert len(checker.violations) == 1
+        assert "ARDY_IDLE" in caplog.text
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolChecker(policy="explode")
+
+    def test_checker_is_a_recorder_sink(self):
+        checker = ProtocolChecker()
+        checker.record(0, self.IDLE, 12.5)
+        assert checker.cycles_checked == 1
+
+    def test_monitor_abort_policy_stops_simulation(self):
+        simulator, clock, bus = build_platform("rtl")
+        monitor = BusMonitor(policy="abort").attach(bus)
+        transaction = data_read(RAM_BASE, burst_length=4)
+        master = PipelinedMaster(simulator, clock, bus, [transaction])
+
+        def corrupt(cycle, values, energy_pj):
+            values["EB_BFirst"] = 1  # force BFIRST_SCOPE when idle
+            values["EB_AValid"] = 0
+
+        bus._sinks.insert(0, corrupt)
+        with pytest.raises(ProtocolViolationError) as excinfo:
+            run_script(simulator, master, 10_000, clock)
+        state = excinfo.value.state
+        assert state["model"] == bus.name
+        assert "cycle" in state and "now" in state

@@ -119,7 +119,9 @@ class TestErrorSlave:
         assert slave.wait_states.read == 5
 
     def test_reexported_from_tlm(self):
-        from repro.tlm import ErrorSlave as from_package
-        from repro.tlm.slave import ErrorSlave as from_module
+        with pytest.warns(DeprecationWarning, match="repro.faults"):
+            from repro.tlm import ErrorSlave as from_package
+        with pytest.warns(DeprecationWarning, match="repro.faults"):
+            from repro.tlm.slave import ErrorSlave as from_module
         assert from_package is ErrorSlave
         assert from_module is ErrorSlave

@@ -1,0 +1,236 @@
+"""Kernel supervision: deadlock detection, the event journal and
+progress watchdogs."""
+
+import pytest
+
+from repro.kernel import (BlockedWaiter, Clock, DeadlockError,
+                          JournalEntry, ProgressWatchdog, Simulator,
+                          StallError, ThreadProcess)
+
+
+@pytest.fixture
+def sim():
+    return Simulator("supervision")
+
+
+class TestDeadlockDetection:
+    def test_thread_stuck_on_never_notified_event(self, sim):
+        trap = sim.event("trap")
+
+        def victim():
+            yield trap
+
+        ThreadProcess(sim, victim, "victim")
+        with pytest.raises(DeadlockError) as excinfo:
+            sim.run()
+        error = excinfo.value
+        assert error.kind == "deadlock"
+        assert any("victim" in str(waiter) for waiter in error.blocked)
+        assert "event 'trap'" in str(error)
+
+    def test_two_threads_cross_blocked(self, sim):
+        ping = sim.event("ping")
+        pong = sim.event("pong")
+
+        def a():
+            yield ping
+            pong.notify_delta()
+
+        def b():
+            yield pong
+            ping.notify_delta()
+
+        ThreadProcess(sim, a, "alpha")
+        ThreadProcess(sim, b, "beta")
+        with pytest.raises(DeadlockError) as excinfo:
+            sim.run()
+        message = str(excinfo.value)
+        assert "alpha" in message and "beta" in message
+        assert "event 'ping'" in message and "event 'pong'" in message
+
+    def test_finished_threads_do_not_deadlock(self, sim):
+        done = sim.event("done")
+
+        def producer():
+            yield 10
+            done.notify_delta()
+
+        def consumer():
+            yield done
+
+        ThreadProcess(sim, producer, "producer")
+        ThreadProcess(sim, consumer, "consumer")
+        sim.run()  # completes cleanly: every thread finishes
+
+    def test_bounded_run_does_not_deadlock_check(self, sim):
+        trap = sim.event("trap")
+
+        def victim():
+            yield trap
+
+        ThreadProcess(sim, victim, "victim")
+        # a deadline return is not a drain: no spurious DeadlockError,
+        # matching the prior contract of bounded runs
+        clock = Clock(sim, "clk", period=10)
+        sim.run(100)
+        assert clock.cycles > 0
+
+    def test_waiter_hook_reported(self, sim):
+        sim.add_waiter_hook(lambda: [BlockedWaiter(
+            "master 'm'", "bus grant", "3/7 transactions")])
+
+        def stuck():
+            yield sim.event("never")
+
+        ThreadProcess(sim, stuck, "stuck")
+        with pytest.raises(DeadlockError) as excinfo:
+            sim.run()
+        message = str(excinfo.value)
+        assert "master 'm': waiting on bus grant" in message
+        assert "3/7 transactions" in message
+
+    def test_journal_records_recent_events(self, sim):
+        tick = sim.event("tick")
+        trap = sim.event("trap")
+
+        def busy():
+            for _ in range(3):
+                tick.notify_delta()
+                yield 5
+            yield trap
+
+        ThreadProcess(sim, busy, "busy")
+        with pytest.raises(DeadlockError) as excinfo:
+            sim.run()
+        journal = excinfo.value.journal
+        assert journal, "journal must not be empty"
+        assert all(isinstance(entry, JournalEntry) for entry in journal)
+        assert any(entry.event == "tick" for entry in journal)
+        assert "tick" in str(excinfo.value)
+
+    def test_journal_capacity_bounds_entries(self):
+        sim = Simulator("tiny", journal_capacity=4)
+        tick = sim.event("tick")
+
+        def noisy():
+            for _ in range(20):
+                tick.notify_delta()
+                yield None
+            yield sim.event("never")
+
+        ThreadProcess(sim, noisy, "noisy")
+        with pytest.raises(DeadlockError) as excinfo:
+            sim.run()
+        assert len(excinfo.value.journal) == 4
+
+    def test_diagnose_builds_structured_error(self, sim):
+        error = sim.diagnose("custom message")
+        assert isinstance(error, DeadlockError)
+        assert error.now == sim.now
+        assert "custom message" in str(error)
+
+
+class TestWaitingOnDescriptions:
+    def test_timer_wait_description(self, sim):
+        def napper():
+            yield 25
+
+        thread = ThreadProcess(sim, napper, "napper")
+        sim.run(10)
+        assert "timer" in thread.waiting_on
+        sim.run()
+        assert thread.waiting_on is None
+
+    def test_event_waiters_listed(self, sim):
+        gate = sim.event("gate")
+
+        def waiter():
+            yield gate
+
+        def keepalive():
+            yield 1_000
+
+        ThreadProcess(sim, waiter, "w")
+        ThreadProcess(sim, keepalive, "keepalive")
+        sim.run(1)
+        assert any("w" in name for name in gate.waiters())
+
+
+class TestProgressWatchdog:
+    def test_stall_time_budget_trips(self, sim):
+        clock = Clock(sim, "clk", period=10)
+        watchdog = ProgressWatchdog(progress=lambda: 0, stall_time=50)
+        sim.attach_watchdog(watchdog)
+        with pytest.raises(StallError) as excinfo:
+            sim.run(10_000)
+        error = excinfo.value
+        assert error.kind == "stall"
+        assert isinstance(error, TimeoutError)  # legacy guards work
+        assert isinstance(error, DeadlockError)
+        assert sim.now < 10_000  # tripped early, not at the deadline
+        assert clock.cycles > 0
+
+    def test_progress_resets_budget(self, sim):
+        Clock(sim, "clk", period=10)
+        beat = {"n": 0}
+
+        def heart():
+            for _ in range(50):
+                beat["n"] += 1
+                yield 20
+
+        ThreadProcess(sim, heart, "heart")
+        watchdog = ProgressWatchdog(progress=lambda: beat["n"],
+                                    stall_time=100)
+        sim.attach_watchdog(watchdog)
+        sim.run(900)  # progress every 20 units: never trips
+
+    def test_detach_disarms(self, sim):
+        Clock(sim, "clk", period=10)
+        watchdog = ProgressWatchdog(progress=lambda: 0, stall_time=50)
+        sim.attach_watchdog(watchdog)
+        sim.detach_watchdog(watchdog)
+        sim.run(1_000)  # no trip
+
+    def test_wall_clock_budget_trips_in_delta_storm(self, sim):
+        # two processes immediate-notifying each other forever: time
+        # never advances, so only the wall-clock budget can fire
+        a = sim.event("a")
+        b = sim.event("b")
+
+        def spin_a():
+            while True:
+                b.notify_delta()
+                yield a
+
+        def spin_b():
+            while True:
+                a.notify_delta()
+                yield b
+
+        ThreadProcess(sim, spin_a, "spin_a")
+        ThreadProcess(sim, spin_b, "spin_b")
+        b.notify_delta()
+        watchdog = ProgressWatchdog(wall_seconds=0.05)
+        sim.attach_watchdog(watchdog)
+        with pytest.raises(StallError) as excinfo:
+            sim.run()
+        assert "wall" in str(excinfo.value)
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            ProgressWatchdog(stall_time=0)
+        with pytest.raises(ValueError):
+            ProgressWatchdog(wall_seconds=-1.0)
+
+
+class TestDiagnosticFormatting:
+    def test_blocked_waiter_str(self):
+        waiter = BlockedWaiter("thread 't'", "event 'e'", "resumed once")
+        assert str(waiter) == ("thread 't': waiting on event 'e' "
+                               "(resumed once)")
+
+    def test_journal_entry_str(self):
+        entry = JournalEntry(120, 7, "timed", "clk.posedge")
+        text = str(entry)
+        assert "t=120" in text and "clk.posedge" in text

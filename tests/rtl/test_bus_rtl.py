@@ -10,8 +10,9 @@ from repro.kernel import Clock, Simulator
 from repro.power import (Layer1PowerModel, SignalStateRecorder,
                          default_table)
 from repro.power.diesel import InterfaceActivityLog
+from repro.faults import ErrorSlave
 from repro.rtl import RtlBus, build_address_decoder
-from repro.tlm import (BlockingMaster, EcBusLayer1, ErrorSlave, MemorySlave,
+from repro.tlm import (BlockingMaster, EcBusLayer1, MemorySlave,
                        PipelinedMaster, run_script)
 
 ROM_BASE = 0x0000_0000

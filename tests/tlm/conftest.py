@@ -5,7 +5,8 @@ import pytest
 
 from repro.ec import AccessRights, MemoryMap, WaitStates
 from repro.kernel import Clock, Simulator
-from repro.tlm import EcBusLayer1, EcBusLayer2, ErrorSlave, MemorySlave
+from repro.faults import ErrorSlave
+from repro.tlm import EcBusLayer1, EcBusLayer2, MemorySlave
 
 CLOCK_PERIOD = 100
 

@@ -4,7 +4,8 @@ import pytest
 
 from repro.ec import (BusState, DecodeError, MemoryMap, MergePattern,
                       data_read, data_write, instruction_fetch)
-from repro.tlm import EcBusLayer3, ErrorSlave, MemorySlave
+from repro.faults import ErrorSlave
+from repro.tlm import EcBusLayer3, MemorySlave
 from repro.tlm.slave import RegisterSlave
 
 RAM_BASE = 0x1000

@@ -5,8 +5,9 @@ import pytest
 
 from repro.ec import (AccessRights, BusState, SlaveResponse, WaitStates,
                       data_read, data_write)
+from repro.faults import ErrorSlave
 from repro.tlm.queues import FinishPool, TransactionQueue
-from repro.tlm.slave import (BehaviouralSlave, ErrorSlave, MemorySlave,
+from repro.tlm.slave import (BehaviouralSlave, MemorySlave,
                              RegisterSlave, _lane_merge)
 
 
