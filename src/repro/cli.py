@@ -14,6 +14,8 @@ usable without writing Python:
                           the table as JSON
 ``faults``                fault-injection campaign: completion rate and
                           recovery cost (cycles, energy) per bus layer
+``tear``                  tear campaign: anti-tearing consistency and
+                          recovery cost under whole-card power loss
 ``trace``                 run the §4.1 test program and dump its bus
                           trace
 ========================  ==============================================
@@ -134,6 +136,30 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     if any(cell.status != "ok" for cell in result.cells):
         return 1
     return 1 if any(cell.failures for cell in result.cells) else 0
+
+
+def _cmd_tear(args: argparse.Namespace) -> int:
+    from repro.experiments import run_tear_campaign
+    if not _check_resume(args, "tear"):
+        return 2
+    try:
+        result = run_tear_campaign(
+            points=args.points, transactions=args.transactions,
+            seed=args.seed, layers=tuple(args.layers),
+            journal_path=args.journal, resume=args.resume,
+            cell_wall_seconds=args.cell_wall_seconds,
+            governor_study=not args.no_governor)
+    except ValueError as error:
+        print(f"repro tear: error: {error}", file=sys.stderr)
+        return 2
+    print(result.format())
+    # anti-tearing that loses or half-applies a transaction — or a
+    # governor that doesn't reduce brownouts — is a failed campaign
+    if not result.all_consistent:
+        return 1
+    if result.governor and not result.governor_effective:
+        return 1
+    return 0
 
 
 def _cmd_vcd(args: argparse.Namespace) -> int:
@@ -266,6 +292,29 @@ def build_parser() -> argparse.ArgumentParser:
                              "the campaign")
     add_supervision(faults)
     faults.set_defaults(func=_cmd_faults)
+
+    tear = sub.add_parser(
+        "tear",
+        help="tear campaign: anti-tearing consistency and recovery "
+             "cost under whole-card power loss")
+    tear.add_argument("--points", type=int, default=100,
+                      help="seeded tear points per bus layer")
+    tear.add_argument("--transactions", type=int, default=12,
+                      help="journaled transactions in the workload")
+    tear.add_argument("--layers", nargs="+",
+                      default=["layer1", "layer2", "gate-level"],
+                      choices=["layer1", "layer2", "gate-level"],
+                      help="bus models to sweep the tear grid on")
+    tear.add_argument("--seed", default=2004,
+                      help="campaign seed (any int or string)")
+    tear.add_argument("--no-governor", action="store_true",
+                      help="skip the energy-governor sub-study")
+    tear.add_argument("--cell-wall-seconds", type=float, default=None,
+                      help="wall-clock budget per sweep cell; a cell "
+                           "exceeding it degrades instead of hanging "
+                           "the campaign")
+    add_supervision(tear)
+    tear.set_defaults(func=_cmd_tear)
 
     vcd = sub.add_parser(
         "vcd", help="dump the test program's bus waveform as VCD")

@@ -26,6 +26,8 @@ from .robustness import RobustnessResult, run_robustness
 from .supervisor import (CampaignSupervisor, CellOutcome,
                          CheckpointJournal, cell_key)
 from .table1 import Table1Result, run_table1
+from .tear_campaign import (GovernorCell, TearCampaignResult, TearCell,
+                            run_tear_campaign)
 from .table2 import Table2Result, run_table2
 from .table3 import Table3Result, run_table3
 
@@ -39,11 +41,14 @@ __all__ = [
     "CoprocessorStudyResult",
     "FaultCampaignResult",
     "Figure6Result",
+    "GovernorCell",
     "RobustnessResult",
     "RunResult",
     "Table1Result",
     "Table2Result",
     "Table3Result",
+    "TearCampaignResult",
+    "TearCell",
     "cell_key",
     "characterization",
     "evaluation_script",
@@ -60,6 +65,7 @@ __all__ = [
     "run_table1",
     "run_table2",
     "run_table3",
+    "run_tear_campaign",
     "test_program_trace",
     "write_csv_reports",
 ]

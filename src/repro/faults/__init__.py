@@ -14,6 +14,7 @@ from .injectors import (BitFlipInjector, ErrorSlave, FaultAction,
                         FaultEvent, FaultInjector, FaultKind,
                         IntermittentErrorInjector, StuckWaitInjector,
                         TransientErrorInjector, WriteTearInjector)
+from .tear import TearInjector, tear_schedule
 from .wrapper import FaultySlave
 
 __all__ = [
@@ -26,6 +27,8 @@ __all__ = [
     "FaultySlave",
     "IntermittentErrorInjector",
     "StuckWaitInjector",
+    "TearInjector",
     "TransientErrorInjector",
     "WriteTearInjector",
+    "tear_schedule",
 ]

@@ -58,6 +58,8 @@ class Simulator:
         self._seq = itertools.count()
         self._stop_requested = False
         self._started = False
+        self._powered_off = False
+        self.power_off_reason: typing.Optional[str] = None
         # ring buffer of the most recent event notifications — the
         # "flight recorder" DeadlockError diagnostics embed.  Raw
         # (time, delta, kind, event-name) tuples: this append sits on
@@ -114,6 +116,25 @@ class Simulator:
 
     def stop(self) -> None:
         """Request the simulation stop at the end of the current delta."""
+        self._stop_requested = True
+
+    @property
+    def powered_off(self) -> bool:
+        """True once :meth:`power_off` has been called."""
+        return self._powered_off
+
+    def power_off(self, reason: str = "power loss") -> None:
+        """Cooperative whole-card power loss.
+
+        Stops the simulation like :meth:`stop`, but latches: any later
+        :meth:`run` returns immediately without consuming time.  Models
+        a contactless card leaving the reader field — in-flight signal
+        updates are abandoned exactly where the current delta left
+        them, and only state the testbench explicitly carries over
+        (e.g. the EEPROM image) survives into the next simulator.
+        """
+        self.power_off_reason = reason
+        self._powered_off = True
         self._stop_requested = True
 
     def initialize(self) -> None:
@@ -203,6 +224,8 @@ class Simulator:
         budgets expire.
         """
         start = self.now
+        if self._powered_off:
+            return 0
         deadline = None if duration is None else start + duration
         self.initialize()
         self._stop_requested = False

@@ -2,6 +2,9 @@
 models for TLM layers 1 and 2, gate-level estimation (Diesel
 substitute), traces and SPA/DPA leakage metrics."""
 
+from .domain import (BrownoutEvent, EnergyGovernor, PowerDomain,
+                     PowerLossEvent, PowerSupply,
+                     estimate_transaction_energy_pj)
 from .interfaces import (CycleAccuratePowerInterface, EnergyAccumulator,
                          PowerInterface)
 from .layer1 import Layer1PowerModel, SignalStateRecorder, popcount
@@ -12,18 +15,24 @@ from .vcd import dump_vcd, save_vcd
 from . import security, units
 
 __all__ = [
+    "BrownoutEvent",
     "CharacterizationTable",
     "CycleAccuratePowerInterface",
     "EnergyAccumulator",
+    "EnergyGovernor",
     "EnergySample",
     "Layer1PowerModel",
     "Layer2PowerModel",
+    "PowerDomain",
     "PowerInterface",
+    "PowerLossEvent",
+    "PowerSupply",
     "PowerTrace",
     "SamplingProfiler",
     "SignalStateRecorder",
     "default_table",
     "dump_vcd",
+    "estimate_transaction_energy_pj",
     "popcount",
     "save_vcd",
     "security",

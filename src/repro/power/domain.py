@@ -1,0 +1,266 @@
+"""The power domain: supply budget, brownout/power-loss events and the
+energy governor (the "power-aware" loop the paper motivates).
+
+A contactless smart card harvests its entire power budget from the
+reader field into a small storage capacitor; the card dies the moment
+the capacitor drains below the regulator's drop-out.  The paper's bus
+models estimate the energy the card *spends*; this module closes the
+loop and makes those estimates actionable:
+
+* :class:`PowerSupply` — a capacitor charged at a fixed field-harvest
+  rate and drained by a live :class:`~repro.power.PowerInterface`
+  (layer-1, layer-2 or accumulator).  Crossing the *brownout* threshold
+  emits a :class:`BrownoutEvent`; crossing the *power-loss* threshold
+  emits a :class:`PowerLossEvent` and marks the supply dead.
+* :class:`PowerDomain` — the kernel process sampling the model into
+  the supply once per clock cycle, optionally turning supply
+  exhaustion into a cooperative whole-card halt
+  (:meth:`~repro.kernel.Simulator.power_off`).
+* :class:`EnergyGovernor` — the dynamic-power-management policy
+  masters and the DMA engine consult before issuing *new* bus work:
+  when the projected draw of a transaction would push the capacitor
+  into brownout, the work is deferred until harvesting has rebuilt
+  headroom.  Graceful degradation: the workload still completes, just
+  slower.  With no governor attached the masters are bit-identical to
+  the governor-less originals.
+
+Charge is tracked in pJ internally (the unit of every energy model)
+but configured in nJ — capacitor budgets are naturally nanojoules:
+at a 10 MHz clock, a 5 mW field delivers 500 pJ per cycle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.ec import Transaction, TransactionKind
+
+from .interfaces import PowerInterface
+from .layer1 import popcount
+from .table import CharacterizationTable
+
+#: pJ per nJ — the supply is configured in nJ, drained in pJ.
+PJ_PER_NJ = 1e3
+
+
+@dataclasses.dataclass(frozen=True)
+class BrownoutEvent:
+    """The supply dipped below the brownout threshold (one event per
+    downward crossing, not per cycle spent below)."""
+
+    cycle: int
+    charge_nj: float
+
+
+@dataclasses.dataclass(frozen=True)
+class PowerLossEvent:
+    """The supply drained below the power-loss threshold: the card is
+    dead until re-fielded."""
+
+    cycle: int
+    charge_nj: float
+
+
+class PowerSupply:
+    """Field-harvesting storage capacitor drained by a power model.
+
+    Parameters
+    ----------
+    power_model:
+        Any :class:`~repro.power.PowerInterface`; its
+        ``energy_since_last_call_pj`` stream is the drain.  The supply
+        must then be that method's only caller.
+    capacity_nj:
+        Storage capacitor budget (the charge ceiling).
+    harvest_pj_per_cycle:
+        Energy entering from the reader field every cycle.
+    brownout_nj / power_loss_nj:
+        Thresholds: below *brownout* the regulator flags low voltage
+        (the card should shed load); below *power_loss* the card dies.
+    initial_nj:
+        Starting charge (defaults to a full capacitor).
+    """
+
+    def __init__(self, power_model: PowerInterface,
+                 capacity_nj: float = 50.0,
+                 harvest_pj_per_cycle: float = 500.0,
+                 brownout_nj: float = 10.0,
+                 power_loss_nj: float = 2.0,
+                 initial_nj: typing.Optional[float] = None) -> None:
+        if capacity_nj <= 0:
+            raise ValueError("capacity_nj must be positive")
+        if harvest_pj_per_cycle < 0:
+            raise ValueError("harvest_pj_per_cycle must be >= 0")
+        if not 0 <= power_loss_nj <= brownout_nj <= capacity_nj:
+            raise ValueError(
+                "thresholds must satisfy 0 <= power_loss_nj <= "
+                "brownout_nj <= capacity_nj, got "
+                f"{power_loss_nj} / {brownout_nj} / {capacity_nj}")
+        if initial_nj is None:
+            initial_nj = capacity_nj
+        if not 0 <= initial_nj <= capacity_nj:
+            raise ValueError("initial_nj must be within the capacity")
+        self.power_model = power_model
+        self.capacity_pj = capacity_nj * PJ_PER_NJ
+        self.harvest_pj_per_cycle = harvest_pj_per_cycle
+        self.brownout_pj = brownout_nj * PJ_PER_NJ
+        self.power_loss_pj = power_loss_nj * PJ_PER_NJ
+        self.charge_pj = initial_nj * PJ_PER_NJ
+        self.brownouts: typing.List[BrownoutEvent] = []
+        self.power_losses: typing.List[PowerLossEvent] = []
+        self.cycles_stepped = 0
+        self.drained_pj = 0.0
+        self.harvested_pj = 0.0
+
+    @property
+    def charge_nj(self) -> float:
+        return self.charge_pj / PJ_PER_NJ
+
+    @property
+    def in_brownout(self) -> bool:
+        return self.charge_pj < self.brownout_pj
+
+    @property
+    def powered_down(self) -> bool:
+        return bool(self.power_losses)
+
+    def headroom_pj(self) -> float:
+        """Charge above the brownout threshold (what a governor may
+        spend before the regulator complains)."""
+        return self.charge_pj - self.brownout_pj
+
+    def step(self, cycle: int) -> float:
+        """Advance one cycle: harvest, drain the model's delta, emit
+        threshold-crossing events.  Returns the energy drained (pJ)."""
+        was_brownout = self.in_brownout
+        was_down = self.powered_down
+        drained = self.power_model.energy_since_last_call_pj()
+        self.drained_pj += drained
+        self.harvested_pj += self.harvest_pj_per_cycle
+        self.charge_pj = min(
+            self.charge_pj + self.harvest_pj_per_cycle - drained,
+            self.capacity_pj)
+        if self.charge_pj < 0.0:
+            self.charge_pj = 0.0
+        self.cycles_stepped += 1
+        if self.in_brownout and not was_brownout:
+            self.brownouts.append(BrownoutEvent(cycle, self.charge_nj))
+        if self.charge_pj < self.power_loss_pj and not was_down:
+            self.power_losses.append(
+                PowerLossEvent(cycle, self.charge_nj))
+        return drained
+
+
+def estimate_transaction_energy_pj(table: CharacterizationTable,
+                                   transaction: Transaction) -> float:
+    """Projected energy of one bus transaction, before it runs.
+
+    Layer-2-style arithmetic from the characterisation table: the
+    address phase at the characterised inter-transaction average, the
+    data phase with exact beat-to-beat Hamming where the payload is
+    known (writes) and the characterised average where it is not
+    (reads), plus the clock baseline for the transaction's minimum
+    occupancy.  An a-priori estimate — the governor uses it to decide
+    whether issuing now could breach the energy budget.
+    """
+    coeff = table.coefficient
+    energy = table.inter_txn_address_hamming * coeff("EB_A")
+    for name in ("EB_AValid", "EB_BFirst", "EB_BLast", "EB_ARdy",
+                 "EB_Instr", "EB_Write", "EB_Burst", "EB_BE"):
+        energy += table.phase_toggles(name) * coeff(name)
+    if transaction.kind is TransactionKind.DATA_WRITE:
+        bus_name, valid_name = "EB_WData", "EB_WDRdy"
+    else:
+        bus_name, valid_name = "EB_RData", "EB_RdVal"
+    energy += table.inter_txn_data_hamming * coeff(bus_name)
+    data = transaction.data if (
+        transaction.kind is TransactionKind.DATA_WRITE) else None
+    for beat in range(1, transaction.burst_length):
+        if data is not None:
+            energy += popcount(data[beat - 1] ^ data[beat]) \
+                * coeff(bus_name)
+        else:
+            energy += table.inter_txn_data_hamming * coeff(bus_name)
+    energy += (table.beat_toggles(valid_name)
+               * transaction.burst_length * coeff(valid_name))
+    # minimum occupancy: one address cycle plus one cycle per beat
+    energy += ((1 + transaction.burst_length)
+               * table.clock_energy_per_cycle_pj)
+    return energy
+
+
+class EnergyGovernor:
+    """Defers new bus work when its projected draw would breach the
+    supply budget (dynamic power management, graceful degradation).
+
+    Masters and the DMA engine call :meth:`may_issue` before issuing a
+    transaction they have not started yet; a False verdict defers the
+    work to a later cycle, by which time field harvesting has rebuilt
+    headroom.  *margin_nj* keeps a safety buffer above the brownout
+    threshold, covering the clock baseline and estimation error during
+    the transaction's flight.
+    """
+
+    def __init__(self, supply: PowerSupply,
+                 table: CharacterizationTable,
+                 margin_nj: float = 0.0) -> None:
+        if margin_nj < 0:
+            raise ValueError("margin_nj must be >= 0")
+        self.supply = supply
+        self.table = table
+        self.margin_pj = margin_nj * PJ_PER_NJ
+        self.deferrals = 0
+        self.grants = 0
+
+    def projected_cost_pj(self, transaction: Transaction) -> float:
+        return estimate_transaction_energy_pj(self.table, transaction)
+
+    def may_issue(self, transaction: Transaction) -> bool:
+        cost = self.projected_cost_pj(transaction)
+        if self.supply.headroom_pj() - cost >= self.margin_pj:
+            self.grants += 1
+            return True
+        self.deferrals += 1
+        return False
+
+
+class PowerDomain:
+    """Kernel process wiring a :class:`PowerSupply` to a running bus.
+
+    Samples the power model into the supply once per rising clock edge
+    (the cycle the bus booked on the preceding falling edge).  For
+    layer-2 models the per-cycle clock baseline is folded in first via
+    ``account_cycles``, so the supply sees the same totals the
+    experiments report.  With *halt_on_power_loss* the first
+    :class:`PowerLossEvent` powers the whole simulator off — the
+    whole-card tear the anti-tearing journal must survive.
+    """
+
+    def __init__(self, simulator, clock, bus, supply: PowerSupply,
+                 name: str = "power_domain",
+                 halt_on_power_loss: bool = True) -> None:
+        from repro.kernel import Module  # late: avoid import cycles
+
+        self.simulator = simulator
+        self.bus = bus
+        self.supply = supply
+        self.halt_on_power_loss = halt_on_power_loss
+        self._account_cycles = getattr(supply.power_model,
+                                       "account_cycles", None)
+        self._module = Module(simulator, name)
+        self._module.method(self._on_posedge, name="sample",
+                            sensitive=[clock.posedge_event],
+                            dont_initialize=True)
+
+    def _on_posedge(self) -> None:
+        if self.simulator.powered_off:
+            return
+        if self._account_cycles is not None:
+            self._account_cycles(self.bus.cycle)
+        self.supply.step(self.bus.cycle)
+        if (self.halt_on_power_loss and self.supply.powered_down):
+            event = self.supply.power_losses[0]
+            self.simulator.power_off(
+                f"supply exhausted at cycle {event.cycle} "
+                f"({event.charge_nj:.2f} nJ left)")

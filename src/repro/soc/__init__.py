@@ -12,6 +12,7 @@ from .crypto import (CryptoCoprocessor, DmaDriver, xtea_decrypt,
 from .dma import DmaController
 from . import firmware
 from .interrupt import InterruptController
+from .journal import JournalState, TransactionJournal
 from .memory import Eeprom, Flash, Rom, ScratchpadRam
 from .peripheral import Peripheral
 from .rng import TrueRandomNumberGenerator
@@ -34,6 +35,7 @@ __all__ = [
     "Flash",
     "INTC_BASE",
     "InterruptController",
+    "JournalState",
     "MipsCore",
     "Peripheral",
     "RAM_BASE",
@@ -44,6 +46,7 @@ __all__ = [
     "SmartCardPlatform",
     "TIMER_BASE",
     "TimerUnit",
+    "TransactionJournal",
     "TrueRandomNumberGenerator",
     "UART_BASE",
     "Uart",

@@ -49,6 +49,7 @@ class DmaController(Peripheral):
     def __init__(self, base_address: int, name: str = "dma") -> None:
         super().__init__(base_address, 5, name=name)
         self._port: typing.Optional[BusMasterInterface] = None
+        self._governor = None
         self._state = "idle"
         self._remaining = 0
         self._src = 0
@@ -63,6 +64,17 @@ class DmaController(Peripheral):
     def attach_port(self, port: BusMasterInterface) -> None:
         """Attach the bus master port (usually an arbiter port)."""
         self._port = port
+
+    def attach_governor(self, governor) -> None:
+        """Consult *governor* (:class:`~repro.power.EnergyGovernor`)
+        before starting each chunk transaction; transfers already on
+        the bus are never deferred.  None detaches."""
+        self._governor = governor
+
+    def _issue_allowed(self) -> bool:
+        return (self._governor is None
+                or self._txn.issue_cycle is not None
+                or self._governor.may_issue(self._txn))
 
     # -- control ---------------------------------------------------------
 
@@ -103,6 +115,8 @@ class DmaController(Peripheral):
             if self._txn is None:
                 self._txn = data_read(self._src,
                                       burst_length=self._chunk())
+            if not self._issue_allowed():
+                return  # governor deferral: retry next tick
             state = self._port.issue(self._txn)
             if state is BusState.OK:
                 self._buffer = list(self._txn.data)
@@ -113,6 +127,8 @@ class DmaController(Peripheral):
         elif self._state == "write":
             if self._txn is None:
                 self._txn = data_write(self._dst, self._buffer)
+            if not self._issue_allowed():
+                return  # governor deferral: retry next tick
             state = self._port.issue(self._txn)
             if state is BusState.OK:
                 moved = len(self._buffer)

@@ -55,6 +55,12 @@ class SmartCardPlatform(Module):
                  ) -> None:
         simulator = Simulator("smartcard")
         super().__init__(simulator, "platform")
+        # construction recipe, so cold_boot() can rebuild the card
+        self._config = dict(
+            bus_layer=bus_layer, clock_hz=clock_hz,
+            power_model=power_model, bus_factory=bus_factory,
+            with_cpu=with_cpu, eeprom_tear_rate=eeprom_tear_rate,
+            fault_seed=fault_seed)
         period = ktime.period_from_frequency_hz(clock_hz)
         if period % 2:
             period += 1
@@ -122,6 +128,31 @@ class SmartCardPlatform(Module):
     def run_cycles(self, cycles: int) -> None:
         """Advance the platform by *cycles* clock cycles."""
         self.simulator.run(cycles * self.clock.period)
+
+    def cold_boot(self, **overrides) -> "SmartCardPlatform":
+        """Re-field the card: a fresh platform with this card's
+        non-volatile state.
+
+        Builds a brand-new platform (fresh :class:`Simulator`, fresh
+        bus, fresh peripherals — everything volatile is gone, exactly
+        as after a tear) from the same construction recipe, then
+        carries over the persistent memories: ROM, FLASH and — the one
+        that matters for anti-tearing — the EEPROM image, byte for
+        byte, including any partially-applied journal frame.
+
+        *overrides* patch the recipe: after a power loss the caller
+        usually passes a fresh ``power_model=`` (energy models are
+        stateful and stay bound to the dead platform's bus).  Boot-time
+        journal recovery is the firmware's first job on the new
+        platform — see :class:`~repro.soc.journal.TransactionJournal`.
+        """
+        config = dict(self._config)
+        config.update(overrides)
+        platform = SmartCardPlatform(**config)
+        platform.rom.load(0, self.rom.image())
+        platform.flash.load(0, self.flash.image())
+        platform.eeprom.load(0, self.eeprom.image())
+        return platform
 
     @property
     def peripheral_energy_pj(self) -> float:

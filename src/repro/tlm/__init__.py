@@ -17,21 +17,6 @@ from .master import (BlockingMaster, PipelinedMaster, ScriptedMaster,
 from .queues import FinishPool, TransactionQueue
 from .slave import BehaviouralSlave, MemorySlave, RegisterSlave
 
-
-def __getattr__(name: str):
-    # lazy alias for the ErrorSlave that moved to repro.faults (which
-    # imports BehaviouralSlave from this package — eager re-export
-    # would be circular)
-    if name == "ErrorSlave":
-        import warnings
-        warnings.warn(
-            "importing ErrorSlave from repro.tlm is deprecated; "
-            "import it from repro.faults instead",
-            DeprecationWarning, stacklevel=2)
-        from repro.faults.injectors import ErrorSlave
-        return ErrorSlave
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
 __all__ = [
     "ArbiterPort",
     "BehaviouralSlave",
@@ -41,7 +26,6 @@ __all__ = [
     "EcBusLayer1",
     "EcBusLayer2",
     "EcBusLayer3",
-    "ErrorSlave",
     "FinishPool",
     "MemorySlave",
     "PipelinedMaster",

@@ -78,13 +78,15 @@ class ScriptedMaster(Module):
                  name: str = "master",
                  retry_policy: typing.Optional[RetryPolicy] = None,
                  energy_probe: typing.Optional[
-                     typing.Callable[[], float]] = None) -> None:
+                     typing.Callable[[], float]] = None,
+                 governor=None) -> None:
         super().__init__(simulator, name)
         self.bus = bus
         self.clock = clock
         self.script = normalise_script(script)
         self.retry_policy = retry_policy
         self.energy_probe = energy_probe
+        self.governor = governor
         self.completed: typing.List[Transaction] = []
         self.errors: typing.List[Transaction] = []
         self.fault_reports: typing.List[FaultReport] = []
@@ -142,6 +144,17 @@ class ScriptedMaster(Module):
         """Load the idle gap of the next script item, if any."""
         if self._next_index < len(self.script):
             self._idle_remaining = self.script[self._next_index][0]
+
+    def _may_issue(self, transaction: Transaction) -> bool:
+        """Consult the energy governor before issuing *new* work.
+
+        Retries are never gated: recovery traffic repairs state the
+        card has already paid for.  Without a governor this is a
+        constant True and the issue timing is bit-identical to the
+        governor-less masters.
+        """
+        return (self.governor is None
+                or self.governor.may_issue(transaction))
 
     # -- recovery machinery (inert without a retry policy) ----------------
 
@@ -231,9 +244,10 @@ class BlockingMaster(ScriptedMaster):
                  name: str = "blocking_master",
                  retry_policy: typing.Optional[RetryPolicy] = None,
                  energy_probe: typing.Optional[
-                     typing.Callable[[], float]] = None) -> None:
+                     typing.Callable[[], float]] = None,
+                 governor=None) -> None:
         super().__init__(simulator, clock, bus, script, name,
-                         retry_policy, energy_probe)
+                         retry_policy, energy_probe, governor)
         self._current: typing.Optional[Transaction] = None
         self._rec: typing.Optional[_Recovery] = None
         self._attempt_start = 0
@@ -280,6 +294,8 @@ class BlockingMaster(ScriptedMaster):
             if self._idle_remaining > 0:
                 self._idle_remaining -= 1
                 return
+            if not self._may_issue(self.script[self._next_index][1]):
+                return
             self._start_item()
         state = self.bus.issue(self._current)
         if state.finished:
@@ -290,7 +306,8 @@ class BlockingMaster(ScriptedMaster):
             # same cycle it samples a completion (EC back-to-back reads)
             if (self._current is None and self._pending_retry is None
                     and self._idle_remaining == 0
-                    and self._next_index < len(self.script)):
+                    and self._next_index < len(self.script)
+                    and self._may_issue(self.script[self._next_index][1])):
                 self._start_item()
                 self.bus.issue(self._current)
 
@@ -321,11 +338,12 @@ class PipelinedMaster(ScriptedMaster):
                  window: int = 4, name: str = "pipelined_master",
                  retry_policy: typing.Optional[RetryPolicy] = None,
                  energy_probe: typing.Optional[
-                     typing.Callable[[], float]] = None) -> None:
+                     typing.Callable[[], float]] = None,
+                 governor=None) -> None:
         if window < 1:
             raise ValueError("window must be at least 1")
         super().__init__(simulator, clock, bus, script, name,
-                         retry_policy, energy_probe)
+                         retry_policy, energy_probe, governor)
         self.window = window
         self._in_flight: typing.List[Transaction] = []
         #: txn_id -> [recovery record, attempt-start clock cycle]
@@ -389,6 +407,8 @@ class PipelinedMaster(ScriptedMaster):
                    and self._next_index < len(self.script)
                    and self._idle_remaining == 0):
                 transaction = self.script[self._next_index][1]
+                if not self._may_issue(transaction):
+                    break  # governor deferral: try again next cycle
                 state = self.bus.issue(transaction)
                 if state is BusState.WAIT:
                     break  # budget full: retry the same item next cycle
@@ -445,7 +465,9 @@ def run_script(simulator: Simulator, master: ScriptedMaster,
         while elapsed < max_cycles:
             simulator.run(slice_cycles * clock.period)
             elapsed += slice_cycles
-            if master.done:
+            if master.done or simulator.powered_off:
+                # power loss is a clean (if abrupt) end of the run, not
+                # a stall: the caller inspects simulator.powered_off
                 return clock.cycles - start_cycle
     finally:
         if watchdog is not None:

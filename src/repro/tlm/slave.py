@@ -217,6 +217,15 @@ class MemorySlave(BehaviouralSlave):
         """Back-door write of the word containing *offset*."""
         self._words[offset // BYTES_PER_WORD] = word & DATA_MASK
 
+    def image(self) -> typing.List[int]:
+        """Back-door snapshot of the whole memory, one int per word.
+
+        The persistence primitive of power-loss studies: capture the
+        non-volatile image at the tear point, ``load`` it into the
+        replacement device on the next power-up.
+        """
+        return list(self._words)
+
 
 class RegisterSlave(BehaviouralSlave):
     """Memory-mapped special-function registers with callbacks.
@@ -263,18 +272,3 @@ class RegisterSlave(BehaviouralSlave):
         if hook is not None:
             hook(merged)
         return SlaveResponse.ok()
-
-
-def __getattr__(name: str):
-    # ErrorSlave moved to the fault-injection subsystem; the alias is
-    # resolved lazily (PEP 562) to avoid a circular import with
-    # repro.faults, which subclasses BehaviouralSlave from this module.
-    if name == "ErrorSlave":
-        import warnings
-        warnings.warn(
-            "importing ErrorSlave from repro.tlm.slave is deprecated; "
-            "import it from repro.faults instead",
-            DeprecationWarning, stacklevel=2)
-        from repro.faults.injectors import ErrorSlave
-        return ErrorSlave
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

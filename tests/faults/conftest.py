@@ -23,15 +23,19 @@ BUS_CLASSES = {"layer1": EcBusLayer1, "layer2": EcBusLayer2,
 class FaultPlatform:
     """Simulator + clock + one faulty RAM + one bus model."""
 
-    def __init__(self, layer, injectors=(), ram_waits=WaitStates()):
+    def __init__(self, layer, injectors=(), ram_waits=WaitStates(),
+                 power_model=None):
         self.simulator = Simulator("fault_platform")
         self.clock = Clock(self.simulator, "clk", period=CLOCK_PERIOD)
         self.ram = MemorySlave(RAM_BASE, 0x1000, ram_waits, name="ram")
         self.faulty = FaultySlave(self.ram, injectors)
         self.memory_map = MemoryMap()
         self.memory_map.add_slave(self.faulty, "ram")
+        # RtlBus prices energy post-hoc and takes no power model
+        kwargs = {} if power_model is None else {
+            "power_model": power_model}
         self.bus = BUS_CLASSES[layer](self.simulator, self.clock,
-                                      self.memory_map)
+                                      self.memory_map, **kwargs)
         self.faulty.bind_cycle_source(lambda: self.bus.cycle)
 
 

@@ -59,6 +59,37 @@ class TestEepromTear:
         assert eeprom.peek(0) == 0x1122CCDD  # low half committed
         assert eeprom.programming_operations == 0
 
+    def test_default_samples_committed_lanes_from_rng(self):
+        # with no explicit mask, the surviving lanes depend on where
+        # in the programming sequence power failed — seeded, so two
+        # same-seed devices tear identically
+        images = []
+        for _ in range(2):
+            eeprom = Eeprom(0x0, tear_rate=1.0,
+                            tear_rng=random.Random("lanes"))
+            for i in range(16):
+                eeprom.poke(4 * i, 0x11223344)
+                eeprom.do_write(4 * i, 0b1111, 0xAABBCCDD)
+            images.append([eeprom.peek(4 * i) for i in range(16)])
+        assert images[0] == images[1]
+        # the sampled masks actually vary: not every word tears the
+        # same way, and partially-committed words exist
+        assert len(set(images[0])) > 1
+
+    def test_sampled_lanes_follow_the_rng(self):
+        from .conftest import FakeRng
+        eeprom = Eeprom(0x0, tear_rate=1.0, tear_rng=FakeRng([0.0]))
+        eeprom.poke(0, 0x11223344)
+        # FakeRng.randrange always returns 0: no lane survives
+        assert eeprom.do_write(0, 0b1111, 0xAABBCCDD).state \
+            is BusState.ERROR
+        assert eeprom.peek(0) == 0x11223344
+
+    def test_explicit_mask_validation(self):
+        with pytest.raises(ValueError):
+            Eeprom(0x0, tear_rate=1.0, tear_rng=random.Random(1),
+                   tear_committed_enables=0b10000)
+
     def test_torn_write_still_opens_busy_window(self):
         eeprom = Eeprom(0x0, tear_rate=1.0, tear_rng=random.Random(1))
         cycle = [10]

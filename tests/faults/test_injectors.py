@@ -118,10 +118,12 @@ class TestErrorSlave:
         assert slave.wait_states.address == 2
         assert slave.wait_states.read == 5
 
-    def test_reexported_from_tlm(self):
-        with pytest.warns(DeprecationWarning, match="repro.faults"):
-            from repro.tlm import ErrorSlave as from_package
-        with pytest.warns(DeprecationWarning, match="repro.faults"):
-            from repro.tlm.slave import ErrorSlave as from_module
-        assert from_package is ErrorSlave
-        assert from_module is ErrorSlave
+    def test_deprecated_tlm_aliases_removed(self):
+        # the PR-2 DeprecationWarning shims are gone: the only home of
+        # ErrorSlave is repro.faults
+        with pytest.raises(ImportError):
+            from repro.tlm import ErrorSlave  # noqa: F401
+        with pytest.raises(ImportError):
+            from repro.tlm.slave import ErrorSlave  # noqa: F401
+        import repro.tlm
+        assert "ErrorSlave" not in repro.tlm.__all__

@@ -190,3 +190,80 @@ class TestPipelinedRecovery:
         report, = master.fault_reports
         assert report.retry_energy_pj is not None
         assert report.retry_energy_pj > 0
+
+
+class TestEnergyAttribution:
+    """FaultReport energy attribution under a real layer-1 probe."""
+
+    @staticmethod
+    def platform_with_model(injectors):
+        from repro.power import Layer1PowerModel, default_table
+        model = Layer1PowerModel(default_table())
+        platform = FaultPlatform("layer1", injectors,
+                                 power_model=model)
+        return platform, model
+
+    def test_delta_semantics_against_probe_trace(self):
+        # a recording probe shows retry_energy_pj is exactly
+        # (last probe reading) - (reading at the first error)
+        platform, model = self.platform_with_model(
+            [FailFirstInjector(2)])
+        readings = []
+
+        def probe():
+            readings.append(model.total_energy_pj)
+            return readings[-1]
+
+        master = run_master(
+            platform, [data_read(RAM_BASE)],
+            retry_policy=RetryPolicy(max_attempts=5, backoff_cycles=1),
+            energy_probe=probe)
+        report, = master.fault_reports
+        assert report.recovered
+        # first reading = energy_at_first_error, last = at resolution
+        assert report.retry_energy_pj == pytest.approx(
+            readings[-1] - readings[0])
+        assert 0 < report.retry_energy_pj < model.total_energy_pj
+
+    def test_unrecovered_item_still_priced(self):
+        platform, model = self.platform_with_model(
+            [FailFirstInjector(100)])
+        master = run_master(
+            platform, [data_read(RAM_BASE)],
+            retry_policy=RetryPolicy(max_attempts=3, backoff_cycles=1),
+            energy_probe=lambda: model.total_energy_pj)
+        report, = master.fault_reports
+        assert not report.recovered
+        assert report.retry_energy_pj is not None
+        assert report.retry_energy_pj > 0
+
+    def test_watchdog_evict_path_priced(self):
+        # a hung slave: the watchdog cancels and evicts the in-flight
+        # transaction, the retry lands after the window closes — the
+        # stalled cycles and the re-issue are all attributed energy
+        platform, model = self.platform_with_model(
+            [FrozenWindowInjector(until_cycle=120)])
+        master = run_master(
+            platform, [data_read(RAM_BASE)],
+            retry_policy=RetryPolicy(max_attempts=10, backoff_cycles=2,
+                                     timeout_cycles=40),
+            energy_probe=lambda: model.total_energy_pj)
+        assert master.timeouts >= 1
+        assert master.errors == []
+        report, = master.fault_reports
+        assert report.cause is ErrorCause.TIMEOUT
+        assert report.recovered
+        assert report.retry_energy_pj is not None
+        assert report.retry_energy_pj > 0
+        # the eviction window dominates: recovery cost exceeds the
+        # clock-tree floor of the stalled cycles alone
+        assert report.cycles_lost >= 40
+
+    def test_no_probe_leaves_energy_unpriced(self):
+        platform, _ = self.platform_with_model([FailFirstInjector(1)])
+        master = run_master(
+            platform, [data_read(RAM_BASE)],
+            retry_policy=RetryPolicy(max_attempts=3, backoff_cycles=1))
+        report, = master.fault_reports
+        assert report.recovered
+        assert report.retry_energy_pj is None

@@ -122,3 +122,44 @@ class TestConcurrency:
         assert cpu.done
         assert dma.registers[STATUS] & STATUS_DONE
         assert [ram.peek(0x800 + 4 * i) for i in range(32)] == [7] * 32
+
+
+class TestGovernedDma:
+    class _Gate:
+        """Governor double: refuses the first *defer* consultations."""
+
+        def __init__(self, defer):
+            self.defer = defer
+            self.consults = 0
+
+        def may_issue(self, transaction):
+            self.consults += 1
+            if self.defer > 0:
+                self.defer -= 1
+                return False
+            return True
+
+    def test_deferred_issues_retry_and_complete(self):
+        simulator, clock, bus, _, ram, dma = build()
+        gate = self._Gate(defer=5)
+        dma.attach_governor(gate)
+        words = [0xBEEF + i for i in range(4)]
+        ram.load(0, words)
+        start_transfer(dma, RAM_BASE, RAM_BASE + 0x800, 4)
+        simulator.run(100 * 500)
+        assert not dma.busy
+        assert gate.consults > 5  # deferred, then granted
+        assert [ram.peek(0x800 + 4 * i) for i in range(4)] == words
+
+    def test_in_flight_transactions_never_gated(self):
+        # the governor is consulted per new issue, not per cycle of an
+        # in-flight transaction: an always-grant governor sees exactly
+        # one consultation per DMA transaction (4 reads + 4 writes)
+        simulator, clock, bus, _, ram, dma = build()
+        gate = self._Gate(defer=0)
+        dma.attach_governor(gate)
+        ram.load(0, [1, 2, 3, 4])
+        start_transfer(dma, RAM_BASE, RAM_BASE + 0x800, 4)
+        simulator.run(100 * 500)
+        assert not dma.busy
+        assert gate.consults == 8

@@ -49,6 +49,21 @@ class TestCommands:
         table = CharacterizationTable.load(output)
         assert table.coefficient("EB_A") > 0
 
+    def test_tear_small_campaign(self, capsys):
+        assert main(["tear", "--points", "3", "--transactions", "4",
+                     "--layers", "layer1"]) == 0
+        out = capsys.readouterr().out
+        assert "Tear campaign" in out
+        assert "all tear points recovered consistently" in out
+        assert "effective (strictly fewer brownouts)" in out
+
+    def test_tear_rejects_bad_layer(self, capsys):
+        assert main(["tear", "--layers", "layer1", "--points",
+                     "-1"]) == 2
+
+    def test_tear_resume_requires_journal(self, capsys):
+        assert main(["tear", "--resume"]) == 2
+
     def test_faults_small_campaign(self, capsys):
         assert main(["faults", "--rates", "0", "0.05",
                      "--classes", "eeprom_contention",
