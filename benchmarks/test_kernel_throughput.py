@@ -1,0 +1,48 @@
+"""Kernel/layer throughput benchmark with the tracked BENCH schema.
+
+Asserts the PR-5 performance contract — the clocked-kernel fast lane
+at least doubles the bare scheduler's cycles/second — and emits the
+same ``BENCH_PR5.json`` rows ``repro bench`` writes, validating their
+schema on the way out.  Run with ``pytest benchmarks/``; the tier-1
+suite (``testpaths = tests``) does not collect this directory, so the
+wall-clock-sensitive assertion never flakes a functional CI run.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.bench import (FASTLANE_FLOOR, bench_kernel,
+                                     bench_layers, fastlane_speedup,
+                                     write_bench)
+
+ROW_KEYS = {"metric", "value", "unit", "config"}
+
+
+@pytest.fixture(scope="module")
+def kernel_rows():
+    return bench_kernel(cycles=20_000)
+
+
+def test_fast_lane_doubles_kernel_throughput(kernel_rows):
+    speedup = fastlane_speedup(kernel_rows)
+    assert speedup >= FASTLANE_FLOOR, (
+        f"fast lane {speedup:.2f}x is below the "
+        f"{FASTLANE_FLOOR:.1f}x floor")
+
+
+def test_layer_throughput_rows(char_table, kernel_rows, tmp_path):
+    rows = kernel_rows + bench_layers(transactions=300)
+    for row in rows:
+        assert set(row) == ROW_KEYS
+        assert isinstance(row["metric"], str)
+        assert isinstance(row["value"], float) and row["value"] > 0
+        assert isinstance(row["unit"], str)
+        assert isinstance(row["config"], dict)
+    # the fast lane must never lose to the generic loop on a bus layer
+    by_metric = {row["metric"]: row["value"] for row in rows}
+    for layer in (1, 2):
+        assert by_metric[f"layer{layer}_fastlane_speedup"] >= 1.0
+    path = tmp_path / "BENCH_PR5.json"
+    write_bench(rows, str(path))
+    assert json.loads(path.read_text()) == rows

@@ -18,6 +18,9 @@ usable without writing Python:
                           recovery cost under whole-card power loss
 ``trace``                 run the §4.1 test program and dump its bus
                           trace
+``bench``                 tracked performance benchmarks; writes
+                          ``BENCH_PR5.json`` and enforces the fast-lane
+                          kernel speedup floor
 ========================  ==============================================
 """
 
@@ -63,7 +66,7 @@ def _cmd_table3(args: argparse.Namespace) -> int:
 
 def _cmd_figure6(args: argparse.Namespace) -> int:
     from repro.experiments import run_figure6
-    print(run_figure6().format())
+    print(run_figure6(workers=args.workers).format())
     return 0
 
 
@@ -105,7 +108,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not _check_resume(args, "sweep"):
         return 2
     print(run_bus_sweep(journal_path=args.journal,
-                        resume=args.resume).format())
+                        resume=args.resume,
+                        workers=args.workers).format())
     return 0
 
 
@@ -127,7 +131,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             rates=tuple(args.rates), classes=tuple(args.classes),
             seed=args.seed, layers=tuple(args.layers),
             journal_path=args.journal, resume=args.resume,
-            cell_wall_seconds=args.cell_wall_seconds)
+            cell_wall_seconds=args.cell_wall_seconds,
+            workers=args.workers)
     except ValueError as error:
         print(f"repro faults: error: {error}", file=sys.stderr)
         return 2
@@ -148,7 +153,8 @@ def _cmd_tear(args: argparse.Namespace) -> int:
             seed=args.seed, layers=tuple(args.layers),
             journal_path=args.journal, resume=args.resume,
             cell_wall_seconds=args.cell_wall_seconds,
-            governor_study=not args.no_governor)
+            governor_study=not args.no_governor,
+            workers=args.workers)
     except ValueError as error:
         print(f"repro tear: error: {error}", file=sys.stderr)
         return 2
@@ -182,6 +188,25 @@ def _cmd_vcd(args: argparse.Namespace) -> int:
     save_vcd(recorder, args.output, clock_period_ps=CLOCK_PERIOD)
     print(f"{len(recorder)} cycles of bus waveform + energy written "
           f"to {args.output}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import (FASTLANE_FLOOR, fastlane_speedup,
+                                         format_rows, run_bench,
+                                         write_bench)
+    rows = run_bench(quick=args.quick, workers=args.workers)
+    write_bench(rows, args.output)
+    print(format_rows(rows))
+    print(f"\nbenchmark rows written to {args.output}")
+    speedup = fastlane_speedup(rows)
+    if speedup < FASTLANE_FLOOR:
+        print(f"repro bench: FAIL: fast-lane kernel speedup "
+              f"{speedup:.2f}x is below the {FASTLANE_FLOOR:.1f}x floor",
+              file=sys.stderr)
+        return 1
+    print(f"fast-lane kernel speedup {speedup:.2f}x "
+          f"(floor {FASTLANE_FLOOR:.1f}x)")
     return 0
 
 
@@ -227,8 +252,16 @@ def build_parser() -> argparse.ArgumentParser:
     table3.add_argument("--no-gate-level", action="store_true")
     table3.set_defaults(func=_cmd_table3)
 
-    sub.add_parser("figure6", help="energy sampling profile"
-                   ).set_defaults(func=_cmd_figure6)
+    def add_workers(command: argparse.ArgumentParser,
+                    what: str = "sweep cells") -> None:
+        command.add_argument(
+            "--workers", type=int, default=1, metavar="N",
+            help=f"shard {what} over N worker processes; results are "
+                 f"byte-identical to a serial run")
+
+    figure6 = sub.add_parser("figure6", help="energy sampling profile")
+    add_workers(figure6, what="the two layer runs")
+    figure6.set_defaults(func=_cmd_figure6)
     sub.add_parser("casestudy", help="java card HW/SW exploration"
                    ).set_defaults(func=_cmd_casestudy)
 
@@ -261,6 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser(
         "sweep", help="fetch-path (burst x line-buffer) sweep")
     add_supervision(sweep)
+    add_workers(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     robustness = sub.add_parser(
@@ -291,6 +325,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "exceeding it degrades instead of hanging "
                              "the campaign")
     add_supervision(faults)
+    add_workers(faults)
     faults.set_defaults(func=_cmd_faults)
 
     tear = sub.add_parser(
@@ -314,7 +349,19 @@ def build_parser() -> argparse.ArgumentParser:
                            "exceeding it degrades instead of hanging "
                            "the campaign")
     add_supervision(tear)
+    add_workers(tear)
     tear.set_defaults(func=_cmd_tear)
+
+    bench = sub.add_parser(
+        "bench", help="tracked performance benchmarks "
+                      "(kernel/layer/campaign throughput)")
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller workloads for CI smoke runs")
+    bench.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="worker count for the campaign benchmark")
+    bench.add_argument("-o", "--output", default="BENCH_PR5.json",
+                       help="where to write the benchmark rows (JSON)")
+    bench.set_defaults(func=_cmd_bench)
 
     vcd = sub.add_parser(
         "vcd", help="dump the test program's bus waveform as VCD")

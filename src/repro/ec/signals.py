@@ -84,4 +84,4 @@ def total_interface_bits() -> int:
 def hamming_distance(old: int, new: int, width: int) -> int:
     """Bit transitions between two values of a *width*-bit signal."""
     mask = (1 << width) - 1
-    return bin((old ^ new) & mask).count("1")
+    return ((old ^ new) & mask).bit_count()

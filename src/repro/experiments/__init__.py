@@ -11,6 +11,7 @@
 * :mod:`repro.experiments.report` — everything at once.
 """
 
+from .bench import run_bench
 from .bus_sweep import BusSweepResult, run_bus_sweep
 from .casestudy import CaseStudyResult, run_casestudy
 from .coprocessor import CoprocessorStudyResult, run_coprocessor_study
@@ -54,6 +55,7 @@ __all__ = [
     "evaluation_script",
     "full_report",
     "percent_error",
+    "run_bench",
     "run_bus_sweep",
     "run_casestudy",
     "run_coprocessor_study",

@@ -118,35 +118,45 @@ def run_point(fetch_burst_length: int, line_buffer_lines: int,
         sum(t.burst_length for t in fetches))
 
 
+def _point_job(burst: int, lines: int, table) -> dict:
+    """Module-level (picklable) grid-point runner for the worker pool."""
+    return dataclasses.asdict(run_point(burst, lines, table))
+
+
 def run_bus_sweep(burst_lengths: typing.Sequence[int] = BURST_LENGTHS,
                   buffer_lines: typing.Sequence[int] = BUFFER_LINES,
                   journal_path: typing.Optional[str] = None,
                   resume: bool = False,
-                  max_attempts: int = 2) -> BusSweepResult:
+                  max_attempts: int = 2,
+                  workers: int = 1) -> BusSweepResult:
     """Sweep the fetch-path parameter grid.
 
     Each grid point runs under the campaign supervisor: with
     *journal_path* its result checkpoints to a JSONL journal, *resume*
     replays journaled points, and a point that keeps crashing is
-    reported as degraded instead of aborting the sweep.
+    reported as degraded instead of aborting the sweep.  *workers* > 1
+    shards the grid over a process pool with results journaled in grid
+    order, byte-identical to a serial run.
     """
     supervisor = CampaignSupervisor(
         "bus_sweep", seed=0, journal_path=journal_path, resume=resume,
         max_attempts=max_attempts)
     table = characterization().table
+    specs = [
+        ({"burst": burst, "lines": lines}, _point_job,
+         (burst, lines, table))
+        for burst in burst_lengths
+        for lines in buffer_lines]
     points = []
-    for burst in burst_lengths:
-        for lines in buffer_lines:
-            outcome = supervisor.run_cell(
-                {"burst": burst, "lines": lines},
-                lambda: dataclasses.asdict(
-                    run_point(burst, lines, table)))
-            if outcome.ok:
-                points.append(SweepPoint(**outcome.payload))
-            else:
-                points.append(SweepPoint(
-                    fetch_burst_length=burst, line_buffer_lines=lines,
-                    cycles=0, bus_energy_pj=0.0, fetch_transactions=0,
-                    fetch_words=0, status="degraded",
-                    error=outcome.error))
+    for (params, _, _), outcome in zip(
+            specs, supervisor.run_cells(specs, workers=workers)):
+        if outcome.ok:
+            points.append(SweepPoint(**outcome.payload))
+        else:
+            points.append(SweepPoint(
+                fetch_burst_length=params["burst"],
+                line_buffer_lines=params["lines"],
+                cycles=0, bus_energy_pj=0.0, fetch_transactions=0,
+                fetch_words=0, status="degraded",
+                error=outcome.error))
     return BusSweepResult(points)

@@ -291,6 +291,16 @@ def _cell_payload(cell: CampaignCell) -> dict:
     return {name: values[name] for name in _JOURNALED_FIELDS}
 
 
+def _cell_job(layer: str, workload: str, rate: float,
+              seed: typing.Union[int, str], policy: RetryPolicy,
+              table, max_cycles: int,
+              wall_seconds: typing.Optional[float]) -> dict:
+    """Module-level (picklable) cell runner for the worker pool."""
+    return _cell_payload(_run_cell(layer, workload, rate, seed, policy,
+                                   table, max_cycles,
+                                   wall_seconds=wall_seconds))
+
+
 def run_fault_campaign(
         rates: typing.Sequence[float] = DEFAULT_RATES,
         classes: typing.Sequence[str] = DEFAULT_CLASSES,
@@ -301,7 +311,8 @@ def run_fault_campaign(
         journal_path: typing.Optional[str] = None,
         resume: bool = False,
         max_attempts: int = 2,
-        cell_wall_seconds: typing.Optional[float] = None
+        cell_wall_seconds: typing.Optional[float] = None,
+        workers: int = 1
         ) -> FaultCampaignResult:
     """Sweep fault rates across workload classes on every layer.
 
@@ -312,6 +323,11 @@ def run_fault_campaign(
     *max_attempts* times is reported as a degraded row instead of
     aborting the sweep; *cell_wall_seconds* bounds each cell's wall
     clock through the master's progress watchdog.
+
+    *workers* > 1 shards the (class, rate, layer) grid over a process
+    pool — every cell is independently seeded, so sharding cannot
+    change results, and the supervisor journals outcomes in grid order
+    so journal, resume and report stay byte-identical to ``workers=1``.
     """
     for layer in layers:
         if layer not in LAYERS:
@@ -337,35 +353,36 @@ def run_fault_campaign(
     rate_axis = sorted(set(rates))
     if rate_axis and rate_axis[0] != 0.0:
         rate_axis.insert(0, 0.0)  # overhead needs the fault-free run
-    for workload in classes:
-        for rate in rate_axis:
-            for layer in layers:
-                params = {"layer": layer, "workload": workload,
-                          "rate": rate}
-                outcome = supervisor.run_cell(
-                    params,
-                    lambda: _cell_payload(_run_cell(
-                        layer, workload, rate, seed, policy, table,
-                        max_cycles,
-                        wall_seconds=supervisor.cell_wall_seconds)))
-                if outcome.ok:
-                    cell = CampaignCell(**outcome.payload)
-                else:
-                    cell = CampaignCell(
-                        layer=layer, workload=workload, rate=rate,
-                        transactions=0, failures=0, retries=0,
-                        timeouts=0, recovered=0, fault_events=0,
-                        torn_writes=0, cycles=0, energy_pj=0.0,
-                        status="degraded", error=outcome.error)
-                if rate == 0.0 and cell.status == "ok":
-                    baselines[(layer, workload)] = cell
-                baseline = baselines.get((layer, workload))
-                if (baseline is not None and cell is not baseline
-                        and cell.status == "ok"):
-                    cell.cycle_overhead = cell.cycles - baseline.cycles
-                    cell.energy_overhead_pj = (cell.energy_pj
-                                               - baseline.energy_pj)
-                cells.append(cell)
+    specs = [
+        ({"layer": layer, "workload": workload, "rate": rate},
+         _cell_job,
+         (layer, workload, rate, seed, policy, table, max_cycles,
+          supervisor.cell_wall_seconds))
+        for workload in classes
+        for rate in rate_axis
+        for layer in layers]
+    outcomes = supervisor.run_cells(specs, workers=workers)
+    for (params, _, _), outcome in zip(specs, outcomes):
+        layer, workload, rate = (params["layer"], params["workload"],
+                                 params["rate"])
+        if outcome.ok:
+            cell = CampaignCell(**outcome.payload)
+        else:
+            cell = CampaignCell(
+                layer=layer, workload=workload, rate=rate,
+                transactions=0, failures=0, retries=0,
+                timeouts=0, recovered=0, fault_events=0,
+                torn_writes=0, cycles=0, energy_pj=0.0,
+                status="degraded", error=outcome.error)
+        if rate == 0.0 and cell.status == "ok":
+            baselines[(layer, workload)] = cell
+        baseline = baselines.get((layer, workload))
+        if (baseline is not None and cell is not baseline
+                and cell.status == "ok"):
+            cell.cycle_overhead = cell.cycles - baseline.cycles
+            cell.energy_overhead_pj = (cell.energy_pj
+                                       - baseline.energy_pj)
+        cells.append(cell)
     return FaultCampaignResult(seed=seed, rates=tuple(rate_axis),
                                classes=tuple(classes), policy=policy,
                                cells=cells)

@@ -79,13 +79,18 @@ class Figure6Result:
         return "\n".join(lines)
 
 
-def _run_layer2(script, sample_cycles):
+def _layer2_task(sample_cycles, table) -> dict:
+    """Run layer 2, sampling the energy interface at the given cycles.
+
+    Module-level and payload-returning so it can run in a worker
+    process alongside the layer-1 task.
+    """
     simulator = Simulator("figure6_l2")
     clock = Clock(simulator, "clk", period=CLOCK_PERIOD)
     memory_map = fresh_memory_map()
-    model = Layer2PowerModel(characterization().table)
+    model = Layer2PowerModel(table)
     bus = EcBusLayer2(simulator, clock, memory_map, power_model=model)
-    master = PipelinedMaster(simulator, clock, bus, script)
+    master = PipelinedMaster(simulator, clock, bus, figure6_script())
     samples: typing.List[float] = []
     remaining = list(sample_cycles)
 
@@ -99,39 +104,56 @@ def _run_layer2(script, sample_cycles):
     run_script(simulator, master, 10_000, clock)
     model.account_cycles(bus.cycle)  # clock baseline for the whole run
     samples.append(model.energy_since_last_call_pj())  # final drain
-    return master, samples, model.total_energy_pj
+    phases = [(txn.address_done_cycle, txn.data_done_cycle)
+              for txn in sorted(master.completed,
+                                key=lambda t: (t.issue_cycle, t.txn_id))]
+    return {"samples": samples, "phases": phases,
+            "total_pj": model.total_energy_pj}
 
 
-def _run_layer1(script, sample_cycles):
+def _layer1_task(sample_cycles, table) -> dict:
+    """Run layer 1 and integrate its per-cycle trace over the same
+    sampling windows."""
     simulator = Simulator("figure6_l1")
     clock = Clock(simulator, "clk", period=CLOCK_PERIOD)
     memory_map = fresh_memory_map()
     recorder = SignalStateRecorder()
-    model = Layer1PowerModel(characterization().table, recorder=recorder)
+    model = Layer1PowerModel(table, recorder=recorder)
     bus = EcBusLayer1(simulator, clock, memory_map, power_model=model)
-    master = PipelinedMaster(simulator, clock, bus, script)
+    master = PipelinedMaster(simulator, clock, bus, figure6_script())
     run_script(simulator, master, 10_000, clock)
     windows: typing.List[float] = []
     previous = 0
     for cycle in list(sample_cycles) + [len(recorder.energies)]:
         windows.append(sum(recorder.energies[previous:cycle]))
         previous = cycle
-    return master, windows, model.total_energy_pj
+    return {"windows": windows, "total_pj": model.total_energy_pj}
 
 
-def run_figure6(sample_cycles: typing.Sequence[int] = (4, 9)
-                ) -> Figure6Result:
-    """Reproduce the Figure-6 sampling profile (t1, t2 = cycles)."""
-    script2 = figure6_script()
-    master2, samples, total2 = _run_layer2(script2, sample_cycles)
-    script1 = figure6_script()
-    master1, windows, total1 = _run_layer1(script1, sample_cycles)
+def run_figure6(sample_cycles: typing.Sequence[int] = (4, 9),
+                workers: int = 1) -> Figure6Result:
+    """Reproduce the Figure-6 sampling profile (t1, t2 = cycles).
+
+    With *workers* > 1 the layer-2 and layer-1 runs execute in
+    parallel worker processes; results are identical either way.
+    """
+    table = characterization().table
+    if workers > 1:
+        import concurrent.futures
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=2) as pool:
+            future2 = pool.submit(_layer2_task, tuple(sample_cycles),
+                                  table)
+            future1 = pool.submit(_layer1_task, tuple(sample_cycles),
+                                  table)
+            layer2, layer1 = future2.result(), future1.result()
+    else:
+        layer2 = _layer2_task(tuple(sample_cycles), table)
+        layer1 = _layer1_task(tuple(sample_cycles), table)
     phases = [
-        PhaseTiming(f"request {i + 1}", txn.address_done_cycle,
-                    txn.data_done_cycle)
-        for i, txn in enumerate(
-            sorted(master2.completed,
-                   key=lambda t: (t.issue_cycle, t.txn_id)))
+        PhaseTiming(f"request {i + 1}", address_done, data_done)
+        for i, (address_done, data_done) in enumerate(layer2["phases"])
     ]
-    return Figure6Result(list(sample_cycles), samples, windows, phases,
-                         total2, total1)
+    return Figure6Result(list(sample_cycles), layer2["samples"],
+                         layer1["windows"], phases,
+                         layer2["total_pj"], layer1["total_pj"])

@@ -19,11 +19,21 @@ sweep cell an independently retried, independently journaled unit:
 The journal loader tolerates a truncated final line — the expected
 state after ``SIGINT`` mid-append — and lets the last record win when
 a key appears twice (a cell re-run after a degraded first pass).
+
+:meth:`CampaignSupervisor.run_cells` adds process-parallel execution:
+cells are sharded over a worker pool, but outcomes are collected —
+and journaled — strictly in input order, so the JSONL journal, the
+resume behaviour and every derived report are byte-identical to a
+serial run of the same campaign.  Retry/degrade isolation happens
+inside the worker; a worker process that dies outright degrades only
+its own cell (the pool is rebuilt for the rest).
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import dataclasses
+import functools
 import json
 import os
 import typing
@@ -59,6 +69,35 @@ class CellOutcome:
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+
+#: One parallelisable unit of work: ``(params, fn, args)``.  ``fn``
+#: must be a module-level callable (picklable) returning the cell's
+#: JSON-serialisable payload dict when called as ``fn(*args)``.
+CellSpec = typing.Tuple[typing.Mapping[str, typing.Any],
+                        typing.Callable[..., typing.Dict[str, typing.Any]],
+                        typing.Tuple[typing.Any, ...]]
+
+
+def _cell_worker(fn: typing.Callable[..., dict],
+                 args: typing.Tuple[typing.Any, ...],
+                 max_attempts: int) -> tuple:
+    """Run one cell inside a worker process, with the same bounded
+    retry the serial path applies, and report the outcome as data.
+
+    Returns ``(status, attempts, error, payload)`` so the parent can
+    build a :class:`CellOutcome` (and a journal record) that is
+    byte-identical to what :meth:`CampaignSupervisor.run_cell` would
+    have produced in-process.
+    """
+    last_error: typing.Optional[BaseException] = None
+    for attempt in range(1, max_attempts + 1):
+        try:
+            return ("ok", attempt, None, fn(*args))
+        except Exception as error:
+            last_error = error
+    return ("degraded", max_attempts,
+            f"{type(last_error).__name__}: {last_error}", None)
 
 
 class CheckpointJournal:
@@ -188,6 +227,91 @@ class CampaignSupervisor:
         self.cells_run += 1
         self._checkpoint(outcome)
         return outcome
+
+    def run_cells(self, cells: typing.Sequence[CellSpec],
+                  workers: int = 1) -> typing.List[CellOutcome]:
+        """Run a batch of cells, optionally across worker processes.
+
+        *cells* is a sequence of ``(params, fn, args)`` specs; with
+        ``workers > 1`` each ``fn`` must be a module-level (picklable)
+        callable.  Outcomes come back **in input order** regardless of
+        completion order, and the journal is appended in that same
+        order, so a parallel campaign's checkpoint file, resume
+        behaviour and reports are byte-identical to a serial one.
+
+        Retry/degrade semantics match :meth:`run_cell` exactly: the
+        retry loop runs inside the worker, and a worker process that
+        dies outright (not a Python exception — an abort or kill)
+        degrades only its own cell; the pool is rebuilt to finish the
+        remaining cells.
+        """
+        specs = [(dict(params), fn, tuple(args))
+                 for params, fn, args in cells]
+        if workers <= 1:
+            return [self.run_cell(params, functools.partial(fn, *args))
+                    for params, fn, args in specs]
+        outcomes: typing.List[typing.Optional[CellOutcome]] = (
+            [None] * len(specs))
+        pending: typing.List[int] = []
+        keys: typing.List[typing.Optional[str]] = [None] * len(specs)
+        for index, (params, fn, args) in enumerate(specs):
+            key = cell_key(self.experiment, self.seed, params)
+            keys[index] = key
+            if self.resume:
+                record = self._journaled.get(key)
+                if record is not None and record.get("status") == "ok":
+                    self.cells_resumed += 1
+                    outcomes[index] = CellOutcome(
+                        params=dict(params), key=key, status="ok",
+                        attempts=record.get("attempts", 1), error=None,
+                        payload=record.get("payload"),
+                        from_journal=True)
+                    continue
+            pending.append(index)
+        executor = concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers)
+        try:
+            futures = {
+                index: executor.submit(
+                    _cell_worker, specs[index][1], specs[index][2],
+                    self.max_attempts)
+                for index in pending}
+            for position, index in enumerate(pending):
+                params = specs[index][0]
+                try:
+                    status, attempts, error, payload = (
+                        futures[index].result())
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except BaseException as crash:
+                    # the worker process itself died (segfault, kill,
+                    # unpicklable payload): degrade this cell only and
+                    # rebuild the pool — a broken pool poisons every
+                    # future submitted before the break
+                    status, attempts, error, payload = (
+                        "degraded", self.max_attempts,
+                        f"{type(crash).__name__}: {crash}", None)
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = concurrent.futures.ProcessPoolExecutor(
+                        max_workers=workers)
+                    for later in pending[position + 1:]:
+                        futures[later] = executor.submit(
+                            _cell_worker, specs[later][1],
+                            specs[later][2], self.max_attempts)
+                if status == "degraded":
+                    self.cells_degraded += 1
+                outcome = CellOutcome(
+                    params=dict(params), key=keys[index], status=status,
+                    attempts=attempts, error=error, payload=payload)
+                self.cells_run += 1
+                # journal in input order: each future is awaited in
+                # submission order, so a checkpoint never runs ahead
+                # of an earlier cell
+                self._checkpoint(outcome)
+                outcomes[index] = outcome
+        finally:
+            executor.shutdown()
+        return typing.cast(typing.List[CellOutcome], outcomes)
 
     def _checkpoint(self, outcome: CellOutcome) -> None:
         if self.journal is None:

@@ -448,7 +448,8 @@ def run_tear_campaign(
         resume: bool = False,
         max_attempts: int = 2,
         cell_wall_seconds: typing.Optional[float] = None,
-        governor_study: bool = True) -> TearCampaignResult:
+        governor_study: bool = True,
+        workers: int = 1) -> TearCampaignResult:
     """Sweep seeded tear points across the journal workload per layer.
 
     Per layer, a tear-free baseline run spans the grid; *points*
@@ -456,6 +457,13 @@ def run_tear_campaign(
     tear / cold-boot / recover / verify treatment.  With
     *journal_path* every finished cell is checkpointed (JSONL);
     *resume* replays journaled cells byte-identically.
+
+    *workers* > 1 shards each phase over a process pool: first the
+    per-layer baselines (the tear grids depend on their cycle spans),
+    then the whole tear grid across layers, then the governor arms.
+    Cells are independently seeded and the supervisor journals them in
+    grid order, so journal, resume and report are byte-identical to a
+    ``workers=1`` run.
     """
     if points < 1:
         raise ValueError(f"points must be >= 1, got {points}")
@@ -474,52 +482,64 @@ def run_tear_campaign(
     table = characterization().table
     baselines: typing.Dict[str, dict] = {}
     cells: typing.List[TearCell] = []
-    for layer in layers:
-        outcome = supervisor.run_cell(
-            {"layer": layer, "phase": "baseline"},
-            lambda: _run_baseline(layer, seed, transactions, table,
-                                  max_cycles,
-                                  supervisor.cell_wall_seconds))
+    # phase 1: the tear-free baselines — the tear grids need their
+    # cycle spans, so they run (possibly in parallel) before any tear
+    baseline_specs = [
+        ({"layer": layer, "phase": "baseline"}, _run_baseline,
+         (layer, seed, transactions, table, max_cycles,
+          supervisor.cell_wall_seconds))
+        for layer in layers]
+    for layer, outcome in zip(
+            layers, supervisor.run_cells(baseline_specs,
+                                         workers=workers)):
         if not outcome.ok:
             raise RuntimeError(
                 f"{layer} baseline failed: {outcome.error}")
         baselines[layer] = outcome.payload
-        # span the whole discipline: every cycle of the baseline run
-        # is a candidate tear point
+    # phase 2: the tear grid — span the whole discipline: every cycle
+    # of a layer's baseline run is a candidate tear point
+    tear_specs = []
+    for layer in layers:
         schedule = tear_schedule(f"{seed}/{layer}", points,
-                                 max_cycle=outcome.payload["cycles"])
+                                 max_cycle=baselines[layer]["cycles"])
         for index, tear_cycle in enumerate(schedule):
-            params = {"layer": layer, "phase": "tear",
-                      "index": index, "tear_cycle": tear_cycle}
-            cell_outcome = supervisor.run_cell(
-                params,
-                lambda: _run_tear_cell(
-                    layer, tear_cycle, seed, transactions, table,
-                    max_cycles, supervisor.cell_wall_seconds))
-            if cell_outcome.ok:
-                cells.append(TearCell(**cell_outcome.payload))
-            else:
-                cells.append(TearCell(
-                    layer=layer, tear_cycle=tear_cycle, torn=False,
-                    transactions=transactions, applied=0,
-                    committed_at_tear=False, replayed=False,
-                    recovery_cycles=0, recovery_energy_pj=0.0,
-                    consistent=False, status="degraded",
-                    error=cell_outcome.error))
+            tear_specs.append(
+                ({"layer": layer, "phase": "tear",
+                  "index": index, "tear_cycle": tear_cycle},
+                 _run_tear_cell,
+                 (layer, tear_cycle, seed, transactions, table,
+                  max_cycles, supervisor.cell_wall_seconds)))
+    for (params, _, _), cell_outcome in zip(
+            tear_specs, supervisor.run_cells(tear_specs,
+                                             workers=workers)):
+        if cell_outcome.ok:
+            cells.append(TearCell(**cell_outcome.payload))
+        else:
+            cells.append(TearCell(
+                layer=params["layer"],
+                tear_cycle=params["tear_cycle"], torn=False,
+                transactions=transactions, applied=0,
+                committed_at_tear=False, replayed=False,
+                recovery_cycles=0, recovery_energy_pj=0.0,
+                consistent=False, status="degraded",
+                error=cell_outcome.error))
     governor_cells: typing.List[GovernorCell] = []
     if governor_study:
-        for governed in (False, True):
-            outcome = supervisor.run_cell(
-                {"phase": "governor", "governed": governed},
-                lambda: _run_governor_cell(
-                    governed, seed, transactions, table, max_cycles,
-                    supervisor.cell_wall_seconds))
+        governor_specs = [
+            ({"phase": "governor", "governed": governed},
+             _run_governor_cell,
+             (governed, seed, transactions, table, max_cycles,
+              supervisor.cell_wall_seconds))
+            for governed in (False, True)]
+        for (params, _, _), outcome in zip(
+                governor_specs,
+                supervisor.run_cells(governor_specs, workers=workers)):
             if outcome.ok:
                 governor_cells.append(GovernorCell(**outcome.payload))
             else:
                 governor_cells.append(GovernorCell(
-                    governed=governed, completed=False, cycles=0,
-                    brownouts=0, deferrals=0, drained_pj=0.0,
+                    governed=params["governed"], completed=False,
+                    cycles=0, brownouts=0, deferrals=0, drained_pj=0.0,
                     status="degraded", error=outcome.error))
     return TearCampaignResult(
         seed=seed, points=points, transactions=transactions,

@@ -29,7 +29,7 @@ class Event:
     """
 
     __slots__ = ("name", "_simulator", "_static_waiters", "_dynamic_waiters",
-                 "_timed_handle")
+                 "_timed_handle", "_waiters_version")
 
     def __init__(self, simulator: "Simulator", name: str = "event") -> None:
         self.name = name
@@ -37,6 +37,9 @@ class Event:
         self._static_waiters: list["Process"] = []
         self._dynamic_waiters: list["Process"] = []
         self._timed_handle: typing.Optional[list] = None
+        # bumped whenever the waiter set changes, so the fast lane's
+        # compiled process lists know when to recompile (see fastlane.py)
+        self._waiters_version = 0
         simulator._register_event(self)
 
     # -- wiring ---------------------------------------------------------
@@ -45,21 +48,25 @@ class Event:
         """Make *process* run whenever this event fires (static list)."""
         if process not in self._static_waiters:
             self._static_waiters.append(process)
+            self._waiters_version += 1
 
     def remove_static_sensitivity(self, process: "Process") -> None:
         """Remove *process* from the static sensitivity list."""
         if process in self._static_waiters:
             self._static_waiters.remove(process)
+            self._waiters_version += 1
 
     def add_dynamic_waiter(self, process: "Process") -> None:
         """Register a one-shot dynamic waiter (``next_trigger`` support)."""
         if process not in self._dynamic_waiters:
             self._dynamic_waiters.append(process)
+            self._waiters_version += 1
 
     def remove_dynamic_waiter(self, process: "Process") -> None:
         """Drop a dynamic waiter (e.g. its trigger was re-targeted)."""
         if process in self._dynamic_waiters:
             self._dynamic_waiters.remove(process)
+            self._waiters_version += 1
 
     # -- notification ---------------------------------------------------
 
@@ -99,6 +106,7 @@ class Event:
         if self._timed_handle is not None:
             self._timed_handle[2] = True  # tombstone in the timed queue
             self._timed_handle = None
+            self._simulator._timed_live -= 1
 
     # -- firing (called by the simulator) --------------------------------
 
@@ -114,6 +122,7 @@ class Event:
         self._timed_handle = None
         triggered = list(self._static_waiters)
         if self._dynamic_waiters:
+            self._waiters_version += 1
             dynamic, self._dynamic_waiters = self._dynamic_waiters, []
             for process in dynamic:
                 process._dynamic_trigger_fired(self)

@@ -144,6 +144,7 @@ class Clock:
         from .module import Process
         self._process = Process(simulator, self._toggle, f"{name}.driver")
         self._process.sensitive(self._tick_event)
+        simulator._register_clock(self)
 
     def _toggle(self) -> None:
         if self._process.run_count > 1:

@@ -20,6 +20,7 @@ import heapq
 import itertools
 import typing
 
+from . import fastlane
 from .event import Event
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -44,18 +45,27 @@ class Simulator:
     """The simulation kernel: owns time, events, signals and processes."""
 
     def __init__(self, name: str = "sim",
-                 journal_capacity: int = 32) -> None:
+                 journal_capacity: int = 32,
+                 fast_lane: bool = True) -> None:
         self.name = name
         self.now: int = 0
         self.delta_count: int = 0
         self._events: list[Event] = []
         self._processes: list["Process"] = []
         self._signals: list["SignalBase"] = []
+        self._clocks: list = []
         self._runnable: list["Process"] = []
         self._update_requests: list["SignalBase"] = []
+        # ordered list (determinism) paired with a set (O(1) membership)
         self._delta_events: list[Event] = []
+        self._delta_events_set: set = set()
         self._timed_queue: list[list] = []  # [when, seq, cancelled, event]
+        #: live (non-tombstone) entries in the timed queue, maintained at
+        #: every push/pop/cancel so pending_activity() never has to scan
+        self._timed_live = 0
         self._seq = itertools.count()
+        self._fast_lane_enabled = fast_lane
+        self._fast_lane = None
         self._stop_requested = False
         self._started = False
         self._powered_off = False
@@ -87,6 +97,9 @@ class Simulator:
     def _register_thread(self, thread: "ThreadProcess") -> None:
         self._threads.append(thread)
 
+    def _register_clock(self, clock) -> None:
+        self._clocks.append(clock)
+
     # -- notification plumbing ------------------------------------------
 
     def _notify_immediate(self, event: Event) -> None:
@@ -96,12 +109,14 @@ class Simulator:
             self._make_runnable(process)
 
     def _notify_delta(self, event: Event) -> None:
-        if event not in self._delta_events:
+        if event not in self._delta_events_set:
+            self._delta_events_set.add(event)
             self._delta_events.append(event)
 
     def _schedule_event(self, event: Event, when: int) -> list:
         entry = [when, next(self._seq), False, event]
         heapq.heappush(self._timed_queue, entry)
+        self._timed_live += 1
         return entry
 
     def _request_update(self, signal: "SignalBase") -> None:
@@ -151,6 +166,7 @@ class Simulator:
         """Turn pending delta notifications into runnable processes."""
         if self._delta_events:
             events, self._delta_events = self._delta_events, []
+            self._delta_events_set.clear()
             for event in events:
                 self._journal.append((self.now, self.delta_count,
                                       "delta", event.name))
@@ -199,6 +215,7 @@ class Simulator:
             entry = heapq.heappop(queue)
             if entry[2]:
                 continue
+            self._timed_live -= 1
             event: Event = entry[3]
             self._journal.append((self.now, self.delta_count, "timed",
                                   event.name))
@@ -249,9 +266,22 @@ class Simulator:
             if deadline is not None and queue[0][0] > deadline:
                 self.now = deadline
                 return self.now - start
+            if self._fast_lane_enabled:
+                status = self._run_fast_lane(deadline)
+                if status == fastlane.FINISHED:
+                    return self.now - start
+                if status == fastlane.FELL_BACK:
+                    continue
             self._advance_time()
             if self._watchdogs:
                 self._check_watchdogs()
+
+    def _run_fast_lane(self, deadline: typing.Optional[int]) -> int:
+        """Attempt the precompiled clocked cycle loop (see fastlane.py)."""
+        lane = self._fast_lane
+        if lane is None:
+            lane = self._fast_lane = fastlane.FastLane(self)
+        return lane.run(deadline)
 
     # -- supervision -------------------------------------------------------
 
@@ -331,7 +361,7 @@ class Simulator:
             return True
         if self._runnable or self._delta_events:
             return True
-        return any(not entry[2] for entry in self._timed_queue)
+        return self._timed_live > 0
 
     def __repr__(self) -> str:
         return (f"Simulator({self.name!r}, now={self.now}, "

@@ -30,6 +30,7 @@ Reconstruction contract (per cycle):
 
 from __future__ import annotations
 
+import collections.abc
 import typing
 
 from repro.ec import (BusState, EC_SIGNALS, SignalGroup, SlaveResponse,
@@ -38,37 +39,96 @@ from repro.ec import (BusState, EC_SIGNALS, SignalGroup, SlaveResponse,
 from .interfaces import CycleAccuratePowerInterface, EnergyAccumulator
 from .table import CharacterizationTable
 
-_POPCOUNT = [bin(i).count("1") for i in range(1 << 16)]
-
 
 def popcount(value: int) -> int:
-    """Number of set bits (fast path for <= 48-bit signal XORs)."""
-    if value < (1 << 16):
-        return _POPCOUNT[value]
-    count = 0
-    while value:
-        count += _POPCOUNT[value & 0xFFFF]
-        value >>= 16
-    return count
+    """Number of set bits (``int.bit_count`` with the historic name)."""
+    return value.bit_count()
+
+
+class SignalValuesView(collections.abc.Mapping):
+    """Read-only live mapping over a power model's committed wire values.
+
+    One view is built per model and handed to every per-cycle sink, so
+    streaming a cycle costs no dict copy.  The view always shows the
+    *current* cycle — sinks that keep history must snapshot (see
+    :meth:`snapshot`, used by :class:`SignalStateRecorder`).
+    """
+
+    __slots__ = ("_names", "_index", "_values")
+
+    def __init__(self, names: typing.Tuple[str, ...],
+                 index: typing.Dict[str, int],
+                 values: typing.List[int]) -> None:
+        self._names = names
+        self._index = index
+        self._values = values
+
+    def __getitem__(self, name: str) -> int:
+        return self._values[self._index[name]]
+
+    def __iter__(self) -> typing.Iterator[str]:
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def snapshot(self) -> typing.Tuple[int, ...]:
+        """The current values as an immutable tuple (EC_SIGNALS order)."""
+        return tuple(self._values)
 
 
 class SignalStateRecorder:
     """Optional per-cycle sink receiving the reconstructed signal values.
 
     Used by the layer-1-vs-RTL equivalence tests, the characterisation
-    flow and the SPA/DPA power-trace tooling.
+    flow and the SPA/DPA power-trace tooling.  History is stored as
+    value tuples sharing one name table; the dict-per-cycle shape older
+    consumers index (``recorder.values[cycle]["EB_A"]``) is materialised
+    lazily on first access to :attr:`values`.
     """
 
     def __init__(self) -> None:
         self.cycles: typing.List[int] = []
-        self.values: typing.List[typing.Dict[str, int]] = []
         self.energies: typing.List[float] = []
+        self._names: typing.Optional[typing.Tuple[str, ...]] = None
+        self._snapshots: typing.List[typing.Tuple[int, ...]] = []
+        self._values_cache: typing.List[typing.Dict[str, int]] = []
 
-    def record(self, cycle: int, values: typing.Dict[str, int],
+    def record(self, cycle: int, values: typing.Mapping[str, int],
                energy_pj: float) -> None:
         self.cycles.append(cycle)
-        self.values.append(dict(values))
+        if self._names is None:
+            self._names = tuple(values)
+        snapshot = getattr(values, "snapshot", None)
+        if snapshot is not None:
+            self._snapshots.append(snapshot())
+        else:
+            self._snapshots.append(
+                tuple(values[name] for name in self._names))
         self.energies.append(energy_pj)
+
+    @property
+    def names(self) -> typing.Tuple[str, ...]:
+        """Signal names, in recorded order (empty before first cycle)."""
+        return self._names or ()
+
+    @property
+    def snapshots(self) -> typing.List[typing.Tuple[int, ...]]:
+        """Raw per-cycle value tuples, ordered like :attr:`names`."""
+        return self._snapshots
+
+    @property
+    def values(self) -> typing.List[typing.Dict[str, int]]:
+        """Per-cycle ``{signal: value}`` dicts (lazily materialised)."""
+        cache = self._values_cache
+        snapshots = self._snapshots
+        if len(cache) > len(snapshots):
+            del cache[:]
+        if len(cache) < len(snapshots):
+            names = self._names or ()
+            cache.extend(dict(zip(names, snapshot))
+                         for snapshot in snapshots[len(cache):])
+        return cache
 
     def __len__(self) -> int:
         return len(self.cycles)
@@ -103,6 +163,11 @@ class Layer1PowerModel(CycleAccuratePowerInterface):
         self._old[self._INDEX["EB_ARdy"]] = 1
         self._new[self._INDEX["EB_ARdy"]] = 1
         self._current_tenure_id: typing.Optional[int] = None
+        # dirty-index tracking: each phase hook ORs in the bitmask of
+        # the indices it wrote, so end_of_cycle only diffs those
+        self._touched = 0
+        self._view = SignalValuesView(tuple(self._names),
+                                      dict(self._INDEX), self._new)
 
     @property
     def transition_counts(self) -> typing.Dict[str, int]:
@@ -132,12 +197,28 @@ class Layer1PowerModel(CycleAccuratePowerInterface):
     _WDATA = _INDEX["EB_WData"]; _WDRDY = _INDEX["EB_WDRdy"]
     _WBERR = _INDEX["EB_WBErr"]
 
+    # per-hook dirty masks (bit i set = value index i may have changed)
+    _ADDR_IDLE_MASK = ((1 << _AVALID) | (1 << _BFIRST) | (1 << _BLAST)
+                       | (1 << _ARDY))
+    _ADDR_ACTIVE_MASK = (_ADDR_IDLE_MASK | (1 << _A) | (1 << _INSTR)
+                         | (1 << _WRITE) | (1 << _BURST) | (1 << _BE))
+    _READ_IDLE_MASK = (1 << _RDVAL) | (1 << _RBERR)
+    _READ_ACTIVE_MASK = _READ_IDLE_MASK | (1 << _RDATA)
+    _WRITE_IDLE_MASK = (1 << _WDRDY) | (1 << _WBERR)
+    _WRITE_ACTIVE_MASK = _WRITE_IDLE_MASK | (1 << _WDATA)
+    _ALL_MASK = (1 << len(EC_SIGNALS)) - 1
+
+    #: mask -> ascending index tuple, shared across instances (at most
+    #: eight phase-hook combinations occur in practice)
+    _DIRTY_INDICES: typing.Dict[int, typing.Tuple[int, ...]] = {}
+
     def address_phase_idle(self) -> None:
         new = self._new
         new[self._AVALID] = 0
         new[self._BFIRST] = 0
         new[self._BLAST] = 0
         new[self._ARDY] = 1
+        self._touched |= self._ADDR_IDLE_MASK
         self._current_tenure_id = None
         # EB_A / EB_Instr / EB_Write / EB_Burst / EB_BE hold their values
 
@@ -156,11 +237,13 @@ class Layer1PowerModel(CycleAccuratePowerInterface):
         new[self._BFIRST] = int(first_cycle)
         new[self._BLAST] = int(completing)
         new[self._ARDY] = int(completing)
+        self._touched |= self._ADDR_ACTIVE_MASK
 
     def read_phase_idle(self) -> None:
         new = self._new
         new[self._RDVAL] = 0
         new[self._RBERR] = 0
+        self._touched |= self._READ_IDLE_MASK
         # EB_RData holds
 
     def read_phase_active(self, transaction: Transaction,
@@ -176,11 +259,13 @@ class Layer1PowerModel(CycleAccuratePowerInterface):
         else:  # WAIT
             new[self._RDVAL] = 0
             new[self._RBERR] = 0
+        self._touched |= self._READ_ACTIVE_MASK
 
     def write_phase_idle(self) -> None:
         new = self._new
         new[self._WDRDY] = 0
         new[self._WBERR] = 0
+        self._touched |= self._WRITE_IDLE_MASK
         # EB_WData holds
 
     def write_phase_active(self, transaction: Transaction, data: int,
@@ -189,34 +274,67 @@ class Layer1PowerModel(CycleAccuratePowerInterface):
         new[self._WDATA] = data
         new[self._WDRDY] = int(response.state is BusState.OK)
         new[self._WBERR] = int(response.state is BusState.ERROR)
+        self._touched |= self._WRITE_ACTIVE_MASK
 
     def end_of_cycle(self, cycle: int) -> None:
-        """Count transitions old -> new and book the cycle's energy."""
+        """Count transitions old -> new and book the cycle's energy.
+
+        The diff only visits the indices the phase hooks marked dirty
+        this cycle (anything untouched still equals its old value), the
+        popcount is ``int.bit_count``, and the cycle's energy is
+        accumulated locally and committed to the accumulator once.  The
+        per-signal accounting below runs in ascending index order with
+        one float addition per changed signal — the same operations in
+        the same order as the reference scan, so ``transition_counts``
+        and ``group_energy_pj`` stay bit-identical.
+        """
         energy = self.table.clock_energy_per_cycle_pj
         self.group_energy_pj[SignalGroup.CLOCK] += energy
         old = self._old
         new = self._new
+        touched = self._touched
+        self._touched = 0
         if old != new:
+            if touched == 0:
+                # values were poked outside the phase hooks: diff all
+                touched = self._ALL_MASK
+            indices = self._DIRTY_INDICES.get(touched)
+            if indices is None:
+                indices = self._DIRTY_INDICES[touched] = tuple(
+                    i for i in range(len(EC_SIGNALS))
+                    if (touched >> i) & 1)
             coeffs = self._coeffs
             counts = self._counts
             groups = self._groups
             group_energy = self.group_energy_pj
-            pop = popcount
-            for index, new_value in enumerate(new):
+            for index in indices:
+                new_value = new[index]
                 toggled = old[index] ^ new_value
                 if toggled:
-                    transitions = pop(toggled)
+                    transitions = toggled.bit_count()
                     counts[index] += transitions
                     signal_energy = transitions * coeffs[index]
                     energy += signal_energy
                     group_energy[groups[index]] += signal_energy
                     old[index] = new_value
+            if old != new:
+                # a poke outside the phase hooks slipped past the dirty
+                # mask: sweep the remaining indices (cold path)
+                for index, new_value in enumerate(new):
+                    toggled = old[index] ^ new_value
+                    if toggled:
+                        transitions = toggled.bit_count()
+                        counts[index] += transitions
+                        signal_energy = transitions * coeffs[index]
+                        energy += signal_energy
+                        group_energy[groups[index]] += signal_energy
+                        old[index] = new_value
         self._last_cycle_energy = energy
         self._acc.add(energy)
         if self._sinks:
-            values = dict(zip(self._names, new))
+            view = self._view
             for sink in self._sinks:
-                sink(cycle, values, energy)
+                sink(cycle, view, energy)
 
     # ------------------------------------------------------------------
     # PowerInterface

@@ -309,7 +309,7 @@ class RtlBus(EcBusBase):
                  | ((len(self._biu_queue) & 0x7) << 27))
         toggled = state ^ self._control_state
         if toggled:
-            self.control_register_toggles += bin(toggled).count("1")
+            self.control_register_toggles += toggled.bit_count()
             self._control_state = state
         self._values = new
 
