@@ -16,6 +16,9 @@ usable without writing Python:
                           recovery cost (cycles, energy) per bus layer
 ``tear``                  tear campaign: anti-tearing consistency and
                           recovery cost under whole-card power loss
+``dpm``                   dynamic power management campaign: adaptive
+                          policies vs always-on on starved supplies,
+                          plus the emergency-checkpoint study
 ``trace``                 run the §4.1 test program and dump its bus
                           trace
 ``bench``                 tracked performance benchmarks; writes
@@ -166,6 +169,32 @@ def _cmd_tear(args: argparse.Namespace) -> int:
     if result.governor and not result.governor_effective:
         return 1
     return 0
+
+
+def _cmd_dpm(args: argparse.Namespace) -> int:
+    from repro.experiments import run_dpm_campaign
+    if not _check_resume(args, "dpm"):
+        return 2
+    if (args.node_nm is None) != (args.vdd is None):
+        print("repro dpm: error: --node-nm and --vdd must be given "
+              "together", file=sys.stderr)
+        return 2
+    try:
+        result = run_dpm_campaign(
+            traces=args.traces, transactions=args.transactions,
+            seed=args.seed, policies=tuple(args.policies),
+            layers=tuple(args.layers), node_nm=args.node_nm,
+            vdd=args.vdd, emergency=not args.no_emergency,
+            journal_path=args.journal, resume=args.resume,
+            cell_wall_seconds=args.cell_wall_seconds,
+            workers=args.workers)
+    except ValueError as error:
+        print(f"repro dpm: error: {error}", file=sys.stderr)
+        return 2
+    print(result.format())
+    # an adaptive policy that cannot beat always-on, or an emergency
+    # checkpoint that does not recover verifiably, is a failed campaign
+    return 0 if result.passed else 1
 
 
 def _cmd_vcd(args: argparse.Namespace) -> int:
@@ -351,6 +380,43 @@ def build_parser() -> argparse.ArgumentParser:
     add_supervision(tear)
     add_workers(tear)
     tear.set_defaults(func=_cmd_tear)
+
+    dpm = sub.add_parser(
+        "dpm",
+        help="dynamic power management campaign: adaptive policies vs "
+             "always-on, plus the emergency-checkpoint study")
+    dpm.add_argument("--traces", type=int, default=3,
+                     help="seeded supply traces (harvest rates)")
+    dpm.add_argument("--transactions", type=int, default=8,
+                     help="journaled transactions in the workload")
+    dpm.add_argument("--policies", nargs="+",
+                     default=["always_on", "fixed_timeout",
+                              "history_predictive", "budget_aware"],
+                     choices=["always_on", "fixed_timeout",
+                              "history_predictive", "budget_aware"],
+                     help="DPM policies to run (always_on is the "
+                          "baseline the verdict compares against)")
+    dpm.add_argument("--layers", nargs="+",
+                     default=["layer1", "layer2"],
+                     choices=["layer1", "layer2"],
+                     help="bus models to run the grid on")
+    dpm.add_argument("--seed", default=2004,
+                     help="campaign seed (any int or string)")
+    dpm.add_argument("--node-nm", type=float, default=None,
+                     help="calibrate the characterisation table at "
+                          "this process node (with --vdd)")
+    dpm.add_argument("--vdd", type=float, default=None,
+                     help="calibrate the characterisation table at "
+                          "this supply voltage (with --node-nm)")
+    dpm.add_argument("--no-emergency", action="store_true",
+                     help="skip the emergency-checkpoint study")
+    dpm.add_argument("--cell-wall-seconds", type=float, default=None,
+                     help="wall-clock budget per sweep cell; a cell "
+                          "exceeding it degrades instead of hanging "
+                          "the campaign")
+    add_supervision(dpm)
+    add_workers(dpm)
+    dpm.set_defaults(func=_cmd_dpm)
 
     bench = sub.add_parser(
         "bench", help="tracked performance benchmarks "

@@ -42,6 +42,11 @@ class Transaction:
     data:
         For writes: the payload, one word per beat.  For reads: filled
         in by the slave as beats complete.
+    critical:
+        Marks work that load-shedding must not defer: a DPM issue gate
+        in degradation stage 1/2 passes critical transactions even for
+        non-critical clients (stage 3 — emergency checkpoint pending —
+        still stops everything).  Ignored by the bus models themselves.
     """
 
     kind: TransactionKind
@@ -49,6 +54,7 @@ class Transaction:
     burst_length: int = 1
     pattern: MergePattern = MergePattern.WORD
     data: typing.Optional[list] = None
+    critical: bool = False
     txn_id: int = dataclasses.field(default_factory=lambda: next(_ids))
 
     # progress bookkeeping (owned by the bus models)
@@ -162,6 +168,7 @@ class Transaction:
             pattern=self.pattern,
             data=(list(self.data)
                   if self.kind is TransactionKind.DATA_WRITE else None),
+            critical=self.critical,
         )
 
     def __repr__(self) -> str:

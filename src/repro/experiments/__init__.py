@@ -19,6 +19,8 @@ from .common import (RunResult, characterization, evaluation_script,
                      percent_error, run_on_layer, run_on_rtl,
                      test_program_trace)
 from .export import write_csv_reports
+from .dpm_campaign import (DpmCampaignResult, DpmCell, EmergencyCell,
+                           run_dpm_campaign)
 from .fault_campaign import (CampaignCell, FaultCampaignResult,
                              run_fault_campaign)
 from .figure6 import Figure6Result, run_figure6
@@ -40,6 +42,9 @@ __all__ = [
     "CellOutcome",
     "CheckpointJournal",
     "CoprocessorStudyResult",
+    "DpmCampaignResult",
+    "DpmCell",
+    "EmergencyCell",
     "FaultCampaignResult",
     "Figure6Result",
     "GovernorCell",
@@ -59,6 +64,7 @@ __all__ = [
     "run_bus_sweep",
     "run_casestudy",
     "run_coprocessor_study",
+    "run_dpm_campaign",
     "run_fault_campaign",
     "run_figure6",
     "run_on_layer",

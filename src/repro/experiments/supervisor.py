@@ -35,8 +35,11 @@ import concurrent.futures
 import dataclasses
 import functools
 import json
+import logging
 import os
 import typing
+
+_LOG = logging.getLogger(__name__)
 
 
 def cell_key(experiment: str, seed: typing.Union[int, str],
@@ -183,6 +186,10 @@ class CampaignSupervisor:
         self.cells_run = 0
         self.cells_resumed = 0
         self.cells_degraded = 0
+        #: worker count actually used by the last run_cells call (after
+        #: the 1-CPU serial fallback), recorded in the journal header
+        self.effective_workers: typing.Optional[int] = None
+        self._header_written = False
         self._journaled: typing.Dict[str, dict] = (
             self.journal.load() if (self.journal and resume) else {})
 
@@ -247,6 +254,17 @@ class CampaignSupervisor:
         """
         specs = [(dict(params), fn, tuple(args))
                  for params, fn, args in cells]
+        host_cpus = os.cpu_count() or 1
+        if workers > 1 and host_cpus == 1:
+            # BENCH_PR5: a process pool on a 1-CPU host is a 0.86x
+            # throughput *loss* — pay the warning, not the pool
+            _LOG.warning(
+                "supervisor[%s]: host has a single CPU; falling back "
+                "from %d workers to serial execution",
+                self.experiment, workers)
+            workers = 1
+        self.effective_workers = max(1, workers)
+        self._write_header(host_cpus)
         if workers <= 1:
             return [self.run_cell(params, functools.partial(fn, *args))
                     for params, fn, args in specs]
@@ -312,6 +330,25 @@ class CampaignSupervisor:
         finally:
             executor.shutdown()
         return typing.cast(typing.List[CellOutcome], outcomes)
+
+    def _write_header(self, host_cpus: int) -> None:
+        """Journal one header record per supervisor run, recording the
+        *effective* worker count (after any serial fallback).
+
+        The header carries no ``"key"`` field, so
+        :meth:`CheckpointJournal.load` skips it: resume and
+        byte-identity of the cell records are unaffected.
+        """
+        if self.journal is None or self._header_written:
+            return
+        self._header_written = True
+        self.journal.append({
+            "kind": "header",
+            "experiment": self.experiment,
+            "seed": self.seed,
+            "workers": self.effective_workers,
+            "host_cpus": host_cpus,
+        })
 
     def _checkpoint(self, outcome: CellOutcome) -> None:
         if self.journal is None:

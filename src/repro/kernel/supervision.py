@@ -171,6 +171,11 @@ class ProgressWatchdog:
 
     def check(self, simulator: "Simulator") -> None:
         """Raise :class:`StallError` if a budget expired without progress."""
+        if simulator.powered_off:
+            # a powered-off card is halted, not stalled: power_off() is
+            # a clean cooperative end of the run, and any budget that
+            # expires afterwards measured a dead simulator
+            return
         if not self._primed:
             self.reset(simulator)
             return

@@ -158,7 +158,14 @@ class CryptoCoprocessor(Peripheral):
         self.blocks_processed += 1
         self.book("block_done")
 
+    @property
+    def busy(self) -> bool:
+        """True while the engine is crypting or mastering DMA."""
+        return self._crypt_countdown > 0 or self.dma_active
+
     def tick(self) -> None:
+        if self._dpm_frozen():
+            return
         if self._crypt_countdown > 0:
             self.book("round_pair")
             self._crypt_countdown -= 1

@@ -106,6 +106,8 @@ class DmaController(Peripheral):
     # -- engine (ticked by the platform / a DmaDriver) ----------------------
 
     def tick(self) -> None:
+        if self._dpm_frozen():
+            return
         if self._state == "idle":
             return
         if self._state == "read":

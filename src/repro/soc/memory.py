@@ -92,6 +92,7 @@ class Eeprom(MemorySlave):
         self._busy_until = -1
         self._cycle_source: typing.Callable[[], int] = lambda: 0
         self.programming_operations = 0
+        self._psm = None
 
     def bind_cycle_source(self,
                           cycle_source: typing.Callable[[], int]) -> None:
@@ -103,12 +104,31 @@ class Eeprom(MemorySlave):
         """True while an internal programming operation is running."""
         return self._cycle_source() < self._busy_until
 
+    def attach_power_state_machine(self, psm) -> None:
+        """Manage the EEPROM with *psm*
+        (:class:`~repro.power.PowerStateMachine`); ``None`` detaches.
+
+        The EEPROM has no event ledger of its own — DPM overhead lands
+        in the PSM's ledger — but a gated/sleeping array pays its wake
+        latency as extra wait states on the access that wakes it,
+        stacking on top of any programming-busy window.
+        """
+        self._psm = psm
+
+    @property
+    def power_state_machine(self):
+        return self._psm
+
     @property
     def wait_states(self) -> WaitStates:
         base = self._base_waits
-        if not self.busy:
+        extra = 0
+        if self._psm is not None:
+            extra = self._psm.wake()
+        if self.busy:
+            extra += self.busy_extra_waits
+        if not extra:
             return base
-        extra = self.busy_extra_waits
         return WaitStates(address=base.address, read=base.read + extra,
                           write=base.write + extra)
 

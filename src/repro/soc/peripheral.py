@@ -34,20 +34,64 @@ class Peripheral(RegisterSlave):
                          access_rights, name)
         self.energy_pj = 0.0
         self.event_counts: typing.Dict[str, int] = {}
+        self._psm = None
+
+    def attach_power_state_machine(self, psm) -> None:
+        """Manage this peripheral with *psm*
+        (:class:`~repro.power.PowerStateMachine`); ``None`` detaches.
+
+        While attached, dynamic event energy is scaled by the current
+        state, the functional ``tick()`` freezes in CLOCK_GATED/SLEEP,
+        and a bus access arriving in those states wakes the device and
+        pays the state's wake latency as extra wait states.  With no
+        PSM attached every code path is bit-identical to the
+        unmanaged peripheral.
+        """
+        self._psm = psm
+
+    @property
+    def power_state_machine(self):
+        return self._psm
+
+    @property
+    def wait_states(self) -> WaitStates:
+        base = self._wait_states
+        if self._psm is None:
+            return base
+        extra = self._psm.wake()
+        if not extra:
+            return base
+        return WaitStates(address=base.address, read=base.read + extra,
+                          write=base.write + extra)
+
+    @wait_states.setter
+    def wait_states(self, value: WaitStates) -> None:
+        self._wait_states = value
+
+    def _dpm_frozen(self) -> bool:
+        """True while an attached PSM has stopped the functional clock
+        (the peripheral's ``tick()`` must not advance)."""
+        return self._psm is not None and not self._psm.clock_running
 
     def book(self, event: str, count: int = 1) -> None:
         """Charge *count* occurrences of *event* to the ledger."""
         cost = self.ENERGY_COSTS_PJ.get(event)
         if cost is None:
             raise KeyError(f"{self.name}: unknown energy event {event!r}")
+        if self._psm is not None:
+            cost = cost * self._psm.event_scale()
         self.energy_pj += cost * count
         self.event_counts[event] = self.event_counts.get(event, 0) + count
 
     def do_read(self, offset: int, byte_enables: int):
+        if self._psm is not None:
+            self._psm.notify_activity()
         self.book("register_read")
         return super().do_read(offset, byte_enables)
 
     def do_write(self, offset: int, byte_enables: int, data: int):
+        if self._psm is not None:
+            self._psm.notify_activity()
         self.book("register_write")
         return super().do_write(offset, byte_enables, data)
 

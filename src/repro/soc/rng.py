@@ -74,8 +74,13 @@ class TrueRandomNumberGenerator(Peripheral):
         self._harvest_remaining = HARVEST_CYCLES
         return word
 
+    @property
+    def busy(self) -> bool:
+        """True while a harvest is still filling the entropy word."""
+        return self.enabled and self._harvest_remaining > 0
+
     def tick(self) -> None:
-        if not self.enabled:
+        if not self.enabled or self._dpm_frozen():
             return
         self._advance_lfsr()
         self.book("harvest_cycle")

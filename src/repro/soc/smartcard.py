@@ -159,3 +159,38 @@ class SmartCardPlatform(Module):
         """Summed peripheral-ledger energy (the future-work extension)."""
         return (self.uart.energy_pj + self.timers.energy_pj
                 + self.rng.energy_pj + self.intc.energy_pj)
+
+    # -- dynamic power management -------------------------------------------
+
+    def energy_ledgers(self) -> typing.List[typing.Any]:
+        """The platform's ``energy_pj`` ledgers, for a
+        :class:`~repro.power.CardPowerModel` composite."""
+        return [self.uart, self.timers, self.rng, self.intc]
+
+    def attach_dpm(self, governor, profiles: typing.Optional[
+            typing.Mapping] = None) -> typing.Dict[str, object]:
+        """Give every DPM-capable peripheral a power state machine and
+        register it with *governor* (:class:`~repro.power.DpmGovernor`).
+
+        Returns the created PSMs by peripheral name.  The timers are
+        registered *critical*: a running timer is busy by definition
+        (gating it would lose time), and stage-2 degradation must not
+        force it to sleep.  *profiles* optionally overrides the
+        per-state :class:`~repro.power.StateProfile` numbers for every
+        created PSM.
+        """
+        from repro.power import PowerStateMachine  # late: avoid cycles
+
+        specs = (
+            ("uart", self.uart, lambda: self.uart.busy, False),
+            ("timers", self.timers, lambda: self.timers.busy, True),
+            ("trng", self.rng, lambda: self.rng.busy, False),
+            ("eeprom", self.eeprom, lambda: self.eeprom.busy, False),
+        )
+        psms: typing.Dict[str, object] = {}
+        for name, peripheral, busy, critical in specs:
+            psm = PowerStateMachine(name=name, profiles=profiles)
+            peripheral.attach_power_state_machine(psm)
+            governor.register(psm, busy, critical=critical)
+            psms[name] = psm
+        return psms

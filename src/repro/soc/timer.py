@@ -58,7 +58,16 @@ class TimerUnit(Peripheral):
 
     # -- behaviour over time ------------------------------------------------
 
+    @property
+    def busy(self) -> bool:
+        """True while any counter is enabled — gating an enabled timer
+        would lose time, so DPM treats running timers as busy."""
+        return any(self.registers[self._reg(t, CTRL)] & CTRL_ENABLE
+                   for t in range(NUM_TIMERS))
+
     def tick(self) -> None:
+        if self._dpm_frozen():
+            return
         for timer in range(NUM_TIMERS):
             ctrl = self.registers[self._reg(timer, CTRL)]
             if not ctrl & CTRL_ENABLE:

@@ -85,8 +85,13 @@ class Uart(Peripheral):
     def enabled(self) -> bool:
         return bool(self.registers[CTRL] & CTRL_ENABLE)
 
+    @property
+    def busy(self) -> bool:
+        """True while bytes are queued for transmission."""
+        return bool(self.tx_fifo)
+
     def tick(self) -> None:
-        if not self.enabled:
+        if not self.enabled or self._dpm_frozen():
             return
         self.book("idle_cycle")
         if self.tx_fifo:

@@ -6,6 +6,7 @@ identical resume behaviour versus a serial run.  Worker failures must
 degrade only their own cell, exactly as the serial retry path does.
 """
 
+import json
 import os
 
 import pytest
@@ -20,6 +21,21 @@ from repro.experiments.tear_campaign import run_tear_campaign
 def _read(path):
     with open(path, "rb") as handle:
         return handle.read()
+
+
+def _split_journal(path):
+    """(header_records, cell_lines): headers carry the worker count and
+    differ between serial and parallel runs by design; cell lines must
+    stay byte-identical."""
+    headers, cells = [], []
+    with open(path, "rb") as handle:
+        for line in handle:
+            record = json.loads(line)
+            if record.get("kind") == "header":
+                headers.append(record)
+            else:
+                cells.append(line)
+    return headers, cells
 
 
 class TestFaultCampaignParallel:
@@ -40,7 +56,15 @@ class TestFaultCampaignParallel:
 
     def test_journals_byte_identical(self, runs):
         _, _, serial_journal, parallel_journal = runs
-        assert _read(serial_journal) == _read(parallel_journal)
+        serial_headers, serial_cells = _split_journal(serial_journal)
+        parallel_headers, parallel_cells = _split_journal(
+            parallel_journal)
+        assert serial_cells == parallel_cells
+        assert [h["workers"] for h in serial_headers] == [1]
+        # on a 1-CPU host the pool falls back to serial and the header
+        # must record that effective count
+        expected = 4 if (os.cpu_count() or 1) > 1 else 1
+        assert [h["workers"] for h in parallel_headers] == [expected]
 
     def test_reports_identical(self, runs):
         serial, parallel, _, _ = runs
@@ -66,7 +90,9 @@ class TestTearCampaignParallel:
         parallel = run_tear_campaign(
             points=3, transactions=4, layers=("layer1",),
             journal_path=parallel_journal, workers=4)
-        assert _read(serial_journal) == _read(parallel_journal)
+        _, serial_cells = _split_journal(serial_journal)
+        _, parallel_cells = _split_journal(parallel_journal)
+        assert serial_cells == parallel_cells
         assert serial.format() == parallel.format()
         assert serial.cells == parallel.cells
         assert serial.governor == parallel.governor

@@ -3,6 +3,7 @@ masters diagnosed on every bus model, and campaign checkpoint/resume
 producing byte-identical results."""
 
 import dataclasses
+import json
 import random
 
 import pytest
@@ -205,7 +206,10 @@ class TestCampaignResume:
         with pytest.raises(KeyboardInterrupt):
             run_fault_campaign(journal_path=path, **CAMPAIGN_KW)
         monkeypatch.setattr(fc, "_run_cell", original)
-        assert len(path.read_text().splitlines()) == 2
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert [r.get("kind") for r in lines[:1]] == ["header"]
+        assert len([r for r in lines if "key" in r]) == 2
 
         resumed = run_fault_campaign(journal_path=path, resume=True,
                                      **CAMPAIGN_KW)

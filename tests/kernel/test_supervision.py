@@ -223,6 +223,27 @@ class TestProgressWatchdog:
         with pytest.raises(ValueError):
             ProgressWatchdog(wall_seconds=-1.0)
 
+    def test_no_stall_after_clean_power_off(self, sim):
+        # a card leaving the field stops making progress by design;
+        # expiring budgets must not be reported as a stall afterwards
+        import time
+
+        Clock(sim, "clk", period=10)
+        watchdog = ProgressWatchdog(progress=lambda: 0, stall_time=50,
+                                    wall_seconds=0.01)
+        sim.attach_watchdog(watchdog)
+
+        def killer():
+            yield 30
+            sim.power_off("field removed")
+
+        ThreadProcess(sim, killer, "killer")
+        sim.run(40)
+        assert sim.powered_off
+        time.sleep(0.02)  # the wall budget is now long expired
+        watchdog.check(sim)  # must not raise
+        assert sim.run(10_000) == 0  # powered-off runs are free
+
 
 class TestDiagnosticFormatting:
     def test_blocked_waiter_str(self):

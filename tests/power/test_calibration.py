@@ -1,0 +1,112 @@
+"""Unit tests for technology calibration (repro.power.calibration)."""
+
+import pytest
+
+from repro.power import (TechnologyPoint, TechnologyTable, default_table,
+                         default_technology_table)
+
+
+def square_grid():
+    return TechnologyTable([
+        TechnologyPoint(100.0, 1.0, 1.0),
+        TechnologyPoint(100.0, 2.0, 4.0),
+        TechnologyPoint(200.0, 1.0, 2.0),
+        TechnologyPoint(200.0, 2.0, 8.0),
+    ], reference_node_nm=200.0, reference_vdd=1.0)
+
+
+class TestTechnologyTable:
+    def test_grid_points_returned_exactly(self):
+        table = square_grid()
+        assert table.scale_factor(100.0, 1.0) == pytest.approx(1.0)
+        assert table.scale_factor(200.0, 2.0) == pytest.approx(8.0)
+
+    def test_node_axis_interpolates_linearly(self):
+        table = square_grid()
+        assert table.scale_factor(150.0, 1.0) == pytest.approx(1.5)
+
+    def test_vdd_axis_interpolates_in_vdd_squared(self):
+        table = square_grid()
+        # at node 100 the grid is exactly vdd^2: interpolating on the
+        # squared axis reproduces it at every intermediate voltage
+        assert table.scale_factor(100.0, 1.5) == pytest.approx(2.25)
+        # a linear-in-vdd blend would give (1+4)/2 = 2.5 instead
+
+    def test_clamps_outside_the_grid(self):
+        table = square_grid()
+        assert table.scale_factor(50.0, 1.0) == pytest.approx(1.0)
+        assert table.scale_factor(400.0, 1.0) == pytest.approx(2.0)
+        assert table.scale_factor(100.0, 0.5) == pytest.approx(1.0)
+        assert table.scale_factor(100.0, 9.0) == pytest.approx(4.0)
+
+    def test_rejects_non_rectangular_grid(self):
+        with pytest.raises(ValueError):
+            TechnologyTable([
+                TechnologyPoint(100.0, 1.0, 1.0),
+                TechnologyPoint(200.0, 2.0, 8.0),
+            ], reference_node_nm=100.0, reference_vdd=1.0)
+
+    def test_rejects_empty_grid_and_bad_points(self):
+        with pytest.raises(ValueError):
+            TechnologyTable([], reference_node_nm=1.0, reference_vdd=1.0)
+        with pytest.raises(ValueError):
+            TechnologyPoint(-100.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            TechnologyPoint(100.0, 1.0, 0.0)
+
+    def test_rejects_nonpositive_lookup(self):
+        with pytest.raises(ValueError):
+            square_grid().scale_factor(0.0, 1.0)
+        with pytest.raises(ValueError):
+            square_grid().scale_factor(100.0, -1.0)
+
+    def test_corners_enumerates_the_grid(self):
+        corners = square_grid().corners()
+        assert len(corners) == 4
+        assert corners[0] == TechnologyPoint(100.0, 1.0, 1.0)
+        assert corners[-1] == TechnologyPoint(200.0, 2.0, 8.0)
+
+
+class TestCalibrate:
+    def test_scales_every_coefficient_and_tags_source(self):
+        tech = square_grid()
+        base = default_table()
+        calibrated = tech.calibrate(base, 100.0, 1.0)
+        assert calibrated.clock_energy_per_cycle_pj == pytest.approx(
+            base.clock_energy_per_cycle_pj * 1.0)
+        recal = tech.calibrate(base, 200.0, 2.0)
+        assert recal.clock_energy_per_cycle_pj == pytest.approx(
+            base.clock_energy_per_cycle_pj * 8.0)
+        assert "@ 200 nm / 2 V (x8.000)" in recal.source
+        assert base.source in recal.source
+
+    def test_original_table_untouched(self):
+        tech = square_grid()
+        base = default_table()
+        before = base.clock_energy_per_cycle_pj
+        tech.calibrate(base, 200.0, 2.0)
+        assert base.clock_energy_per_cycle_pj == before
+        assert "@" not in base.source
+
+
+class TestDefaultTechnologyTable:
+    def test_reference_point_is_unity_scale(self):
+        tech = default_technology_table()
+        assert tech.scale_factor(
+            tech.reference_node_nm, tech.reference_vdd) == pytest.approx(
+                1.0, abs=1e-3)
+
+    def test_grid_is_rectangular_and_ordered(self):
+        tech = default_technology_table()
+        assert tech.nodes == [130.0, 180.0, 250.0, 350.0]
+        assert tech.vdds == [1.8, 3.3, 5.0]
+        assert len(tech.corners()) == 12
+
+    def test_smaller_node_and_voltage_save_energy(self):
+        tech = default_technology_table()
+        low = tech.scale_factor(130.0, 1.8)
+        ref = tech.scale_factor(250.0, 3.3)
+        high = tech.scale_factor(350.0, 5.0)
+        assert low < ref < high
+        # first-order CMOS: 130nm/1.8V is several times cheaper
+        assert low < 0.3

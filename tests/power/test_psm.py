@@ -1,0 +1,186 @@
+"""Unit tests for the power state machine layer (repro.power.psm)."""
+
+import pytest
+
+from repro.power import (CardPowerModel, DEFAULT_STATE_PROFILES,
+                         Layer1PowerModel, PowerState, PowerStateMachine,
+                         StateProfile, default_table)
+
+
+class TestStateProfile:
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            StateProfile(event_scale=-0.1)
+        with pytest.raises(ValueError):
+            StateProfile(cycle_cost_pj=-1.0)
+        with pytest.raises(ValueError):
+            StateProfile(entry_pj=-1.0)
+        with pytest.raises(ValueError):
+            StateProfile(wake_cycles=-1)
+
+    def test_default_profiles_cover_every_state(self):
+        assert set(DEFAULT_STATE_PROFILES) == set(PowerState)
+
+    def test_default_profiles_deepen_monotonically(self):
+        # deeper states spend less per event but more per transition
+        scales = [DEFAULT_STATE_PROFILES[s].event_scale
+                  for s in PowerState]
+        assert scales == sorted(scales, reverse=True)
+        exits = [DEFAULT_STATE_PROFILES[s].exit_pj for s in PowerState]
+        assert exits == sorted(exits)
+
+
+class TestPowerStateMachine:
+    def test_starts_active_with_empty_ledger(self):
+        psm = PowerStateMachine("uart")
+        assert psm.state is PowerState.ACTIVE
+        assert psm.energy_pj == 0.0
+        assert psm.clock_running
+        assert psm.event_scale() == 1.0
+
+    def test_profile_overrides_merge_over_defaults(self):
+        custom = StateProfile(event_scale=0.0, cycle_cost_pj=0.5)
+        psm = PowerStateMachine("x", profiles={
+            PowerState.CLOCK_GATED: custom})
+        assert psm.profiles[PowerState.CLOCK_GATED] is custom
+        assert psm.profiles[PowerState.SLEEP] is \
+            DEFAULT_STATE_PROFILES[PowerState.SLEEP]
+
+    def test_request_only_deepens(self):
+        psm = PowerStateMachine()
+        assert psm.request(PowerState.CLOCK_GATED)
+        assert psm.state is PowerState.CLOCK_GATED
+        # same or shallower: ignored
+        assert not psm.request(PowerState.CLOCK_GATED)
+        assert not psm.request(PowerState.IDLE)
+        assert psm.state is PowerState.CLOCK_GATED
+
+    def test_request_books_entry_energy(self):
+        psm = PowerStateMachine()
+        psm.request(PowerState.SLEEP)
+        entry = DEFAULT_STATE_PROFILES[PowerState.SLEEP].entry_pj
+        assert psm.energy_pj == pytest.approx(entry)
+        assert psm.transition_energy_pj == pytest.approx(entry)
+        assert psm.residency_energy_pj == 0.0
+
+    def test_wake_books_exit_energy_and_returns_latency(self):
+        psm = PowerStateMachine()
+        psm.request(PowerState.SLEEP)
+        profile = DEFAULT_STATE_PROFILES[PowerState.SLEEP]
+        latency = psm.wake()
+        assert latency == profile.wake_cycles
+        assert psm.state is PowerState.ACTIVE
+        assert psm.energy_pj == pytest.approx(
+            profile.entry_pj + profile.exit_pj)
+        assert psm.wakes == 1
+
+    def test_wake_from_active_is_free(self):
+        psm = PowerStateMachine()
+        assert psm.wake() == 0
+        assert psm.energy_pj == 0.0
+        assert psm.wakes == 0
+
+    def test_tick_books_residency_cost_and_counts(self):
+        psm = PowerStateMachine()
+        psm.request(PowerState.CLOCK_GATED)
+        for _ in range(10):
+            psm.tick(busy=False)
+        cost = DEFAULT_STATE_PROFILES[PowerState.CLOCK_GATED].cycle_cost_pj
+        assert psm.residency_energy_pj == pytest.approx(10 * cost)
+        assert psm.residency_cycles[PowerState.CLOCK_GATED] == 10
+        assert psm.idle_cycles == 10
+
+    def test_busy_tick_wakes_and_resets_idle_counter(self):
+        psm = PowerStateMachine()
+        for _ in range(5):
+            psm.tick(busy=False)
+        psm.request(PowerState.CLOCK_GATED)
+        psm.tick(busy=True)
+        assert psm.state is PowerState.ACTIVE
+        assert psm.idle_cycles == 0
+
+    def test_idle_history_recorded_on_wake_and_bounded(self):
+        psm = PowerStateMachine()
+        for period in range(1, 25):
+            for _ in range(period):
+                psm.tick(busy=False)
+            psm.request(PowerState.CLOCK_GATED)
+            psm.wake()
+        assert len(psm.idle_history) == 16
+        # keeps the most recent periods (9..24 after 24 wakes)
+        assert psm.idle_history[-1] == 24
+        assert psm.mean_idle_period() == pytest.approx(
+            sum(range(9, 25)) / 16)
+
+    def test_mean_idle_period_none_without_history(self):
+        assert PowerStateMachine().mean_idle_period() is None
+
+    def test_forced_requests_counted(self):
+        psm = PowerStateMachine()
+        psm.request(PowerState.SLEEP, forced=True)
+        assert psm.forced_sleeps == 1
+        psm.wake()
+        psm.request(PowerState.IDLE)
+        assert psm.forced_sleeps == 1
+
+    def test_clock_stops_in_gated_and_sleep(self):
+        psm = PowerStateMachine()
+        psm.request(PowerState.IDLE)
+        assert psm.clock_running
+        psm.request(PowerState.CLOCK_GATED)
+        assert not psm.clock_running
+        assert psm.event_scale() == 0.0
+
+    def test_transition_counts_track_edges(self):
+        psm = PowerStateMachine()
+        psm.request(PowerState.CLOCK_GATED)
+        psm.wake()
+        psm.request(PowerState.CLOCK_GATED)
+        key = (PowerState.ACTIVE, PowerState.CLOCK_GATED)
+        assert psm.transition_counts[key] == 2
+        assert psm.transition_counts[
+            (PowerState.CLOCK_GATED, PowerState.ACTIVE)] == 1
+
+
+class TestCardPowerModel:
+    def test_sums_bus_model_and_ledgers(self):
+        bus = Layer1PowerModel(default_table())
+        psm = PowerStateMachine()
+        psm.request(PowerState.SLEEP)
+        composite = CardPowerModel(bus, ledgers=[psm])
+        assert composite.total_energy_pj == pytest.approx(
+            bus.total_energy_pj + psm.energy_pj)
+
+    def test_energy_since_last_call_is_a_delta(self):
+        psm = PowerStateMachine()
+        composite = CardPowerModel(None, ledgers=[psm])
+        assert composite.energy_since_last_call_pj() == 0.0
+        psm.request(PowerState.SLEEP)
+        entry = DEFAULT_STATE_PROFILES[PowerState.SLEEP].entry_pj
+        assert composite.energy_since_last_call_pj() == pytest.approx(entry)
+        assert composite.energy_since_last_call_pj() == 0.0
+
+    def test_add_ledger_is_idempotent(self):
+        psm = PowerStateMachine()
+        composite = CardPowerModel(None)
+        composite.add_ledger(psm)
+        composite.add_ledger(psm)
+        assert composite.ledgers == [psm]
+
+    def test_account_cycles_exposed_only_with_bus_hook(self):
+        without = CardPowerModel(Layer1PowerModel(default_table()))
+        assert not hasattr(without, "account_cycles")
+
+        class Layer2Like:
+            total_energy_pj = 0.0
+
+            def energy_since_last_call_pj(self):
+                return 0.0
+
+            def account_cycles(self, cycles):
+                self.cycles = cycles
+
+        bus = Layer2Like()
+        composite = CardPowerModel(bus)
+        composite.account_cycles(7)
+        assert bus.cycles == 7

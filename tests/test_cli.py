@@ -17,7 +17,7 @@ class TestParser:
     @pytest.mark.parametrize("command", [
         "report", "table1", "table2", "table3", "figure6", "casestudy",
         "coprocessor", "characterize", "trace", "vcd", "sweep",
-        "robustness", "faults"])
+        "robustness", "faults", "dpm"])
     def test_commands_parse(self, command):
         args = build_parser().parse_args([command])
         assert args.command == command
@@ -63,6 +63,24 @@ class TestCommands:
 
     def test_tear_resume_requires_journal(self, capsys):
         assert main(["tear", "--resume"]) == 2
+
+    def test_dpm_small_campaign(self, capsys):
+        assert main(["dpm", "--traces", "1", "--transactions", "6",
+                     "--layers", "layer1",
+                     "--policies", "always_on", "fixed_timeout"]) == 0
+        out = capsys.readouterr().out
+        assert "DPM campaign" in out
+        assert "beats baseline" in out
+        assert "adaptive DPM effective, emergency recovery verified" \
+            in out
+
+    def test_dpm_rejects_bad_parameters(self, capsys):
+        assert main(["dpm", "--traces", "0"]) == 2
+        assert main(["dpm", "--resume"]) == 2
+
+    def test_dpm_node_and_vdd_must_pair(self, capsys):
+        assert main(["dpm", "--node-nm", "180"]) == 2
+        assert main(["dpm", "--vdd", "1.8"]) == 2
 
     def test_faults_small_campaign(self, capsys):
         assert main(["faults", "--rates", "0", "0.05",
