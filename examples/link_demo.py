@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""T=1 link layer demo: framed APDUs over the UART, then over a
+noisy wire.
+
+Three acts:
+
+1. one frame, by hand — encode an I-block, corrupt a byte, watch the
+   incremental decoder reject it on the LRC;
+2. a clean session — six APDU commands framed, clocked byte-by-byte
+   through the modelled UART, executed by the card endpoint as real
+   bus scripts; zero retransmissions, books balanced;
+3. the same session on a hostile wire — a seeded 3% noisy channel
+   drops, flips and truncates bytes; the host repairs the damage with
+   R-blocks, CWT/BWT timeouts and (if pressed) the RESYNC -> IFS ->
+   ABORT ladder, and every picojoule of recovery is attributed.
+
+Run:  python examples/link_demo.py
+"""
+
+from repro.experiments.common import characterization
+from repro.link import (FrameDecoder, NoisyChannel, encode, i_block,
+                        run_link_session)
+from repro.power import CardPowerModel, Layer1PowerModel
+from repro.soc import SmartCardPlatform
+
+COMMANDS = ("select", "read_record", "verify_pin", "challenge",
+            "internal_auth", "update_record")
+SEED = "link-demo"
+
+
+def show_frame_codec() -> None:
+    print("=== one T=1 frame, by hand ===")
+    block = i_block(0, [0x00, 0xA4, 0x04, 0x00], more=False)
+    wire = encode(block)
+    print(f"  I-block seq=0 carrying a SELECT header -> wire bytes "
+          f"{' '.join(f'{b:02X}' for b in wire)}")
+    decoder = FrameDecoder()
+    result = [decoder.feed(b) for b in wire][-1]
+    print(f"  decoded: {result.block!r}")
+    wire[3] ^= 0x20                     # corrupt one INF byte
+    result = [decoder.feed(b) for b in wire][-1]
+    print(f"  same frame with one flipped bit -> rejected: "
+          f"error={result.error!r}")
+    print()
+
+
+def build_platform():
+    model = Layer1PowerModel(characterization().table)
+    platform = SmartCardPlatform(bus_layer=1, power_model=model)
+    composite = CardPowerModel(model,
+                               ledgers=platform.energy_ledgers())
+    return platform, (lambda: composite.total_energy_pj)
+
+
+def describe(label, report) -> None:
+    print(f"  {label}: {report.outcome}, "
+          f"{report.commands_completed}/{report.commands_total} "
+          f"commands, {report.frames_sent}+{report.frames_received} "
+          f"frames, {report.session_retries} retries")
+    print(f"    energy {report.total_energy_pj / 1e3:.2f} nJ = clean "
+          f"{report.clean_energy_pj / 1e3:.2f}"
+          + "".join(f" + {kind} {pj / 1e3:.2f}"
+                    for kind, pj in report.recovery_energy_pj.items())
+          + f"  (residual {report.unaccounted_pj:.2e} pJ)")
+
+
+def main() -> None:
+    show_frame_codec()
+
+    print("=== clean wire ===")
+    platform, probe = build_platform()
+    clean = run_link_session(platform, COMMANDS, seed=SEED,
+                             energy_probe=probe)
+    describe("clean", clean)
+    assert clean.outcome == "complete" and clean.session_retries == 0
+    print()
+
+    print("=== 3% noisy wire, same commands, same seed ===")
+    platform, probe = build_platform()
+    channel = NoisyChannel(0.03, seed=f"{SEED}/chan")
+    noisy = run_link_session(platform, COMMANDS, seed=SEED,
+                             channel=channel, energy_probe=probe)
+    describe("noisy", noisy)
+    stats = channel.stats()
+    print(f"    channel: {stats['bytes']} bytes crossed, "
+          + ", ".join(f"{k} {v}" for k, v in stats.items()
+                      if k != "bytes" and v))
+    print(f"    cwt timeouts {noisy.cwt_timeouts}, bwt timeouts "
+          f"{noisy.bwt_timeouts}, resyncs {noisy.resyncs}, "
+          f"aborts {noisy.aborts}")
+    assert noisy.clean_close, "session must close with balanced books"
+    overhead = noisy.total_energy_pj - clean.total_energy_pj
+    print(f"\n  noise tax: {overhead / 1e3:.2f} nJ extra "
+          f"({overhead / clean.total_energy_pj:.0%} of the clean "
+          f"session), all of it attributed")
+    print("all link demo checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -19,6 +19,9 @@ usable without writing Python:
 ``dpm``                   dynamic power management campaign: adaptive
                           policies vs always-on on starved supplies,
                           plus the emergency-checkpoint study
+``link``                  T=1 link campaign: framed APDU sessions over
+                          a noisy UART channel — bounded retransmission
+                          and energy-attributed recovery per bus layer
 ``trace``                 run the §4.1 test program and dump its bus
                           trace
 ``bench``                 tracked performance benchmarks; writes
@@ -194,6 +197,27 @@ def _cmd_dpm(args: argparse.Namespace) -> int:
     print(result.format())
     # an adaptive policy that cannot beat always-on, or an emergency
     # checkpoint that does not recover verifiably, is a failed campaign
+    return 0 if result.passed else 1
+
+
+def _cmd_link(args: argparse.Namespace) -> int:
+    from repro.experiments import run_link_campaign
+    if not _check_resume(args, "link"):
+        return 2
+    try:
+        result = run_link_campaign(
+            noise_rates=tuple(args.noise), layers=tuple(args.layers),
+            dpm_modes=tuple(args.dpm), sessions=args.sessions,
+            commands=args.commands, seed=args.seed,
+            journal_path=args.journal, resume=args.resume,
+            cell_wall_seconds=args.cell_wall_seconds,
+            workers=args.workers)
+    except ValueError as error:
+        print(f"repro link: error: {error}", file=sys.stderr)
+        return 2
+    print(result.format())
+    # a session that hangs, leaks energy, or blows its retry budget —
+    # or a clean baseline that still retransmits — is a failed campaign
     return 0 if result.passed else 1
 
 
@@ -417,6 +441,37 @@ def build_parser() -> argparse.ArgumentParser:
     add_supervision(dpm)
     add_workers(dpm)
     dpm.set_defaults(func=_cmd_dpm)
+
+    link = sub.add_parser(
+        "link",
+        help="T=1 link campaign: noisy-channel APDU transport with "
+             "bounded retransmission and energy-attributed recovery")
+    link.add_argument("--noise", type=float, nargs="+",
+                      default=[0.0, 0.01, 0.03],
+                      help="per-byte corruption rates (0 is the "
+                           "baseline that must stay retransmission-"
+                           "free)")
+    link.add_argument("--layers", nargs="+",
+                      default=["layer1", "layer2"],
+                      choices=["layer1", "layer2"],
+                      help="bus models to price recovery energy on")
+    link.add_argument("--dpm", nargs="+", default=["off", "on"],
+                      choices=["off", "on"],
+                      help="run with/without the DPM power stack (a "
+                           "clock-gated receiver loses wire bytes)")
+    link.add_argument("--sessions", type=int, default=4,
+                      help="T=1 sessions per grid cell")
+    link.add_argument("--commands", type=int, default=6,
+                      help="APDU commands per session")
+    link.add_argument("--seed", default=2004,
+                      help="campaign seed (any int or string)")
+    link.add_argument("--cell-wall-seconds", type=float, default=None,
+                      help="wall-clock budget per sweep cell; a cell "
+                           "exceeding it degrades instead of hanging "
+                           "the campaign")
+    add_supervision(link)
+    add_workers(link, what="grid cells")
+    link.set_defaults(func=_cmd_link)
 
     bench = sub.add_parser(
         "bench", help="tracked performance benchmarks "

@@ -24,6 +24,8 @@ from .dpm_campaign import (DpmCampaignResult, DpmCell, EmergencyCell,
 from .fault_campaign import (CampaignCell, FaultCampaignResult,
                              run_fault_campaign)
 from .figure6 import Figure6Result, run_figure6
+from .link_campaign import (LinkCampaignResult, LinkCell,
+                            run_link_campaign)
 from .report import full_report
 from .robustness import RobustnessResult, run_robustness
 from .supervisor import (CampaignSupervisor, CellOutcome,
@@ -48,6 +50,8 @@ __all__ = [
     "FaultCampaignResult",
     "Figure6Result",
     "GovernorCell",
+    "LinkCampaignResult",
+    "LinkCell",
     "RobustnessResult",
     "RunResult",
     "Table1Result",
@@ -67,6 +71,7 @@ __all__ = [
     "run_dpm_campaign",
     "run_fault_campaign",
     "run_figure6",
+    "run_link_campaign",
     "run_on_layer",
     "run_on_rtl",
     "run_robustness",

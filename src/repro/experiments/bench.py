@@ -14,6 +14,10 @@ diffed and CI can gate on a floor:
   generic.  End-to-end the kernel is only part of the work (bus
   engines, power accounting), so these speedups are smaller; they are
   reported, not gated.
+* **link throughput** — T=1 sessions/second over the modelled UART on
+  layer 1, clean wire vs a 1% noisy channel.  The gap prices what the
+  retransmission machinery costs in simulation speed; reported, not
+  gated.
 * **campaign throughput** — supervisor cells/second of a small fault
   campaign, serial vs process-parallel (``workers``).
 
@@ -148,6 +152,48 @@ def bench_layers(transactions: int) -> typing.List[dict]:
 
 
 # ----------------------------------------------------------------------
+# T=1 link layer: sessions/second, clean wire vs noisy wire
+# ----------------------------------------------------------------------
+
+def _link_sessions_per_s(sessions: int, commands: int,
+                         noise: float) -> typing.Tuple[float, int]:
+    """(sessions/s, total retries) of T=1 sessions at *noise*."""
+    from repro.link import NoisyChannel, run_link_session
+    from repro.soc import SmartCardPlatform
+    table = characterization().table
+    retries = 0
+    started = time.perf_counter()
+    for index in range(sessions):
+        seed = f"bench-link/{noise}/{index}"
+        channel = (NoisyChannel(noise, seed=f"{seed}/chan")
+                   if noise > 0.0 else None)
+        platform = SmartCardPlatform(
+            bus_layer=1, power_model=Layer1PowerModel(table))
+        report = run_link_session(
+            platform, ("select", "read_record", "internal_auth"),
+            seed=seed, channel=channel)
+        if not report.clean_close:
+            raise RuntimeError(
+                f"link bench session {index} at noise {noise} did not "
+                f"close cleanly ({report.outcome})")
+        retries += report.session_retries
+    wall = time.perf_counter() - started
+    return sessions / wall, retries
+
+
+def bench_link(sessions: int) -> typing.List[dict]:
+    rows = []
+    for noise in (0.0, 0.01):
+        config = {"workload": "t1_link", "sessions": sessions,
+                  "commands": 3, "layer": 1, "noise": noise}
+        rate, retries = _link_sessions_per_s(sessions, 3, noise)
+        label = "clean" if noise == 0.0 else "noisy"
+        rows.append(_row(f"link_sessions_per_s_{label}", rate,
+                         "sessions/s", dict(config, retries=retries)))
+    return rows
+
+
+# ----------------------------------------------------------------------
 # campaign sharding: supervisor cells/second
 # ----------------------------------------------------------------------
 
@@ -194,8 +240,10 @@ def run_bench(quick: bool = False, workers: int = 2,
     smoke runs without changing the metrics reported."""
     kernel_cycles = 20_000 if quick else 100_000
     transactions = 300 if quick else 2_000
+    link_sessions = 2 if quick else 6
     rows = bench_kernel(kernel_cycles)
     rows.extend(bench_layers(transactions))
+    rows.extend(bench_link(link_sessions))
     if campaign:
         rows.extend(bench_campaign(workers, quick))
     return rows

@@ -1,0 +1,42 @@
+"""ISO 7816-3 T=1 link layer over the modelled UART.
+
+Framed APDU transport between a reader-side :class:`T1Host` and a
+card-side :class:`T1CardEndpoint`, with a seeded :class:`NoisyChannel`
+fault injector, CWT/BWT timeouts on the kernel clock, bounded
+R-block retransmission, a RESYNC → IFS → ABORT degradation ladder,
+and per-session energy attribution in :class:`LinkReport`.
+"""
+
+from .channel import NoisyChannel
+from .endpoint import T1CardEndpoint
+from .frame import (Block, DecodeResult, FrameDecoder, MAX_INF, R_EDC,
+                    R_OK, R_OTHER, S_ABORT, S_IFS, S_RESYNC, S_WTX,
+                    encode, i_block, lrc, r_block, s_block)
+from .host import LinkParams, T1Host
+from .report import LinkReport
+from .session import run_link_session
+
+__all__ = [
+    "Block",
+    "DecodeResult",
+    "FrameDecoder",
+    "LinkParams",
+    "LinkReport",
+    "MAX_INF",
+    "NoisyChannel",
+    "R_EDC",
+    "R_OK",
+    "R_OTHER",
+    "S_ABORT",
+    "S_IFS",
+    "S_RESYNC",
+    "S_WTX",
+    "T1CardEndpoint",
+    "T1Host",
+    "encode",
+    "i_block",
+    "lrc",
+    "r_block",
+    "run_link_session",
+    "s_block",
+]

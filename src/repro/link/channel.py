@@ -1,0 +1,109 @@
+"""Seeded noisy-channel injector for the T=1 serial link.
+
+The contact (or contactless) interface is the one boundary of a
+fielded card that crosses hostile air: bytes get flipped by field
+dropouts, dropped by desync, duplicated by reflections, delayed by
+re-arbitration.  :class:`NoisyChannel` models that wire as a seeded
+per-byte fault process, the link-layer sibling of
+:mod:`repro.faults.injectors` — same philosophy: deterministic
+``random.Random`` streams, per-mechanism counters, zero effect at
+rate 0.
+
+``transmit`` maps one clean byte to a list of ``(extra_delay, byte)``
+deliveries, so a caller can schedule the corrupted wire image on the
+kernel clock.  The overall *rate* is split across mechanisms:
+
+========== ===== =======================================
+mechanism  share effect
+========== ===== =======================================
+drop       25 %  byte vanishes
+flip       35 %  1-2 bit errors (caught by the LRC)
+spurious   10 %  a garbage byte arrives alongside
+jitter     20 %  delivery delayed by 1..max_jitter
+truncate   10 %  burst dropout: this byte and the next
+                 few all vanish (kills a frame tail)
+========== ===== =======================================
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+
+
+class NoisyChannel:
+    """Per-byte seeded fault process on the serial wire."""
+
+    MECHANISMS = ("drop", "flip", "spurious", "jitter", "truncate")
+
+    def __init__(self, rate: float,
+                 rng: typing.Optional[random.Random] = None,
+                 seed: typing.Union[int, str, None] = None,
+                 max_jitter: int = 3,
+                 truncate_span: typing.Tuple[int, int] = (2, 5)) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"noise rate must be in [0, 1]: {rate}")
+        self.rate = rate
+        self.rng = rng if rng is not None else random.Random(seed)
+        self.max_jitter = max_jitter
+        self.truncate_span = truncate_span
+        self.counts: typing.Dict[str, int] = {
+            name: 0 for name in self.MECHANISMS}
+        self.bytes_seen = 0
+        self.direction_counts: typing.Dict[str, int] = {}
+        self._truncating = 0
+
+    @property
+    def events(self) -> int:
+        return sum(self.counts.values())
+
+    def transmit(self, byte: int, direction: str = "host_to_card"
+                 ) -> typing.List[typing.Tuple[int, int]]:
+        """Wire image of *byte*: list of ``(extra_delay_cycles, byte)``.
+
+        An empty list means the byte was lost.  Both directions share
+        one seeded stream; *direction* just attributes the event in
+        :attr:`direction_counts`.
+        """
+        self.bytes_seen += 1
+        self.direction_counts[direction] = \
+            self.direction_counts.get(direction, 0) + 1
+        byte &= 0xFF
+        if self._truncating:
+            self._truncating -= 1
+            self.counts["truncate"] += 1
+            return []
+        if not self.rate:
+            return [(0, byte)]
+        draw = self.rng.random()
+        if draw >= self.rate:
+            return [(0, byte)]
+        mechanism = draw / self.rate   # uniform in [0, 1)
+        if mechanism < 0.25:
+            self.counts["drop"] += 1
+            return []
+        if mechanism < 0.60:
+            self.counts["flip"] += 1
+            flipped = byte ^ (1 << self.rng.randrange(8))
+            if self.rng.random() < 0.25:
+                flipped ^= 1 << self.rng.randrange(8)
+            return [(0, flipped)]
+        if mechanism < 0.70:
+            self.counts["spurious"] += 1
+            return [(0, byte), (1, self.rng.randrange(256))]
+        if mechanism < 0.90:
+            self.counts["jitter"] += 1
+            return [(self.rng.randint(1, self.max_jitter), byte)]
+        self.counts["truncate"] += 1
+        low, high = self.truncate_span
+        self._truncating = self.rng.randint(low, high)
+        return []
+
+    def stats(self) -> typing.Dict[str, int]:
+        payload = dict(self.counts)
+        payload["bytes"] = self.bytes_seen
+        return payload
+
+    def __repr__(self) -> str:
+        return (f"NoisyChannel(rate={self.rate}, "
+                f"events={self.events}/{self.bytes_seen})")

@@ -1,0 +1,222 @@
+"""ISO 7816-3 T=1 block frame codec.
+
+A T=1 frame is ``NAD PCB LEN INF... LRC``: a node-address byte, a
+protocol-control byte, the INF length, up to :data:`MAX_INF` INF
+bytes, and a longitudinal redundancy check (XOR of every preceding
+byte).  The PCB distinguishes the three block families:
+
+* **I-blocks** (bit 7 clear) carry APDU bytes; bit 6 is the send
+  sequence number N(S), bit 5 the more-data (chaining) bit M.
+* **R-blocks** (``10xxxxxx``) acknowledge or reject: bit 4 is the
+  expected sequence number N(R), bits 1..0 the error code
+  (0 = ready/ack, 1 = EDC/parity error, 2 = other error).
+* **S-blocks** (``11xxxxxx``) manage the link: RESYNC, IFS
+  (information-field-size negotiation), ABORT and WTX (waiting-time
+  extension); bit 5 marks the response form.
+
+:class:`FrameDecoder` is incremental — one byte per call, matching
+the UART's byte-at-a-time delivery — and records the cycle of the
+last byte it consumed so callers can police the character waiting
+time (CWT) on the kernel clock.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+#: maximum INF field length representable in one frame
+MAX_INF = 254
+
+#: default node address driven in every frame
+DEFAULT_NAD = 0x00
+
+#: prologue = NAD + PCB + LEN
+PROLOGUE_LEN = 3
+
+# S-block request codes (low PCB bits)
+S_RESYNC = 0x00
+S_IFS = 0x01
+S_ABORT = 0x02
+S_WTX = 0x03
+
+_S_NAMES = {S_RESYNC: "RESYNC", S_IFS: "IFS", S_ABORT: "ABORT",
+            S_WTX: "WTX"}
+
+# R-block error codes
+R_OK = 0
+R_EDC = 1
+R_OTHER = 2
+
+
+def lrc(data: typing.Iterable[int]) -> int:
+    """Longitudinal redundancy check: XOR of *data*."""
+    check = 0
+    for byte in data:
+        check ^= byte & 0xFF
+    return check
+
+
+@dataclasses.dataclass(frozen=True)
+class Block:
+    """One decoded (or to-be-encoded) T=1 block."""
+
+    pcb: int
+    inf: typing.Tuple[int, ...] = ()
+    nad: int = DEFAULT_NAD
+
+    # -- classification ----------------------------------------------------
+
+    @property
+    def kind(self) -> str:
+        if not self.pcb & 0x80:
+            return "I"
+        return "S" if self.pcb & 0x40 else "R"
+
+    @property
+    def is_i(self) -> bool:
+        return self.kind == "I"
+
+    @property
+    def is_r(self) -> bool:
+        return self.kind == "R"
+
+    @property
+    def is_s(self) -> bool:
+        return self.kind == "S"
+
+    # -- I-block fields ----------------------------------------------------
+
+    @property
+    def seq(self) -> int:
+        """N(S) of an I-block."""
+        return (self.pcb >> 6) & 1
+
+    @property
+    def more(self) -> bool:
+        """Chaining bit M of an I-block."""
+        return bool(self.pcb & 0x20)
+
+    # -- R-block fields ----------------------------------------------------
+
+    @property
+    def r_seq(self) -> int:
+        """N(R): the sequence number the sender expects next."""
+        return (self.pcb >> 4) & 1
+
+    @property
+    def r_error(self) -> int:
+        return self.pcb & 0x03
+
+    # -- S-block fields ----------------------------------------------------
+
+    @property
+    def s_code(self) -> int:
+        return self.pcb & 0x0F
+
+    @property
+    def s_response(self) -> bool:
+        return bool(self.pcb & 0x20)
+
+    def __repr__(self) -> str:
+        if self.is_i:
+            detail = f"I seq={self.seq} more={int(self.more)}"
+        elif self.is_r:
+            detail = f"R n={self.r_seq} err={self.r_error}"
+        else:
+            name = _S_NAMES.get(self.s_code, f"?{self.s_code}")
+            form = "resp" if self.s_response else "req"
+            detail = f"S {name} {form}"
+        return f"Block({detail}, inf={len(self.inf)}B)"
+
+
+def i_block(seq: int, inf: typing.Sequence[int],
+            more: bool = False) -> Block:
+    """An information block carrying *inf* APDU bytes."""
+    if len(inf) > MAX_INF:
+        raise ValueError(f"INF too long: {len(inf)} > {MAX_INF}")
+    pcb = ((seq & 1) << 6) | (0x20 if more else 0)
+    return Block(pcb, tuple(b & 0xFF for b in inf))
+
+
+def r_block(expected_seq: int, error: int = R_OK) -> Block:
+    """A receipt block: ack (error 0) or retransmit request."""
+    return Block(0x80 | ((expected_seq & 1) << 4) | (error & 0x03))
+
+
+def s_block(code: int, response: bool = False,
+            inf: typing.Sequence[int] = ()) -> Block:
+    """A supervisory block (RESYNC/IFS/ABORT/WTX)."""
+    pcb = 0xC0 | (0x20 if response else 0) | (code & 0x0F)
+    return Block(pcb, tuple(b & 0xFF for b in inf))
+
+
+def encode(block: Block) -> typing.List[int]:
+    """The wire bytes of *block*: prologue + INF + LRC."""
+    body = [block.nad & 0xFF, block.pcb & 0xFF, len(block.inf)]
+    body.extend(block.inf)
+    body.append(lrc(body))
+    return body
+
+
+@dataclasses.dataclass
+class DecodeResult:
+    """Outcome of feeding the byte that completed (or killed) a frame."""
+
+    block: typing.Optional[Block] = None
+    error: typing.Optional[str] = None   # "lrc", "length", "nad"
+
+    @property
+    def ok(self) -> bool:
+        return self.block is not None
+
+
+class FrameDecoder:
+    """Incremental T=1 frame decoder with CWT bookkeeping.
+
+    Feed one byte per call; a :class:`DecodeResult` comes back on the
+    byte that completes a frame (good or bad), ``None`` mid-frame.
+    :attr:`in_frame` and :attr:`last_byte_cycle` let the owner enforce
+    the character waiting time between bytes of an open frame.
+    """
+
+    def __init__(self, expected_nad: int = DEFAULT_NAD) -> None:
+        self.expected_nad = expected_nad
+        self._buffer: typing.List[int] = []
+        self.last_byte_cycle = 0
+        self.frames_ok = 0
+        self.frames_bad = 0
+
+    @property
+    def in_frame(self) -> bool:
+        return bool(self._buffer)
+
+    def reset(self) -> None:
+        """Discard any partial frame (CWT expiry, resync)."""
+        self._buffer.clear()
+
+    def feed(self, byte: int, cycle: int = 0
+             ) -> typing.Optional[DecodeResult]:
+        """Consume one wire byte observed at *cycle*."""
+        self._buffer.append(byte & 0xFF)
+        self.last_byte_cycle = cycle
+        buffer = self._buffer
+        if len(buffer) < PROLOGUE_LEN:
+            return None
+        length = buffer[2]
+        if length > MAX_INF:
+            self._buffer = []
+            self.frames_bad += 1
+            return DecodeResult(error="length")
+        if len(buffer) < PROLOGUE_LEN + length + 1:
+            return None
+        frame, self._buffer = buffer, []
+        if lrc(frame[:-1]) != frame[-1]:
+            self.frames_bad += 1
+            return DecodeResult(error="lrc")
+        if frame[0] != self.expected_nad:
+            self.frames_bad += 1
+            return DecodeResult(error="nad")
+        self.frames_ok += 1
+        block = Block(frame[1], tuple(frame[3:-1]), nad=frame[0])
+        return DecodeResult(block=block)

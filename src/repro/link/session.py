@@ -1,0 +1,44 @@
+"""One-call T=1 session runner.
+
+Builds the host/endpoint pair over a platform, runs the kernel in
+bounded slices until the host finishes (or the hard cycle ceiling
+trips — a *hang* is a reportable outcome, never an infinite loop),
+and returns the finalized :class:`~repro.link.LinkReport`.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from .channel import NoisyChannel
+from .endpoint import T1CardEndpoint
+from .host import LinkParams, T1Host
+from .report import LinkReport
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.soc.smartcard import SmartCardPlatform
+
+#: kernel slice between host-completion checks
+_RUN_SLICE = 2048
+
+
+def run_link_session(platform: "SmartCardPlatform",
+                     commands: typing.Sequence[str],
+                     params: typing.Optional[LinkParams] = None,
+                     seed: typing.Union[int, str] = 0,
+                     channel: typing.Optional[NoisyChannel] = None,
+                     energy_probe: typing.Optional[
+                         typing.Callable[[], float]] = None,
+                     max_cycles: int = 400_000,
+                     think_range: typing.Tuple[int, int] = (60, 160),
+                     ) -> LinkReport:
+    """Run *commands* over T=1 on *platform* and close the books."""
+    params = params or LinkParams()
+    endpoint = T1CardEndpoint(platform, params=params, seed=seed)
+    host = T1Host(platform, commands, params=params, seed=seed,
+                  channel=channel, energy_probe=energy_probe,
+                  think_range=think_range)
+    while not host.done and platform.clock.cycles < max_cycles:
+        budget = min(_RUN_SLICE, max_cycles - platform.clock.cycles)
+        platform.run_cycles(budget)
+    return host.finalize(endpoint)

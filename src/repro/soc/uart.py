@@ -4,15 +4,25 @@ Register map (word offsets):
 
 = =========== ==============================================
 0 ``DATA``    write: enqueue TX byte; read: dequeue RX byte
-1 ``STATUS``  bit0 TX_EMPTY, bit1 RX_AVAIL, bit2 TX_FULL
+1 ``STATUS``  bit0 TX_EMPTY, bit1 RX_AVAIL, bit2 TX_FULL,
+              bit3 RX_OVERRUN (sticky until STATUS is read)
 2 ``CTRL``    bit0 enable, bit1 rx_irq_enable
 3 ``BAUD``    clock divider (cycles per byte time)
 = =========== ==============================================
 
 Transmission is modelled at byte granularity: a byte leaves the TX
-FIFO every ``BAUD`` ticks.  The test bench injects received bytes with
+FIFO every ``BAUD`` ticks.  The wire side (a test bench, or the T=1
+link layer's :class:`~repro.link.T1Host`) injects received bytes with
 :meth:`receive_byte`; completed transmissions land in
 :attr:`transmitted`.
+
+Reception is gated the way the silicon is: the RX FIFO is bounded at
+``FIFO_DEPTH`` (a byte arriving into a full FIFO is dropped and sets
+the sticky ``RX_OVERRUN`` status bit), a DPM-frozen receiver has no
+sampling clock — the byte is lost on the wire, though the line edge
+still counts as wake-worthy activity for the power state machine —
+and a receiver that is merely not yet enabled latches the byte for
+later without burning reception energy or raising the RX interrupt.
 """
 
 from __future__ import annotations
@@ -27,6 +37,7 @@ DATA, STATUS, CTRL, BAUD = range(4)
 STATUS_TX_EMPTY = 1 << 0
 STATUS_RX_AVAIL = 1 << 1
 STATUS_TX_FULL = 1 << 2
+STATUS_RX_OVERRUN = 1 << 3
 
 CTRL_ENABLE = 1 << 0
 CTRL_RX_IRQ = 1 << 1
@@ -53,6 +64,9 @@ class Uart(Peripheral):
         self.transmitted: typing.List[int] = []
         self.irq_callback = irq_callback
         self._tx_countdown = 0
+        self._rx_overrun = False
+        self.rx_overruns = 0
+        self.rx_dropped_gated = 0
         self.registers[BAUD] = 16
         self.on_read(DATA, self._read_data)
         self.on_read(STATUS, self._read_status)
@@ -73,6 +87,9 @@ class Uart(Peripheral):
             status |= STATUS_RX_AVAIL
         if len(self.tx_fifo) >= FIFO_DEPTH:
             status |= STATUS_TX_FULL
+        if self._rx_overrun:
+            status |= STATUS_RX_OVERRUN
+            self._rx_overrun = False
         return status
 
     def _write_data(self, value: int) -> None:
@@ -87,8 +104,8 @@ class Uart(Peripheral):
 
     @property
     def busy(self) -> bool:
-        """True while bytes are queued for transmission."""
-        return bool(self.tx_fifo)
+        """True while bytes are queued in either direction."""
+        return bool(self.tx_fifo or self.rx_fifo)
 
     def tick(self) -> None:
         if not self.enabled or self._dpm_frozen():
@@ -103,9 +120,30 @@ class Uart(Peripheral):
                 self.book("byte_transmitted")
 
     def receive_byte(self, value: int) -> None:
-        """Test-bench side: a byte arrives on the wire."""
+        """Wire side: a byte arrives at the RX pad."""
+        if self._dpm_frozen():
+            # No sampling clock — the byte is lost on the wire, but the
+            # line edge is wake-worthy activity for the governor.
+            self.rx_dropped_gated += 1
+            if self._psm is not None:
+                self._psm.notify_activity()
+            return
+        if len(self.rx_fifo) >= FIFO_DEPTH:
+            self._rx_overrun = True
+            self.rx_overruns += 1
+            if self.enabled:
+                # the shift register still clocked the byte in before
+                # discovering there was nowhere to put it
+                self.book("byte_received")
+            return
         self.rx_fifo.append(value & 0xFF)
+        if not self.enabled:
+            # latched for later (benches queue bytes before firmware
+            # enables the UART) but no reception energy, no IRQ
+            return
         self.book("byte_received")
+        if self._psm is not None:
+            self._psm.notify_activity()
         if (self.registers[CTRL] & CTRL_RX_IRQ
                 and self.irq_callback is not None):
             self.irq_callback()

@@ -104,6 +104,69 @@ _EXPANDERS = {
 }
 
 
+# -- byte-level wire images ---------------------------------------------
+#
+# The T=1 link layer (:mod:`repro.link`) carries real command/response
+# APDUs over the UART; these helpers give every command a deterministic
+# ISO-7816-4-style byte image so the card endpoint can decode INS ->
+# expander and synthesise a matching response.
+
+#: instruction byte per command (ISO 7816-4 conventions)
+INS = {
+    "select": 0xA4,
+    "read_record": 0xB2,
+    "update_record": 0xDC,
+    "verify_pin": 0x20,
+    "challenge": 0x84,
+    "internal_auth": 0x88,
+}
+
+COMMAND_BY_INS = {ins: name for name, ins in INS.items()}
+
+#: command-body (Lc field) length per command
+_CDATA_LENGTHS = {
+    "select": 6,
+    "read_record": 0,
+    "update_record": 8,
+    "verify_pin": 4,
+    "challenge": 0,
+    "internal_auth": 8,
+}
+
+#: response-body length per command (before the SW1/SW2 trailer)
+_RESPONSE_LENGTHS = {
+    "select": 12,
+    "read_record": 16,
+    "update_record": 0,
+    "verify_pin": 0,
+    "challenge": 8,
+    "internal_auth": 16,
+}
+
+
+def command_apdu(command: str, rng: random.Random) -> typing.List[int]:
+    """Seeded CLA/INS/P1/P2/Lc[/data] wire image of *command*."""
+    length = _CDATA_LENGTHS[command]
+    apdu = [0x00, INS[command], rng.getrandbits(8), rng.getrandbits(8),
+            length]
+    apdu.extend(rng.getrandbits(8) for _ in range(length))
+    return apdu
+
+
+def response_apdu(command: str, rng: random.Random) -> typing.List[int]:
+    """Seeded response body plus the 0x9000 status trailer."""
+    body = [rng.getrandbits(8) for _ in range(_RESPONSE_LENGTHS[command])]
+    return body + [0x90, 0x00]
+
+
+def command_script(command: str,
+                   rng: random.Random) -> typing.List[ScriptItem]:
+    """The bus script the card firmware runs to serve *command*."""
+    script: typing.List[ScriptItem] = []
+    _EXPANDERS[command](rng, script)
+    return script
+
+
 class ApduSession:
     """One generated session: the bus script plus its command list."""
 

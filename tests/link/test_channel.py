@@ -1,0 +1,80 @@
+"""NoisyChannel: determinism, rate-0 transparency, mechanism split."""
+
+import pytest
+
+from repro.link import NoisyChannel
+
+
+class TestCleanChannel:
+    def test_rate_zero_is_transparent(self):
+        channel = NoisyChannel(0.0, seed="clean")
+        for byte in range(256):
+            assert channel.transmit(byte) == [(0, byte)]
+        assert channel.events == 0
+        assert channel.bytes_seen == 256
+
+    def test_rate_bounds_checked(self):
+        with pytest.raises(ValueError):
+            NoisyChannel(1.5)
+        with pytest.raises(ValueError):
+            NoisyChannel(-0.1)
+
+
+class TestDeterminism:
+    def run_stream(self, seed, n=2000):
+        channel = NoisyChannel(0.05, seed=seed)
+        deliveries = [channel.transmit(i & 0xFF) for i in range(n)]
+        return deliveries, channel.stats()
+
+    def test_same_seed_same_stream(self):
+        assert self.run_stream("a") == self.run_stream("a")
+
+    def test_different_seeds_differ(self):
+        assert self.run_stream("a") != self.run_stream("b")
+
+
+class TestMechanisms:
+    def test_all_mechanisms_fire_at_high_rate(self):
+        channel = NoisyChannel(0.5, seed=7)
+        for i in range(5000):
+            channel.transmit(i & 0xFF)
+        assert all(channel.counts[m] > 0
+                   for m in NoisyChannel.MECHANISMS)
+
+    def test_flip_changes_the_byte(self):
+        channel = NoisyChannel(1.0, seed=3)
+        flips = 0
+        for i in range(500):
+            for _, byte in channel.transmit(0x55):
+                if byte != 0x55:
+                    flips += 1
+        assert flips > 0
+
+    def test_truncate_drops_a_burst(self):
+        channel = NoisyChannel(0.2, seed=11)
+        losses = 0
+        for i in range(5000):
+            if not channel.transmit(i & 0xFF):
+                losses += 1
+        # lost bytes are exactly the drops plus the truncation bursts
+        # (each burst byte books its own "truncate" count)
+        assert channel.counts["truncate"] > 0
+        assert losses == (channel.counts["drop"]
+                          + channel.counts["truncate"])
+
+    def test_direction_attribution(self):
+        channel = NoisyChannel(0.0, seed=1)
+        channel.transmit(1, direction="host_to_card")
+        channel.transmit(2, direction="card_to_host")
+        channel.transmit(3, direction="card_to_host")
+        assert channel.direction_counts == {"host_to_card": 1,
+                                            "card_to_host": 2}
+
+    def test_stats_payload(self):
+        channel = NoisyChannel(0.1, seed=5)
+        for i in range(100):
+            channel.transmit(i)
+        stats = channel.stats()
+        assert stats["bytes"] == 100
+        assert sum(stats[m] for m in NoisyChannel.MECHANISMS) \
+            == channel.events

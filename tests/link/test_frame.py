@@ -1,0 +1,118 @@
+"""T=1 frame codec: encode/decode round trips, LRC, error paths."""
+
+import pytest
+
+from repro.link import (MAX_INF, R_EDC, R_OK, S_IFS, S_WTX, Block,
+                        FrameDecoder, encode, i_block, lrc, r_block,
+                        s_block)
+
+
+class TestLrc:
+    def test_xor_of_bytes(self):
+        assert lrc([0x12, 0x34, 0x56]) == 0x12 ^ 0x34 ^ 0x56
+
+    def test_empty_is_zero(self):
+        assert lrc([]) == 0
+
+    def test_masks_to_byte(self):
+        assert lrc([0x1FF]) == 0xFF
+
+
+class TestBlockFields:
+    def test_i_block_fields(self):
+        block = i_block(1, [0xA4, 0x00], more=True)
+        assert block.is_i and not block.is_r and not block.is_s
+        assert block.seq == 1
+        assert block.more
+        assert block.inf == (0xA4, 0x00)
+
+    def test_r_block_fields(self):
+        block = r_block(1, R_EDC)
+        assert block.is_r
+        assert block.r_seq == 1
+        assert block.r_error == R_EDC
+
+    def test_s_block_fields(self):
+        request = s_block(S_WTX, inf=[2])
+        response = s_block(S_WTX, response=True, inf=[2])
+        assert request.is_s and not request.s_response
+        assert response.s_response
+        assert request.s_code == response.s_code == S_WTX
+
+    def test_inf_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            i_block(0, [0] * (MAX_INF + 1))
+
+
+class TestRoundTrip:
+    def feed_all(self, decoder, wire):
+        results = [decoder.feed(byte, cycle) for cycle, byte
+                   in enumerate(wire)]
+        # only the final byte may complete a frame
+        assert all(r is None for r in results[:-1])
+        return results[-1]
+
+    @pytest.mark.parametrize("block", [
+        i_block(0, [0x00, 0xA4, 0x04, 0x00]),
+        i_block(1, [], more=False),
+        i_block(0, list(range(32)), more=True),
+        r_block(0, R_OK),
+        r_block(1, R_EDC),
+        s_block(S_IFS, inf=[16]),
+        s_block(S_WTX, response=True, inf=[3]),
+    ])
+    def test_encode_decode_round_trip(self, block):
+        decoder = FrameDecoder()
+        result = self.feed_all(decoder, encode(block))
+        assert result.ok
+        assert result.block == block
+        assert decoder.frames_ok == 1
+        assert decoder.frames_bad == 0
+
+    def test_back_to_back_frames(self):
+        decoder = FrameDecoder()
+        wire = encode(i_block(0, [1, 2])) + encode(r_block(1))
+        blocks = [r.block for r in
+                  (decoder.feed(b) for b in wire) if r is not None]
+        assert [b.kind for b in blocks] == ["I", "R"]
+
+
+class TestDecoderErrors:
+    def test_lrc_error(self):
+        wire = encode(i_block(0, [0x42]))
+        wire[-1] ^= 0x01
+        decoder = FrameDecoder()
+        result = [decoder.feed(b) for b in wire][-1]
+        assert not result.ok
+        assert result.error == "lrc"
+        assert decoder.frames_bad == 1
+
+    def test_length_error_aborts_frame_early(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(0x00) is None
+        assert decoder.feed(0x00) is None
+        result = decoder.feed(MAX_INF + 1)   # impossible LEN byte
+        assert result is not None and result.error == "length"
+        assert not decoder.in_frame
+
+    def test_nad_error(self):
+        wire = encode(Block(0x00, (0x42,), nad=0x21))
+        decoder = FrameDecoder()   # expects NAD 0
+        result = [decoder.feed(b) for b in wire][-1]
+        assert result.error == "nad"
+
+    def test_reset_discards_partial_frame(self):
+        decoder = FrameDecoder()
+        decoder.feed(0x00)
+        assert decoder.in_frame
+        decoder.reset()
+        assert not decoder.in_frame
+        # a fresh frame decodes cleanly after the reset
+        result = [decoder.feed(b) for b in encode(r_block(0))][-1]
+        assert result.ok
+
+    def test_last_byte_cycle_tracks_cwt(self):
+        decoder = FrameDecoder()
+        decoder.feed(0x00, cycle=100)
+        decoder.feed(0x40, cycle=116)
+        assert decoder.last_byte_cycle == 116

@@ -1,0 +1,152 @@
+"""End-to-end T=1 sessions: clean transport, noisy recovery, the
+degradation ladder, and energy attribution over a real power model."""
+
+import pytest
+
+from repro.experiments.common import characterization
+from repro.link import LinkParams, NoisyChannel, run_link_session
+from repro.power import CardPowerModel, Layer1PowerModel
+from repro.soc import SmartCardPlatform
+
+COMMANDS = ("select", "read_record", "verify_pin", "challenge",
+            "internal_auth", "update_record")
+
+
+def make_platform(with_power=False):
+    if not with_power:
+        return SmartCardPlatform(bus_layer=1), None
+    model = Layer1PowerModel(characterization().table)
+    platform = SmartCardPlatform(bus_layer=1, power_model=model)
+    composite = CardPowerModel(model,
+                               ledgers=platform.energy_ledgers())
+    return platform, (lambda: composite.total_energy_pj)
+
+
+class TestCleanSession:
+    def test_all_commands_complete_without_retries(self):
+        platform, _ = make_platform()
+        report = run_link_session(platform, COMMANDS, seed="clean-1")
+        assert report.outcome == "complete"
+        assert report.commands_completed == len(COMMANDS)
+        assert report.session_retries == 0
+        assert report.host_retransmissions == 0
+        assert report.card_retransmissions == 0
+        assert report.cwt_timeouts == 0
+        assert report.bwt_timeouts == 0
+        assert report.clean_close
+
+    def test_deterministic_per_seed(self):
+        def run(seed):
+            platform, _ = make_platform()
+            report = run_link_session(platform, COMMANDS[:3], seed=seed)
+            # the card->host wire image carries the seeded response
+            # bodies, so it discriminates seeds byte-for-byte
+            return (report.frames_sent, report.frames_received,
+                    list(platform.uart.transmitted))
+        assert run("s1") == run("s1")
+        assert run("s1") != run("s2")
+
+    def test_frames_flow_both_ways(self):
+        platform, _ = make_platform()
+        report = run_link_session(platform, ("select", "challenge"),
+                                  seed=0)
+        assert report.frames_sent >= 2        # one I-block per command
+        assert report.frames_received >= 2    # one response each
+
+
+class TestNoisySession:
+    def test_moderate_noise_recovers_within_budget(self):
+        platform, _ = make_platform()
+        channel = NoisyChannel(0.02, seed="noisy-1")
+        report = run_link_session(platform, COMMANDS, seed="noisy-1",
+                                  channel=channel)
+        assert report.outcome == "complete"
+        assert report.commands_completed == len(COMMANDS)
+        assert report.session_retries > 0
+        assert report.retries_within_budget
+        assert report.clean_close
+
+    def test_heavy_noise_never_hangs(self):
+        # hammer: every session must end complete or degraded, with
+        # retries inside the budget — the tentpole robustness claim
+        for index in range(8):
+            platform, _ = make_platform()
+            channel = NoisyChannel(0.08, seed=f"hammer-{index}")
+            report = run_link_session(
+                platform, COMMANDS[:4], seed=f"hammer-{index}",
+                channel=channel)
+            assert report.outcome in ("complete", "degraded")
+            assert report.retries_within_budget
+            assert report.clean_close
+
+    def test_channel_events_reported(self):
+        platform, _ = make_platform()
+        channel = NoisyChannel(0.05, seed="evt")
+        report = run_link_session(platform, COMMANDS[:3], seed="evt",
+                                  channel=channel)
+        assert report.channel_events.get("bytes", 0) > 0
+        assert sum(v for k, v in report.channel_events.items()
+                   if k != "bytes") > 0
+
+
+class TestDegradationLadder:
+    def test_abort_sheds_remaining_commands(self):
+        # a tiny retry budget forces the ladder to the ABORT rung
+        params = LinkParams(session_retry_budget=2, resync_budget=1)
+        platform, _ = make_platform()
+        channel = NoisyChannel(0.25, seed="ladder")
+        report = run_link_session(platform, COMMANDS, seed="ladder",
+                                  channel=channel, params=params)
+        assert report.outcome == "degraded"
+        assert report.aborts >= 1
+        assert report.commands_shed > 0
+        assert report.commands_completed + report.commands_shed \
+            == report.commands_total
+        assert report.clean_close
+
+    def test_resync_precedes_abort(self):
+        params = LinkParams(retries_per_frame=1, resync_budget=2,
+                            session_retry_budget=10)
+        platform, _ = make_platform()
+        channel = NoisyChannel(0.20, seed="resync-3")
+        report = run_link_session(platform, COMMANDS, seed="resync-3",
+                                  channel=channel, params=params)
+        assert report.resyncs > 0
+        assert report.clean_close
+
+
+class TestEnergyAttribution:
+    def test_clean_session_books_no_recovery(self):
+        platform, probe = make_platform(with_power=True)
+        report = run_link_session(platform, COMMANDS[:4],
+                                  seed="energy-clean",
+                                  energy_probe=probe)
+        assert report.total_energy_pj > 0
+        assert report.recovery_total_pj == 0.0
+        assert report.accounted
+
+    def test_noisy_session_attributes_recovery(self):
+        platform, probe = make_platform(with_power=True)
+        channel = NoisyChannel(0.03, seed="energy-noisy")
+        report = run_link_session(platform, COMMANDS,
+                                  seed="energy-noisy", channel=channel,
+                                  energy_probe=probe)
+        assert report.session_retries > 0
+        assert report.recovery_total_pj > 0
+        # the partition telescopes: clean + recovery == total
+        assert report.unaccounted_pj == pytest.approx(
+            0.0, abs=1e-6 * report.total_energy_pj)
+        assert set(report.recovery_energy_pj) <= {
+            "retransmit", "resync", "ifs", "abort"}
+
+    def test_noise_costs_energy(self):
+        platform, probe = make_platform(with_power=True)
+        clean = run_link_session(platform, COMMANDS[:4],
+                                 seed="price", energy_probe=probe)
+        platform2, probe2 = make_platform(with_power=True)
+        noisy = run_link_session(
+            platform2, COMMANDS[:4], seed="price",
+            channel=NoisyChannel(0.04, seed="price"),
+            energy_probe=probe2)
+        assert noisy.session_retries > 0
+        assert noisy.total_energy_pj > clean.total_energy_pj

@@ -9,7 +9,8 @@ from repro.soc.memory import Eeprom, Flash, Rom, ScratchpadRam
 from repro.soc.rng import (HARVEST_CYCLES, TrueRandomNumberGenerator,
                            STATUS_READY)
 from repro.soc.timer import TimerUnit
-from repro.soc.uart import (CTRL_ENABLE, CTRL_RX_IRQ, STATUS_RX_AVAIL,
+from repro.soc.uart import (CTRL_ENABLE, CTRL_RX_IRQ, FIFO_DEPTH,
+                            STATUS_RX_AVAIL, STATUS_RX_OVERRUN,
                             STATUS_TX_EMPTY, Uart)
 from repro.soc import uart as uart_regs
 
@@ -124,6 +125,38 @@ class TestUart:
         for _ in range(50):
             uart.tick()
         assert uart.transmitted == []
+
+    def test_rx_overflow_drops_byte_and_sets_sticky_overrun(self):
+        uart = self.make_uart()
+        for i in range(FIFO_DEPTH):
+            uart.receive_byte(i)
+        assert not uart.do_read(4, 0b1111).data & STATUS_RX_OVERRUN
+        uart.receive_byte(0xEE)    # ninth byte: nowhere to put it
+        assert len(uart.rx_fifo) == FIFO_DEPTH
+        assert 0xEE not in uart.rx_fifo
+        assert uart.rx_overruns == 1
+        # sticky until STATUS is read, then self-clearing
+        assert uart.do_read(4, 0b1111).data & STATUS_RX_OVERRUN
+        assert not uart.do_read(4, 0b1111).data & STATUS_RX_OVERRUN
+
+    def test_rx_overflow_still_books_reception_energy(self):
+        uart = self.make_uart()
+        for i in range(FIFO_DEPTH + 2):
+            uart.receive_byte(i)
+        # the shift register clocked every byte in, full FIFO or not
+        assert uart.event_counts["byte_received"] == FIFO_DEPTH + 2
+        assert uart.rx_overruns == 2
+
+    def test_disabled_rx_latches_without_energy_or_irq(self):
+        fired = []
+        uart = Uart(0x0, irq_callback=lambda: fired.append(1))
+        uart.registers[uart_regs.CTRL] = CTRL_RX_IRQ   # not enabled
+        uart.receive_byte(0x5A)
+        # benches queue bytes before firmware enables the UART: the
+        # byte is latched for later but costs nothing and raises no IRQ
+        assert list(uart.rx_fifo) == [0x5A]
+        assert uart.event_counts.get("byte_received", 0) == 0
+        assert fired == []
 
 
 class TestTimers:

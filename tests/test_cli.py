@@ -17,7 +17,7 @@ class TestParser:
     @pytest.mark.parametrize("command", [
         "report", "table1", "table2", "table3", "figure6", "casestudy",
         "coprocessor", "characterize", "trace", "vcd", "sweep",
-        "robustness", "faults", "dpm"])
+        "robustness", "faults", "dpm", "link"])
     def test_commands_parse(self, command):
         args = build_parser().parse_args([command])
         assert args.command == command
@@ -81,6 +81,19 @@ class TestCommands:
     def test_dpm_node_and_vdd_must_pair(self, capsys):
         assert main(["dpm", "--node-nm", "180"]) == 2
         assert main(["dpm", "--vdd", "1.8"]) == 2
+
+    def test_link_small_campaign(self, capsys):
+        assert main(["link", "--noise", "0", "0.02",
+                     "--layers", "layer1", "--dpm", "off",
+                     "--sessions", "2", "--commands", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "T=1 link campaign" in out
+        assert "every session completes or degrades cleanly" in out
+
+    def test_link_rejects_bad_parameters(self, capsys):
+        assert main(["link", "--sessions", "0"]) == 2
+        assert main(["link", "--noise", "1.5"]) == 2
+        assert main(["link", "--resume"]) == 2
 
     def test_faults_small_campaign(self, capsys):
         assert main(["faults", "--rates", "0", "0.05",
