@@ -221,6 +221,27 @@ def _cmd_link(args: argparse.Namespace) -> int:
     return 0 if result.passed else 1
 
 
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    from repro.experiments import run_fabric_campaign
+    if not _check_resume(args, "fabric"):
+        return 2
+    try:
+        result = run_fabric_campaign(
+            topologies=tuple(args.topologies), layers=tuple(args.layers),
+            commands=args.commands, seed=args.seed,
+            journal_path=args.journal, resume=args.resume,
+            cell_wall_seconds=args.cell_wall_seconds,
+            workers=args.workers)
+    except ValueError as error:
+        print(f"repro fabric: error: {error}", file=sys.stderr)
+        return 2
+    print(result.format())
+    # per-link books that do not telescope exactly to the probe total
+    # — or a flat topology that drifts from the legacy card — is a
+    # failed campaign
+    return 0 if result.passed else 1
+
+
 def _cmd_vcd(args: argparse.Namespace) -> int:
     from repro.kernel import Clock, Simulator
     from repro.power import (Layer1PowerModel, SignalStateRecorder,
@@ -472,6 +493,30 @@ def build_parser() -> argparse.ArgumentParser:
     add_supervision(link)
     add_workers(link, what="grid cells")
     link.set_defaults(func=_cmd_link)
+
+    fabric = sub.add_parser(
+        "fabric",
+        help="routable-fabric campaign: flat vs bridged topology under "
+             "APDU + DMA traffic with exact per-link energy books")
+    fabric.add_argument("--topologies", nargs="+",
+                        default=["flat", "bridged"],
+                        choices=["flat", "bridged"],
+                        help="bus topologies to run the grid on")
+    fabric.add_argument("--layers", nargs="+",
+                        default=["layer1", "layer2", "layer3"],
+                        choices=["layer1", "layer2", "layer3"],
+                        help="abstraction layers to route on")
+    fabric.add_argument("--commands", type=int, default=8,
+                        help="APDU commands in the session workload")
+    fabric.add_argument("--seed", default=2004,
+                        help="campaign seed (any int or string)")
+    fabric.add_argument("--cell-wall-seconds", type=float, default=None,
+                        help="wall-clock budget per sweep cell; a cell "
+                             "exceeding it degrades instead of hanging "
+                             "the campaign")
+    add_supervision(fabric)
+    add_workers(fabric, what="grid cells")
+    fabric.set_defaults(func=_cmd_fabric)
 
     bench = sub.add_parser(
         "bench", help="tracked performance benchmarks "

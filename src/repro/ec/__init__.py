@@ -8,7 +8,8 @@ address/data phases, merge patterns and the 4/4/4 outstanding budgets.
 
 from .checker import (ProtocolChecker, ProtocolViolationError, Violation,
                       check_recorder)
-from .decoder import DecodeError, MapConflictError, MemoryMap, Region
+from .decoder import (MAX_ROUTE_DEPTH, DecodeError, MapConflictError,
+                      MemoryMap, Region, Route)
 from .monitor import BusMonitor, Observation
 from .interfaces import (BusMasterInterface, Slave, SlaveControlInterface,
                          SlaveDataInterface, SlaveResponse, WaitStates)
@@ -43,6 +44,7 @@ __all__ = [
     "LEGAL_BURST_LENGTHS",
     "MapConflictError",
     "MAX_OUTSTANDING_PER_KIND",
+    "MAX_ROUTE_DEPTH",
     "MemoryMap",
     "MergePattern",
     "MisalignedAccessError",
@@ -53,6 +55,7 @@ __all__ = [
     "ProtocolViolationError",
     "Region",
     "RetryPolicy",
+    "Route",
     "SIGNALS_BY_GROUP",
     "SIGNALS_BY_NAME",
     "SignalGroup",

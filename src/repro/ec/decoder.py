@@ -24,6 +24,12 @@ class MapConflictError(ValueError):
     """Two slaves claim overlapping address ranges."""
 
 
+#: Longest bridge chain :meth:`MemoryMap.resolve` will follow.  Real
+#: fabrics are two or three segments deep; anything longer is almost
+#: certainly a bridge cycle, which would otherwise loop forever.
+MAX_ROUTE_DEPTH = 8
+
+
 @dataclasses.dataclass(frozen=True)
 class Region:
     """One decoded window of the memory map."""
@@ -38,8 +44,48 @@ class Region:
         """One past the last address of the window."""
         return self.base + self.size
 
+    @property
+    def is_bridge(self) -> bool:
+        """True when this region leads to another bus segment.
+
+        A bridge slave exposes the downstream segment's decoder as a
+        ``downstream_map`` attribute (see
+        :class:`~repro.fabric.BusBridge`); duck-typing keeps the core
+        decoder free of a dependency on the fabric package.
+        """
+        return getattr(self.slave, "downstream_map", None) is not None
+
     def contains(self, address: int) -> bool:
         return self.base <= address < self.end
+
+
+@dataclasses.dataclass(frozen=True)
+class Route:
+    """The decoded path from one bus to the terminal slave.
+
+    ``regions[0]`` is the window on the originating bus (a local slave
+    or the first bridge); every following entry is one bus segment
+    further downstream; ``regions[-1]`` is the terminal slave that
+    actually services the data.  A flat (single-bus) decode is a route
+    of length one.
+    """
+
+    regions: typing.Tuple[Region, ...]
+
+    @property
+    def terminal(self) -> Region:
+        """The region of the slave that finally services the access."""
+        return self.regions[-1]
+
+    @property
+    def bridges(self) -> typing.Tuple[Region, ...]:
+        """The bridge hops crossed on the way (may be empty)."""
+        return self.regions[:-1]
+
+    @property
+    def hops(self) -> int:
+        """Number of bridges crossed (0 on a flat map)."""
+        return len(self.regions) - 1
 
 
 class MemoryMap:
@@ -63,14 +109,22 @@ class MemoryMap:
         region = Region(base, size, slave, name or type(slave).__name__)
         index = bisect.bisect_left(self._bases, base)
         if index > 0 and self._regions[index - 1].end > base:
-            raise MapConflictError(
-                f"{region.name} overlaps {self._regions[index - 1].name}")
+            raise MapConflictError(self._conflict_message(
+                region, self._regions[index - 1]))
         if index < len(self._regions) and region.end > self._bases[index]:
-            raise MapConflictError(
-                f"{region.name} overlaps {self._regions[index].name}")
+            raise MapConflictError(self._conflict_message(
+                region, self._regions[index]))
         self._regions.insert(index, region)
         self._bases.insert(index, base)
         return region
+
+    @staticmethod
+    def _conflict_message(new: Region, existing: Region) -> str:
+        """Name *both* windows: which mapping failed, and what it hit."""
+        return (f"cannot map {new.name!r} "
+                f"[{new.base:#x}, {new.end:#x}): overlaps "
+                f"{existing.name!r} "
+                f"[{existing.base:#x}, {existing.end:#x})")
 
     def decode(self, address: int) -> Region:
         """Return the region containing *address*.
@@ -101,6 +155,44 @@ class MemoryMap:
                 f"{kind.value} not permitted on {region.name} "
                 f"(rights: {region.slave.access_rights})")
         return region
+
+    # -- hierarchical routing ----------------------------------------------
+
+    def resolve(self, address: int) -> Route:
+        """Decode *address*, following bridges to the terminal slave.
+
+        On a flat map this is :meth:`decode` wrapped in a one-hop
+        :class:`Route`.  When the decoded region is a bridge, decoding
+        continues on the bridge's downstream map — the address space is
+        global, so no translation happens at the hop.  Raises
+        :class:`DecodeError` on a miss at any hop, or when the chain
+        exceeds :data:`MAX_ROUTE_DEPTH` (a bridge cycle).
+        """
+        return self._resolve(address, lambda m: m.decode(address))
+
+    def resolve_checked(self, address: int, kind: TransactionKind,
+                        num_bytes: int) -> Route:
+        """Like :meth:`resolve`, but enforce rights + containment at
+        every hop with :meth:`decode_checked` — a burst must fit the
+        bridge window upstream *and* the terminal window downstream,
+        and every hop's access rights must permit the kind."""
+        return self._resolve(
+            address,
+            lambda m: m.decode_checked(address, kind, num_bytes))
+
+    def _resolve(self, address: int, decode_one) -> Route:
+        regions: typing.List[Region] = []
+        memory_map: "MemoryMap" = self
+        for _ in range(MAX_ROUTE_DEPTH + 1):
+            region = decode_one(memory_map)
+            regions.append(region)
+            downstream = getattr(region.slave, "downstream_map", None)
+            if downstream is None:
+                return Route(tuple(regions))
+            memory_map = downstream
+        raise DecodeError(
+            f"route to {address:#x} exceeds {MAX_ROUTE_DEPTH} bridge "
+            f"hops — bridge cycle? ({' -> '.join(r.name for r in regions)})")
 
     @property
     def regions(self) -> typing.Tuple[Region, ...]:

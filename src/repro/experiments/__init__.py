@@ -21,6 +21,8 @@ from .common import (RunResult, characterization, evaluation_script,
 from .export import write_csv_reports
 from .dpm_campaign import (DpmCampaignResult, DpmCell, EmergencyCell,
                            run_dpm_campaign)
+from .fabric_campaign import (FabricCampaignResult, FabricCell,
+                              run_fabric_campaign)
 from .fault_campaign import (CampaignCell, FaultCampaignResult,
                              run_fault_campaign)
 from .figure6 import Figure6Result, run_figure6
@@ -47,6 +49,8 @@ __all__ = [
     "DpmCampaignResult",
     "DpmCell",
     "EmergencyCell",
+    "FabricCampaignResult",
+    "FabricCell",
     "FaultCampaignResult",
     "Figure6Result",
     "GovernorCell",
@@ -69,6 +73,7 @@ __all__ = [
     "run_casestudy",
     "run_coprocessor_study",
     "run_dpm_campaign",
+    "run_fabric_campaign",
     "run_fault_campaign",
     "run_figure6",
     "run_link_campaign",

@@ -18,6 +18,9 @@ diffed and CI can gate on a floor:
   layer 1, clean wire vs a 1% noisy channel.  The gap prices what the
   retransmission machinery costs in simulation speed; reported, not
   gated.
+* **fabric throughput** — transactions/second of an APDU+DMA workload
+  on layer 1, flat single bus vs the bridged two-segment fabric; the
+  overhead ratio prices the bridge's clone-and-forward machinery.
 * **campaign throughput** — supervisor cells/second of a small fault
   campaign, serial vs process-parallel (``workers``).
 
@@ -194,6 +197,49 @@ def bench_link(sessions: int) -> typing.List[dict]:
 
 
 # ----------------------------------------------------------------------
+# routable fabric: transactions/second, flat bus vs bridged topology
+# ----------------------------------------------------------------------
+
+def _fabric_txns_per_s(topology: str, commands: int
+                       ) -> typing.Tuple[float, int]:
+    """(transactions/s, transactions) of an APDU+DMA workload routed
+    through *topology* on layer 1."""
+    from .fabric_campaign import _run_fabric_cell
+    table = characterization().table
+    started = time.perf_counter()
+    cell = _run_fabric_cell(topology, "layer1", "bench-fabric",
+                            commands, table, 300_000,
+                            check_identity=False)
+    wall = time.perf_counter() - started
+    if not cell["balanced"]:
+        raise RuntimeError(
+            f"fabric bench ({topology}): per-link books do not "
+            f"telescope (imbalance {cell['imbalance_pj']} pJ)")
+    return cell["transactions"] / wall, cell["transactions"]
+
+
+def bench_fabric(commands: int) -> typing.List[dict]:
+    """Prices what hierarchical routing costs in simulation speed: the
+    same workload through the flat single bus and through the bridged
+    two-segment fabric (bridge clones + posted-write drain)."""
+    rows = []
+    rates = {}
+    for topology in ("flat", "bridged"):
+        config = {"workload": "apdu+dma", "commands": commands,
+                  "layer": 1, "topology": topology}
+        rate, transactions = _fabric_txns_per_s(topology, commands)
+        rates[topology] = rate
+        rows.append(_row(f"fabric_txns_per_s_{topology}", rate,
+                         "txns/s", dict(config,
+                                        transactions=transactions)))
+    rows.append(_row("fabric_bridge_overhead",
+                     rates["flat"] / rates["bridged"], "x",
+                     {"workload": "apdu+dma", "commands": commands,
+                      "layer": 1}))
+    return rows
+
+
+# ----------------------------------------------------------------------
 # campaign sharding: supervisor cells/second
 # ----------------------------------------------------------------------
 
@@ -241,9 +287,11 @@ def run_bench(quick: bool = False, workers: int = 2,
     kernel_cycles = 20_000 if quick else 100_000
     transactions = 300 if quick else 2_000
     link_sessions = 2 if quick else 6
+    fabric_commands = 4 if quick else 8
     rows = bench_kernel(kernel_cycles)
     rows.extend(bench_layers(transactions))
     rows.extend(bench_link(link_sessions))
+    rows.extend(bench_fabric(fabric_commands))
     if campaign:
         rows.extend(bench_campaign(workers, quick))
     return rows

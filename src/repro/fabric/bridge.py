@@ -1,0 +1,340 @@
+"""The bus bridge: a slave upstream, a master downstream.
+
+Real power-aware smart-card SoCs split their traffic across a fast CPU
+bus and a slower peripheral bus; the component joining them is a
+bridge.  On the upstream bus a :class:`BusBridge` is an ordinary slave
+whose window spans every downstream slave (the address space is
+global — no translation at the hop); on the downstream bus it is an
+ordinary master issuing cloned transactions.  The decoder recognises
+it purely by its ``downstream_map`` attribute (see
+:meth:`repro.ec.MemoryMap.resolve`), so the core protocol package
+never imports this one.
+
+Semantics, mirrored from AHB/APB-style bridges:
+
+* **crossing latency** — surfaced as address-phase wait states on the
+  upstream bus, so both timed layers price it with their existing
+  machinery,
+* **posted writes** — a write completes upstream as soon as the whole
+  burst is latched in the bridge's bounded queue; the bridge drains
+  the queue downstream on its own clock process.  A full queue
+  back-pressures the upstream write phase (WAIT).  A downstream error
+  on a posted write cannot be reported upstream any more — it is
+  recorded in :attr:`posted_errors`, exactly the hazard posted
+  bridges have in silicon,
+* **read flush** — a read must not overtake posted writes to the same
+  segment: reads WAIT until the posted queue is empty, then forward a
+  cloned burst and stream the data upstream one beat per cycle,
+* **energy ledger** — every crossing, forwarded beat, posted write and
+  stall is booked to the bridge's own ``energy_pj`` ledger, the
+  per-link bucket the fabric report telescopes into the probe total.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.ec import (AccessRights, BusState, MemoryMap, SlaveResponse,
+                      Transaction, WaitStates)
+from repro.ec.interfaces import BusMasterInterface, Slave
+from repro.kernel import Clock, Module, Simulator
+
+
+class _ReadForward:
+    """Per-transaction state of an in-flight forwarded read."""
+
+    __slots__ = ("txn_id", "clone")
+
+    def __init__(self, txn_id: int, clone: Transaction) -> None:
+        self.txn_id = txn_id
+        self.clone = clone
+
+
+class _BridgeDrain(Module):
+    """Clock process emptying the posted-write queue downstream."""
+
+    def __init__(self, simulator: Simulator, clock: Clock,
+                 bridge: "BusBridge") -> None:
+        super().__init__(simulator, f"{bridge.name}_drain")
+        self.method(bridge._drain_posted, name="drain",
+                    sensitive=[clock.posedge_event], dont_initialize=True)
+
+
+class BusBridge(Slave):
+    """Routable window joining an upstream bus to a downstream segment."""
+
+    #: per-event energy costs of the bridge logic itself (pJ); the
+    #: wire energy of each segment is priced by that segment's own bus
+    #: power model — the bridge ledger is the *link* bucket between them
+    ENERGY_COSTS_PJ: typing.Dict[str, float] = {
+        "crossing": 1.2,        # one transaction handed across
+        "beat_forwarded": 0.3,  # one data beat through the bridge
+        "posted_write": 0.6,    # one burst latched into the queue
+        "queue_stall": 0.05,    # one upstream WAIT from a full queue
+    }
+
+    def __init__(self, name: str, downstream_map: MemoryMap,
+                 crossing_cycles: int = 1, posted_depth: int = 2,
+                 base_address: typing.Optional[int] = None,
+                 size: typing.Optional[int] = None) -> None:
+        if crossing_cycles < 0:
+            raise ValueError("crossing_cycles must be >= 0")
+        if posted_depth < 1:
+            raise ValueError("posted_depth must be >= 1")
+        regions = downstream_map.regions
+        if not regions and (base_address is None or size is None):
+            raise ValueError(
+                f"bridge {name!r}: downstream map is empty and no "
+                f"explicit window was given")
+        self.name = name
+        #: marks this slave as a bridge for the decoder's resolve()
+        self.downstream_map = downstream_map
+        self.crossing_cycles = crossing_cycles
+        self.posted_depth = posted_depth
+        self._base = (base_address if base_address is not None
+                      else regions[0].base)
+        self._size = (size if size is not None
+                      else regions[-1].end - self._base)
+        for region in regions:
+            if region.base < self._base or region.end > self.end:
+                raise ValueError(
+                    f"bridge {name!r} window [{self._base:#x}, "
+                    f"{self.end:#x}) does not cover downstream region "
+                    f"{region.name!r} [{region.base:#x}, {region.end:#x})")
+        rights = AccessRights.NONE
+        for region in regions:
+            rights |= region.slave.access_rights
+        self._rights = rights
+        self._downstream: typing.Optional[BusMasterInterface] = None
+        self._posted: typing.Deque[Transaction] = collections.deque()
+        self._read_forward: typing.Optional[_ReadForward] = None
+        #: clones issued downstream whose final state has not yet been
+        #: retrieved from the downstream finish pool — each needs
+        #: exactly one more issue() after finishing, or it parks in the
+        #: downstream pool forever and keeps that segment busy
+        self._uncollected: typing.Set[int] = set()
+        # -- counters + energy ledger (the Peripheral idiom) --------------
+        self.energy_pj = 0.0
+        self.event_counts: typing.Dict[str, int] = {}
+        self.forwarded_reads = 0
+        self.forwarded_writes = 0
+        self.messages_forwarded = 0
+        self.posted_errors = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def connect(self, downstream: BusMasterInterface,
+                simulator: typing.Optional[Simulator] = None,
+                clock: typing.Optional[Clock] = None) -> "BusBridge":
+        """Attach the downstream master interface (the segment's bus or
+        an arbiter port).  With *simulator*/*clock* the bridge also
+        registers its posted-write drain process; without them the
+        bridge is usable only for synchronous (layer-3) routing."""
+        self._downstream = downstream
+        if simulator is not None and clock is not None:
+            _BridgeDrain(simulator, clock, self)
+        return self
+
+    @property
+    def downstream(self) -> BusMasterInterface:
+        if self._downstream is None:
+            raise RuntimeError(
+                f"bridge {self.name!r} has no downstream master "
+                f"interface — call connect() first")
+        return self._downstream
+
+    # -- slave control interface -------------------------------------------
+
+    @property
+    def base_address(self) -> int:
+        return self._base
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def end(self) -> int:
+        return self._base + self._size
+
+    @property
+    def wait_states(self) -> WaitStates:
+        # the crossing is paid once per transaction, in the address
+        # phase; data-phase pacing comes from the downstream slave via
+        # the forwarded clone
+        return WaitStates(address=self.crossing_cycles)
+
+    @property
+    def access_rights(self) -> AccessRights:
+        # the union of the downstream slaves' rights: an end-to-end
+        # rights check happens per hop in MemoryMap.resolve_checked
+        return self._rights
+
+    # -- energy ledger ------------------------------------------------------
+
+    def book(self, event: str, count: int = 1) -> None:
+        """Accrue *count* occurrences of *event* on the bridge ledger."""
+        cost = self.ENERGY_COSTS_PJ.get(event)
+        if cost is None:
+            raise KeyError(f"bridge {self.name!r}: unknown energy "
+                           f"event {event!r}")
+        self.energy_pj += cost * count
+        self.event_counts[event] = self.event_counts.get(event, 0) + count
+
+    @property
+    def posted_occupancy(self) -> int:
+        """Writes currently held in the posted queue."""
+        return len(self._posted)
+
+    # -- layer-1 forwarding (per-beat, transaction-aware) -------------------
+
+    def forward_read_beat(self, transaction: Transaction) -> SlaveResponse:
+        """One upstream read-phase cycle of *transaction*.
+
+        Ordering: WAIT until every posted write has drained, then issue
+        a cloned burst downstream, WAIT until it finishes, and stream
+        the data upstream one beat per cycle.  A downstream error
+        surfaces after the beats that did complete, matching the
+        upstream bus's partial-burst error bookkeeping.
+        """
+        forward = self._read_forward
+        if forward is None or forward.txn_id != transaction.txn_id:
+            if self._posted:
+                return SlaveResponse.wait()  # read-after-write ordering
+            forward = _ReadForward(transaction.txn_id,
+                                   self.start_read(transaction))
+            self._read_forward = forward
+        clone = forward.clone
+        state = self._advance_clone(clone)
+        if not state.finished:
+            return SlaveResponse.wait()
+        beat = transaction.beats_done
+        if beat < clone.beats_done:
+            self.book("beat_forwarded")
+            if beat + 1 == transaction.burst_length:
+                self._read_forward = None
+            return SlaveResponse.ok(clone.data[beat])
+        # the downstream burst errored before producing this beat
+        self._read_forward = None
+        return SlaveResponse.error()
+
+    def forward_write_beat(self, transaction: Transaction,
+                           data: int) -> SlaveResponse:
+        """One upstream write-phase cycle of *transaction*.
+
+        Beats are latched in the bridge's write buffer (the upstream
+        transaction already carries the full payload); the final beat
+        posts the whole burst — or WAITs while the queue is full.
+        """
+        beat = transaction.beats_done
+        if beat < transaction.burst_length - 1:
+            self.book("beat_forwarded")
+            return SlaveResponse.ok()
+        if len(self._posted) >= self.posted_depth:
+            self.book("queue_stall")
+            return SlaveResponse.wait()
+        self.post_write(transaction.clone())
+        self.book("beat_forwarded")
+        return SlaveResponse.ok()
+
+    def abandon(self, transaction: Transaction) -> None:
+        """Upstream evicted *transaction* (watchdog abort): withdraw
+        the forwarded read clone from the downstream bus.  Posted
+        writes are already committed and drain regardless."""
+        forward = self._read_forward
+        if forward is not None and forward.txn_id == transaction.txn_id:
+            self._read_forward = None
+            self._uncollected.discard(forward.clone.txn_id)
+            if not forward.clone.finished and self._downstream is not None:
+                self._downstream.cancel(forward.clone)
+
+    # -- layer-2 forwarding (timed, block-at-once) --------------------------
+
+    def start_read(self, transaction: Transaction) -> Transaction:
+        """Clone *transaction* for the downstream bus and book the
+        crossing.  The caller polls the clone with
+        :meth:`timed_read_poll` (layer 2) or via
+        :meth:`forward_read_beat` (layer 1)."""
+        self.book("crossing")
+        self.forwarded_reads += 1
+        return transaction.clone()
+
+    def timed_read_poll(self, clone: Transaction) -> BusState:
+        """Advance a forwarded read *clone* by one downstream call;
+        posted writes drain first (read-after-write ordering)."""
+        if clone.issue_cycle is None and self._posted:
+            return BusState.WAIT
+        return self._advance_clone(clone)
+
+    def _advance_clone(self, clone: Transaction) -> BusState:
+        """One non-blocking downstream step of *clone*: issue it, poll
+        it, and — crucially — keep calling until the finished clone has
+        been *collected* from the downstream finish pool (the final
+        state arrives one call after the last beat completes)."""
+        txn_id = clone.txn_id
+        if clone.issue_cycle is None or txn_id in self._uncollected:
+            self._uncollected.add(txn_id)
+            state = self.downstream.issue(clone)
+            if state.finished:
+                self._uncollected.discard(txn_id)
+            return state
+        return clone.state  # finished and already collected
+
+    def try_post_write(self, clone: Transaction) -> bool:
+        """Queue a cloned write burst; False (and a booked stall) when
+        the posted queue is full — the caller must retry next cycle."""
+        if len(self._posted) >= self.posted_depth:
+            self.book("queue_stall")
+            return False
+        self.post_write(clone)
+        return True
+
+    def post_write(self, clone: Transaction) -> None:
+        self._posted.append(clone)
+        self.book("crossing")
+        self.book("posted_write")
+        self.forwarded_writes += 1
+
+    def _drain_posted(self) -> None:
+        """Clock process: push the oldest posted write downstream."""
+        if not self._posted:
+            return
+        head = self._posted[0]
+        state = self.downstream.issue(head)
+        if state.finished:
+            self._posted.popleft()
+            if head.error:
+                self.posted_errors += 1
+
+    # -- layer-3 forwarding (untimed) ---------------------------------------
+
+    def note_message(self) -> None:
+        """Book one synchronous (layer-3) crossing through this bridge."""
+        self.book("crossing")
+        self.messages_forwarded += 1
+
+    # -- plain per-beat slave data interface --------------------------------
+    #
+    # The bridge needs the transaction context the generic interface
+    # does not carry (burst forwarding, posted-queue bookkeeping); the
+    # TLM layers detect a bridge and use the forward_* hooks instead.
+
+    def read_beat(self, offset: int, byte_enables: int) -> SlaveResponse:
+        raise RuntimeError(
+            f"bridge {self.name!r} requires transaction-aware "
+            f"forwarding (forward_read_beat); the plain per-beat slave "
+            f"interface cannot cross a bus segment")
+
+    def write_beat(self, offset: int, byte_enables: int,
+                   data: int) -> SlaveResponse:
+        raise RuntimeError(
+            f"bridge {self.name!r} requires transaction-aware "
+            f"forwarding (forward_write_beat); the plain per-beat slave "
+            f"interface cannot cross a bus segment")
+
+    def __repr__(self) -> str:
+        return (f"BusBridge({self.name!r}, "
+                f"[{self._base:#x}, {self.end:#x}), "
+                f"crossing={self.crossing_cycles}, "
+                f"posted={len(self._posted)}/{self.posted_depth})")

@@ -64,9 +64,12 @@ class T1CardEndpoint(Module):
         self._resp_rng = random.Random(f"{seed}/card/responses")
         self.decoder = FrameDecoder()
 
-        from repro.soc.smartcard import UART_BASE
-        self._data_addr = UART_BASE
-        self._ctrl_addr = UART_BASE + 8
+        # derived from the platform's UART, not the global constant:
+        # a routed topology may place the UART behind a bridge, and
+        # the endpoint must follow wherever the fabric mapped it
+        self._uart_base = platform.uart.base_address
+        self._data_addr = self._uart_base
+        self._ctrl_addr = self._uart_base + 8
 
         # link state
         self.ifs = self.params.ifs
@@ -331,11 +334,12 @@ class T1CardEndpoint(Module):
         decoded slave changes) and the real response travels in
         I-blocks.
         """
-        from repro.soc.smartcard import RAM_BASE, UART_BASE
-        if not UART_BASE <= txn.address < UART_BASE + 16:
+        from repro.soc.smartcard import RAM_BASE
+        if not self._uart_base <= txn.address < self._uart_base + 16:
             return txn
         staged = txn.clone()
-        staged.address = RAM_BASE + 0x380 + (txn.address - UART_BASE)
+        staged.address = (RAM_BASE + 0x380
+                          + (txn.address - self._uart_base))
         return staged
 
     def _execution_done(self) -> None:

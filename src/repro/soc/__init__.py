@@ -16,9 +16,10 @@ from .journal import JournalState, TransactionJournal
 from .memory import Eeprom, Flash, Rom, ScratchpadRam
 from .peripheral import Peripheral
 from .rng import TrueRandomNumberGenerator
-from .smartcard import (DEFAULT_CLOCK_HZ, EEPROM_BASE, FLASH_BASE,
-                        INTC_BASE, RAM_BASE, RNG_BASE, ROM_BASE,
-                        SmartCardPlatform, TIMER_BASE, UART_BASE)
+from .smartcard import (DEFAULT_CLOCK_HZ, DMA_BASE, EEPROM_BASE,
+                        FLASH_BASE, INTC_BASE, RAM_BASE, RNG_BASE,
+                        ROM_BASE, SmartCardPlatform, TIMER_BASE,
+                        UART_BASE)
 from .timer import TimerUnit
 from .uart import Uart
 
@@ -29,6 +30,7 @@ __all__ = [
     "DmaController",
     "DmaDriver",
     "DEFAULT_CLOCK_HZ",
+    "DMA_BASE",
     "EEPROM_BASE",
     "Eeprom",
     "FLASH_BASE",

@@ -5,6 +5,13 @@ bus models: ROM, FLASH, EEPROM and scratchpad RAM behind the EC bus,
 plus the memory-mapped UART, the two 16-bit timers, the TRNG and the
 interrupt controller.  A platform tick process advances the
 peripherals once per clock cycle.
+
+The bus need not be flat: pass ``topology=`` (a
+:class:`~repro.fabric.Topology` or a preset name) to split the card
+into bridged segments — e.g. ``"two_segment"`` keeps the memories on
+the CPU bus and moves the peripherals behind a bridge.  The default
+flat topology reproduces the legacy single-bus card *exactly*, cycle
+for cycle and picojoule for picojoule.
 """
 
 from __future__ import annotations
@@ -13,11 +20,13 @@ import random
 import typing
 
 from repro.ec import MemoryMap
+from repro.fabric import (BusFabric, FabricSegment, Topology, build_fabric)
 from repro.kernel import Clock, Module, Simulator
 from repro.kernel import time as ktime
 from repro.tlm import EcBusLayer1, EcBusLayer2
 
 from .cpu import MipsCore
+from .dma import DmaController
 from .interrupt import (InterruptController, LINE_TIMER0, LINE_TIMER1,
                         LINE_UART)
 from .memory import Eeprom, Flash, Rom, ScratchpadRam
@@ -34,6 +43,7 @@ UART_BASE = 0x0040_0000
 TIMER_BASE = 0x0040_1000
 RNG_BASE = 0x0040_2000
 INTC_BASE = 0x0040_3000
+DMA_BASE = 0x0040_4000
 
 #: 10 MHz system clock (contact-mode smart card operating point)
 DEFAULT_CLOCK_HZ = 10e6
@@ -52,6 +62,10 @@ class SmartCardPlatform(Module):
                  rom_image: typing.Optional[typing.Sequence[int]] = None,
                  eeprom_tear_rate: float = 0.0,
                  fault_seed: typing.Union[int, str, None] = None,
+                 topology: typing.Union[Topology, str, None] = None,
+                 power_model_factory: typing.Optional[
+                     typing.Callable[[str], typing.Any]] = None,
+                 with_dma: bool = False,
                  ) -> None:
         simulator = Simulator("smartcard")
         super().__init__(simulator, "platform")
@@ -60,7 +74,8 @@ class SmartCardPlatform(Module):
             bus_layer=bus_layer, clock_hz=clock_hz,
             power_model=power_model, bus_factory=bus_factory,
             with_cpu=with_cpu, eeprom_tear_rate=eeprom_tear_rate,
-            fault_seed=fault_seed)
+            fault_seed=fault_seed, topology=topology,
+            power_model_factory=power_model_factory, with_dma=with_dma)
         period = ktime.period_from_frequency_hz(clock_hz)
         if period % 2:
             period += 1
@@ -80,24 +95,69 @@ class SmartCardPlatform(Module):
             tear_rng=(random.Random(f"{fault_seed}/eeprom-tear")
                       if eeprom_tear_rate else None))
         self.ram = ScratchpadRam(RAM_BASE)
-        self.memory_map = MemoryMap()
-        for slave, name in ((self.rom, "rom"), (self.flash, "flash"),
-                            (self.eeprom, "eeprom"), (self.ram, "ram"),
-                            (self.uart, "uart"), (self.timers, "timers"),
-                            (self.rng, "trng"), (self.intc, "intc")):
-            self.memory_map.add_slave(slave, name)
-        if bus_factory is None:
-            bus_factory = {1: EcBusLayer1, 2: EcBusLayer2,
-                           "l1": EcBusLayer1, "l2": EcBusLayer2,
-                           }[bus_layer]
-        self.bus = bus_factory(simulator, self.clock, self.memory_map,
-                               power_model=power_model)
-        self.eeprom.bind_cycle_source(lambda: self.bus.cycle)
+        self.dma: typing.Optional[DmaController] = None
+        topology = Topology.coerce(topology)
+        if with_dma:
+            self.dma = DmaController(DMA_BASE)
+            # the DMA contends with the CPU on the root segment; give
+            # the segment an arbiter if the topology declares none
+            if topology.segment(topology.root).arbiter is None:
+                topology = topology.with_arbiter(topology.root,
+                                                 "priority_rr")
+            topology = topology.with_slave(topology.root, "dma")
+        self.topology = topology
+        named_slaves = {"rom": self.rom, "flash": self.flash,
+                        "eeprom": self.eeprom, "ram": self.ram,
+                        "uart": self.uart, "timers": self.timers,
+                        "trng": self.rng, "intc": self.intc}
+        if self.dma is not None:
+            named_slaves["dma"] = self.dma
+        legacy_flat = (topology.is_flat
+                       and topology.segments[0].arbiter is None)
+        if legacy_flat:
+            # the exact legacy construction path: same map, same bus
+            # module name, same power-model wiring — byte-identical
+            # ledgers and journals to the historical single-bus card
+            self.memory_map = MemoryMap()
+            for name in topology.segments[0].slaves:
+                self.memory_map.add_slave(named_slaves[name], name)
+            if bus_factory is None:
+                bus_factory = {1: EcBusLayer1, 2: EcBusLayer2,
+                               "l1": EcBusLayer1, "l2": EcBusLayer2,
+                               }[bus_layer]
+            self.bus = bus_factory(simulator, self.clock, self.memory_map,
+                                   power_model=power_model)
+            segment = FabricSegment(topology.root, self.memory_map,
+                                    self.bus, power_model=power_model)
+            self.fabric = BusFabric(topology, {topology.root: segment}, {})
+        else:
+            models = {topology.root: power_model}
+            if power_model_factory is not None:
+                for spec in topology.segments:
+                    if spec.name != topology.root:
+                        models[spec.name] = power_model_factory(spec.name)
+            self.fabric = build_fabric(
+                topology, named_slaves, bus_layer=bus_layer,
+                simulator=simulator, clock=self.clock,
+                bus_factory=bus_factory, power_models=models)
+            self.bus = self.fabric.root_bus
+            self.memory_map = self.fabric.root_map
+        eeprom_bus = self._segment_bus_of("eeprom")
+        self.eeprom.bind_cycle_source(lambda: eeprom_bus.cycle)
+        root_segment = self.fabric.root
+        #: where CPU-side masters issue: the root arbiter (via a port)
+        #: when the root segment is arbitrated, the root bus otherwise
+        self.cpu_interface = (
+            root_segment.arbiter.port("cpu", priority=0)
+            if root_segment.arbiter is not None else self.bus)
+        if self.dma is not None:
+            self.dma.attach_port(
+                self.fabric.master_port(topology.root, "dma", priority=1))
         self.cpu: typing.Optional[MipsCore] = None
         if rom_image is not None:
             self.load_rom(rom_image)
         if with_cpu:
-            self.cpu = MipsCore(simulator, self.clock, self.bus,
+            self.cpu = MipsCore(simulator, self.clock, self.cpu_interface,
                                 reset_pc=ROM_BASE)
             # the interrupt controller drives the core's interrupt
             # line; programs opt in with `ei` and set the vector via
@@ -108,10 +168,19 @@ class SmartCardPlatform(Module):
                     sensitive=[self.clock.posedge_event],
                     dont_initialize=True)
 
+    def _segment_bus_of(self, slave_name: str):
+        """The bus of the segment hosting *slave_name*."""
+        for spec in self.topology.segments:
+            if slave_name in spec.slaves:
+                return self.fabric.segment(spec.name).bus
+        raise KeyError(f"no segment hosts slave {slave_name!r}")
+
     def _tick_peripherals(self) -> None:
         self.uart.tick()
         self.timers.tick()
         self.rng.tick()
+        if self.dma is not None:
+            self.dma.tick()
 
     # -- conveniences --------------------------------------------------------
 
@@ -157,15 +226,26 @@ class SmartCardPlatform(Module):
     @property
     def peripheral_energy_pj(self) -> float:
         """Summed peripheral-ledger energy (the future-work extension)."""
-        return (self.uart.energy_pj + self.timers.energy_pj
-                + self.rng.energy_pj + self.intc.energy_pj)
+        total = (self.uart.energy_pj + self.timers.energy_pj
+                 + self.rng.energy_pj + self.intc.energy_pj)
+        if self.dma is not None:
+            total += self.dma.energy_pj
+        return total
 
     # -- dynamic power management -------------------------------------------
 
     def energy_ledgers(self) -> typing.List[typing.Any]:
         """The platform's ``energy_pj`` ledgers, for a
         :class:`~repro.power.CardPowerModel` composite."""
-        return [self.uart, self.timers, self.rng, self.intc]
+        ledgers = [self.uart, self.timers, self.rng, self.intc]
+        if self.dma is not None:
+            ledgers.append(self.dma)
+        return ledgers
+
+    def energy_report(self):
+        """Per-link + per-peripheral energy buckets telescoped into one
+        probe total (see :meth:`repro.fabric.BusFabric.energy_report`)."""
+        return self.fabric.energy_report(self.energy_ledgers())
 
     def attach_dpm(self, governor, profiles: typing.Optional[
             typing.Mapping] = None) -> typing.Dict[str, object]:

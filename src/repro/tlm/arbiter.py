@@ -22,8 +22,20 @@ answered from the bus once its transaction is live there.
 
 Policies:
 
-* ``priority`` — lowest priority number wins; ties by registration order,
-* ``round_robin`` — rotating fairness over the ports.
+* ``priority`` — lowest priority number wins; ties by registration
+  order.  Starves low-priority ports under saturating high-priority
+  traffic — deliberate, and documented by a regression test,
+* ``round_robin`` — rotating fairness over the ports,
+* ``priority_rr`` — priority with starvation protection: a pending
+  request's *effective* priority improves by one class every
+  ``aging_cycles`` arbitration cycles it has waited, and ties within
+  an effective class rotate round-robin.  A saturated high-priority
+  port can therefore delay, but never starve, a low-priority one.
+
+Every port keeps an energy ledger (grant and wait-cycle costs); the
+arbiter's own ``energy_pj`` is exactly the sum of its ports' ledgers,
+so the arbiter is one per-link bucket in the fabric's telescoping
+energy report while still decomposing per master.
 """
 
 from __future__ import annotations
@@ -33,6 +45,12 @@ import typing
 from repro.ec import BusState, Transaction
 from repro.ec.interfaces import BusMasterInterface
 from repro.kernel import Clock, Module, Simulator
+
+
+#: energy cost of one grant decision driven onto the request/grant
+#: wires, and of one registered-but-waiting cycle (request line held)
+GRANT_COST_PJ = 0.4
+WAIT_COST_PJ = 0.05
 
 
 class ArbiterPort(BusMasterInterface):
@@ -45,6 +63,9 @@ class ArbiterPort(BusMasterInterface):
         self.priority = priority
         self.grants = 0
         self.wait_cycles = 0
+        #: this master's share of the arbitration energy (grant +
+        #: request-held costs); the arbiter ledger is the exact sum
+        self.energy_pj = 0.0
 
     def instruction_fetch(self, transaction: Transaction) -> BusState:
         return self._call(transaction)
@@ -66,6 +87,7 @@ class ArbiterPort(BusMasterInterface):
             return state
         if txn_id in arbiter._pending_ids:
             self.wait_cycles += 1
+            self.energy_pj += WAIT_COST_PJ  # request line held
             return BusState.WAIT  # still waiting for a grant
     # a new request: the arbiter accepts it into its request register
         arbiter._register(self, transaction)
@@ -81,21 +103,29 @@ class BusArbiter(Module):
     def __init__(self, simulator: Simulator, clock: Clock,
                  bus: BusMasterInterface, policy: str = "priority",
                  grants_per_cycle: int = 1,
-                 name: str = "arbiter") -> None:
-        if policy not in ("priority", "round_robin"):
+                 name: str = "arbiter",
+                 aging_cycles: int = 32) -> None:
+        if policy not in ("priority", "round_robin", "priority_rr"):
             raise ValueError(f"unknown arbitration policy {policy!r}")
         if grants_per_cycle < 1:
             raise ValueError("grants_per_cycle must be >= 1")
+        if aging_cycles < 1:
+            raise ValueError("aging_cycles must be >= 1")
         super().__init__(simulator, name)
         self.bus = bus
         self.policy = policy
         self.grants_per_cycle = grants_per_cycle
+        #: ``priority_rr``: cycles a request waits before its effective
+        #: priority improves by one class (starvation-freedom bound)
+        self.aging_cycles = aging_cycles
         self.ports: typing.List[ArbiterPort] = []
         self._pending: typing.List[
-            typing.Tuple[ArbiterPort, Transaction]] = []
+            typing.Tuple[ArbiterPort, Transaction, int]] = []
         self._pending_ids: typing.Set[int] = set()
         self._forwarded: typing.Set[int] = set()
         self._rr_index = 0
+        self._rr_next = 0      # priority_rr: rotation origin within ties
+        self._arb_cycle = 0    # arbitration cycles elapsed (for aging)
         self.total_grants = 0
         self.method(self._arbitrate, name="arbitrate",
                     sensitive=[clock.negedge_event], dont_initialize=True)
@@ -109,14 +139,29 @@ class BusArbiter(Module):
     def _register(self, port: ArbiterPort,
                   transaction: Transaction) -> None:
         self._pending_ids.add(transaction.txn_id)
-        self._pending.append((port, transaction))
+        self._pending.append((port, transaction, self._arb_cycle))
+
+    def _effective_priority(self, port: ArbiterPort,
+                            registered_at: int) -> int:
+        """``priority_rr``: waiting promotes a request one priority
+        class per :attr:`aging_cycles` elapsed — the starvation bound."""
+        age = self._arb_cycle - registered_at
+        return port.priority - age // self.aging_cycles
 
     def _arbitrate(self) -> None:
         """End of cycle: grant winners and forward them to the bus."""
+        self._arb_cycle += 1
         if not self._pending:
             return
         if self.policy == "priority":
             self._pending.sort(key=lambda entry: entry[0].priority)
+        elif self.policy == "priority_rr":
+            nports = max(len(self.ports), 1)
+            rank = {port: (index - self._rr_next) % nports
+                    for index, port in enumerate(self.ports)}
+            self._pending.sort(key=lambda entry: (
+                self._effective_priority(entry[0], entry[2]),
+                rank[entry[0]]))
         else:  # round robin: rotate the port order each grant cycle
             if self.ports:
                 self._rr_index = (self._rr_index + 1) % len(self.ports)
@@ -125,7 +170,7 @@ class BusArbiter(Module):
                 self._pending.sort(key=lambda entry: order[entry[0]])
         granted = 0
         while self._pending and granted < self.grants_per_cycle:
-            port, transaction = self._pending[0]
+            port, transaction, _registered = self._pending[0]
             state = self.bus.issue(transaction)
             if state is BusState.WAIT:
                 break  # bus outstanding budget full: retry next cycle
@@ -133,10 +178,26 @@ class BusArbiter(Module):
             self._pending_ids.discard(transaction.txn_id)
             granted += 1
             port.grants += 1
+            port.energy_pj += GRANT_COST_PJ
             self.total_grants += 1
+            if self.policy == "priority_rr" and self.ports:
+                # rotate past the winner so equal-priority peers lead
+                # the next tie-break
+                self._rr_next = ((self.ports.index(port) + 1)
+                                 % len(self.ports))
             if not state.finished:
                 self._forwarded.add(transaction.txn_id)
 
     @property
     def pending_requests(self) -> int:
         return len(self._pending)
+
+    @property
+    def energy_pj(self) -> float:
+        """Arbitration energy: exactly the sum of the port ledgers (in
+        port-creation order), so per-port buckets telescope into the
+        arbiter bucket, which telescopes into the fabric probe."""
+        total = 0.0
+        for port in self.ports:
+            total += port.energy_pj
+        return total

@@ -116,8 +116,12 @@ class EcBusLayer1(EcBusBase):
                 return
             self.request_queue.pop()
             try:
-                region = self.memory_map.decode_checked(
+                # hierarchical decode: the first hop is the window on
+                # *this* bus (a local slave, or a bridge to another
+                # segment); rights are checked end-to-end at every hop
+                route = self.memory_map.resolve_checked(
                     head.address, head.kind, head.num_bytes)
+                region = route.regions[0]
             except DecodeError:
                 head.fail(self.cycle, ErrorCause.DECODE)
                 self.finish_pool.push(head)
@@ -148,10 +152,15 @@ class EcBusLayer1(EcBusBase):
             self._drive_read_idle()
             return
         region = self._regions[transaction.txn_id]
-        beat = transaction.beats_done
-        offset = region.slave.offset_of(transaction.beat_address(beat))
-        response = region.slave.read_beat(offset,
-                                          transaction.byte_enables(beat))
+        forward = getattr(region.slave, "forward_read_beat", None)
+        if forward is not None:  # bridge: transaction-aware forwarding
+            response = forward(transaction)
+        else:
+            beat = transaction.beats_done
+            offset = region.slave.offset_of(
+                transaction.beat_address(beat))
+            response = region.slave.read_beat(
+                offset, transaction.byte_enables(beat))
         self._drive_read(transaction, response)
         self._apply_response(transaction, response, self.read_queue,
                              value=response.data)
@@ -163,10 +172,15 @@ class EcBusLayer1(EcBusBase):
             return
         region = self._regions[transaction.txn_id]
         beat = transaction.beats_done
-        offset = region.slave.offset_of(transaction.beat_address(beat))
         data = transaction.data[beat]
-        response = region.slave.write_beat(
-            offset, transaction.byte_enables(beat), data)
+        forward = getattr(region.slave, "forward_write_beat", None)
+        if forward is not None:  # bridge: transaction-aware forwarding
+            response = forward(transaction, data)
+        else:
+            offset = region.slave.offset_of(
+                transaction.beat_address(beat))
+            response = region.slave.write_beat(
+                offset, transaction.byte_enables(beat), data)
         self._drive_write(transaction, data, response)
         self._apply_response(transaction, response, self.write_queue)
 
@@ -206,6 +220,11 @@ class EcBusLayer1(EcBusBase):
                 if was_head and hasattr(region.slave, "cancel_pending"):
                     region.slave.cancel_pending(
                         "r" if queue is self.read_queue else "w")
+                # a bridge may hold a forwarded clone on the
+                # downstream bus: withdraw it too
+                abandon = getattr(region.slave, "abandon", None)
+                if abandon is not None:
+                    abandon(transaction)
                 return True
         return False
 

@@ -31,8 +31,8 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-from repro.ec import (DecodeError, Direction, ErrorCause, MemoryMap,
-                      Region, Transaction)
+from repro.ec import (BusState, DecodeError, Direction, ErrorCause,
+                      MemoryMap, Region, Transaction)
 from repro.kernel import Clock, Simulator
 
 from .bus_base import EcBusBase
@@ -52,6 +52,10 @@ class _TimedRequest:
     data_remaining: int     # total data-phase cycles still to elapse
     decode_failed: bool = False
     data_started: bool = False
+    #: set when the first hop is a bus bridge: the data phase then
+    #: forwards a clone downstream instead of invoking a block interface
+    bridge: typing.Optional[typing.Any] = None
+    clone: typing.Optional[Transaction] = None
 
 
 class EcBusLayer2(EcBusBase):
@@ -79,16 +83,19 @@ class EcBusLayer2(EcBusBase):
     def _accept(self, transaction: Transaction) -> None:
         """First interface call: decode and snapshot the wait states."""
         try:
-            region = self.memory_map.decode_checked(
+            route = self.memory_map.resolve_checked(
                 transaction.address, transaction.kind, transaction.num_bytes)
         except DecodeError:
             item = _TimedRequest(transaction, None, 0, 0, decode_failed=True)
         else:
+            region = route.regions[0]
             waits = region.slave.wait_states  # snapshot, §3.2
             data_cycles = transaction.burst_length * (
                 waits.for_kind(transaction.kind) + 1)
             item = _TimedRequest(transaction, region, waits.address,
-                                 data_cycles)
+                                 data_cycles,
+                                 bridge=(region.slave if route.hops > 0
+                                         else None))
         self._items[transaction.txn_id] = item
         self.address_queue.push(transaction)
 
@@ -134,6 +141,9 @@ class EcBusLayer2(EcBusBase):
         if not queue:
             return
         item = queue[0]
+        if item.bridge is not None:
+            self._bridge_data_phase(queue, item, is_read)
+            return
         if not item.data_started:
             item.data_started = True
             if self.requery_wait_states:
@@ -171,6 +181,56 @@ class EcBusLayer2(EcBusBase):
         del self._items[transaction.txn_id]
         self.finish_pool.push(transaction)
 
+    def _bridge_data_phase(self, queue: typing.List[_TimedRequest],
+                           item: _TimedRequest, is_read: bool) -> None:
+        """Data phase of a transaction whose first hop is a bridge.
+
+        The upstream wire still carries one beat per cycle
+        (``data_remaining`` counts them down); the actual data moves on
+        the downstream segment via a forwarded clone — polled to
+        completion for reads, latched into the bridge's posted queue
+        for writes.  The downstream segment's own wait states therefore
+        stretch the upstream transaction naturally, instead of being
+        folded into a creation-time snapshot.
+        """
+        transaction = item.transaction
+        bridge = item.bridge
+        if not item.data_started:
+            item.data_started = True
+            if is_read:
+                item.clone = bridge.start_read(transaction)
+        if item.data_remaining > 0:
+            item.data_remaining -= 1
+        if is_read:
+            state = bridge.timed_read_poll(item.clone)
+            if state is BusState.ERROR:
+                queue.pop(0)
+                # beats the downstream burst did serve completed on the
+                # wire; mirror them before reporting the error upstream
+                for word in item.clone.data[:item.clone.beats_done]:
+                    transaction.complete_beat(self.cycle, word)
+                self._finish_error(item, ErrorCause.SLAVE_ERROR)
+                return
+            if item.data_remaining > 0 or state is not BusState.OK:
+                return  # still streaming upstream / still downstream
+            queue.pop(0)
+            for word in item.clone.data:
+                transaction.complete_beat(self.cycle, word)
+        else:
+            if item.data_remaining > 0:
+                return
+            if item.clone is None:
+                item.clone = transaction.clone()
+            if not bridge.try_post_write(item.clone):
+                return  # posted queue full: back-pressure this phase
+            queue.pop(0)
+            for _ in range(transaction.burst_length):
+                transaction.complete_beat(self.cycle)
+        if self.power_model is not None:
+            self.power_model.data_phase_finished(transaction)
+        del self._items[transaction.txn_id]
+        self.finish_pool.push(transaction)
+
     def _finish_error(self, item: _TimedRequest,
                       cause: ErrorCause) -> None:
         transaction = item.transaction
@@ -192,6 +252,10 @@ class EcBusLayer2(EcBusBase):
                     break
             else:
                 return False
+        if (item.bridge is not None and item.clone is not None
+                and transaction.direction is Direction.READ
+                and not item.clone.finished):
+            item.bridge.downstream.cancel(item.clone)
         del self._items[transaction.txn_id]
         return True
 

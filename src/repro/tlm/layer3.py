@@ -58,8 +58,11 @@ class EcBusLayer3(BusMasterInterface):
         """
         kind = (TransactionKind.INSTRUCTION_READ if instruction
                 else TransactionKind.DATA_READ)
-        region = self.memory_map.decode_checked(
+        route = self.memory_map.resolve_checked(
             address, kind, num_words * BYTES_PER_WORD)
+        for hop in route.bridges:
+            hop.slave.note_message()
+        region = route.terminal
         base = region.slave.offset_of(address)
         words, error = region.slave.read_block(base, num_words, 0b1111)
         if error:
@@ -71,9 +74,12 @@ class EcBusLayer3(BusMasterInterface):
     def write_message(self, address: int,
                       words: typing.Sequence[int]) -> None:
         """Write *words* starting at *address* in one message."""
-        region = self.memory_map.decode_checked(
+        route = self.memory_map.resolve_checked(
             address, TransactionKind.DATA_WRITE,
             len(words) * BYTES_PER_WORD)
+        for hop in route.bridges:
+            hop.slave.note_message()
+        region = route.terminal
         base = region.slave.offset_of(address)
         _, error = region.slave.write_block(base, list(words), 0b1111)
         if error:
@@ -98,7 +104,7 @@ class EcBusLayer3(BusMasterInterface):
         if transaction.finished:
             return transaction.state
         try:
-            region = self.memory_map.decode_checked(
+            route = self.memory_map.resolve_checked(
                 transaction.address, transaction.kind,
                 transaction.num_bytes)
         except DecodeError:
@@ -106,6 +112,9 @@ class EcBusLayer3(BusMasterInterface):
             transaction.fail(0, ErrorCause.DECODE)
             self.errors += 1
             return BusState.ERROR
+        for hop in route.bridges:
+            hop.slave.note_message()
+        region = route.terminal
         transaction.issue_cycle = 0
         transaction.address_done_cycle = 0
         slave = region.slave

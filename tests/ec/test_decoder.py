@@ -2,8 +2,9 @@
 
 import pytest
 
-from repro.ec import (AccessRights, DecodeError, MapConflictError, MemoryMap,
-                      SlaveResponse, TransactionKind, WaitStates)
+from repro.ec import (MAX_ROUTE_DEPTH, AccessRights, DecodeError,
+                      MapConflictError, MemoryMap, SlaveResponse,
+                      TransactionKind, WaitStates)
 from repro.ec.interfaces import Slave
 
 
@@ -138,3 +139,95 @@ class TestRightsQuery:
 
     def test_rights_of_unmapped_is_none(self, memory_map):
         assert memory_map.rights_of(0x9999_0000) is AccessRights.NONE
+
+
+class TestConflictMessage:
+    """The error must name both windows: the mapping that failed AND
+    the existing region it collided with, with their ranges."""
+
+    def test_names_both_regions_and_ranges(self, memory_map):
+        with pytest.raises(MapConflictError) as excinfo:
+            memory_map.add_slave(FakeSlave(0x2400, 0x1000), "newcomer")
+        message = str(excinfo.value)
+        assert "'newcomer'" in message
+        assert "[0x2400, 0x3400)" in message
+        assert "'ram'" in message
+        assert "[0x2000, 0x2800)" in message
+
+    def test_reversed_insertion_order_names_both(self):
+        mm = MemoryMap()
+        mm.add_slave(FakeSlave(0x2400, 0x1000), "first")
+        with pytest.raises(MapConflictError) as excinfo:
+            mm.add_slave(FakeSlave(0x2000, 0x800), "second")
+        message = str(excinfo.value)
+        assert "'second'" in message
+        assert "[0x2000, 0x2800)" in message
+        assert "'first'" in message
+        assert "[0x2400, 0x3400)" in message
+
+
+class FakeBridge(FakeSlave):
+    """A slave leading to a downstream map (duck-typed bridge)."""
+
+    def __init__(self, base, size, downstream):
+        super().__init__(base, size)
+        self.downstream_map = downstream
+
+
+class TestRouting:
+    def make_nested(self):
+        downstream = MemoryMap()
+        downstream.add_slave(FakeSlave(0x8000, 0x100), "leaf")
+        upstream = MemoryMap()
+        upstream.add_slave(FakeSlave(0x0000, 0x1000), "local")
+        upstream.add_slave(FakeBridge(0x8000, 0x1000, downstream),
+                           "bridge")
+        return upstream
+
+    def test_flat_resolve_is_one_hop(self, memory_map):
+        route = memory_map.resolve(0x2000)
+        assert route.hops == 0
+        assert route.terminal.name == "ram"
+        assert route.bridges == ()
+
+    def test_resolve_follows_bridge(self):
+        route = self.make_nested().resolve(0x8040)
+        assert route.hops == 1
+        assert [r.name for r in route.regions] == ["bridge", "leaf"]
+        assert route.terminal.name == "leaf"
+        assert route.bridges[0].name == "bridge"
+
+    def test_resolve_local_region_not_bridged(self):
+        route = self.make_nested().resolve(0x0100)
+        assert route.hops == 0
+        assert route.terminal.name == "local"
+
+    def test_miss_downstream_raises(self):
+        # the bridge window is wider than the downstream map: an
+        # address inside the window but unmapped downstream must miss
+        with pytest.raises(DecodeError):
+            self.make_nested().resolve(0x8200)
+
+    def test_resolve_checked_enforces_terminal_rights(self):
+        downstream = MemoryMap()
+        downstream.add_slave(FakeSlave(0x8000, 0x100, AccessRights.READ),
+                             "ro_leaf")
+        upstream = MemoryMap()
+        upstream.add_slave(FakeBridge(0x8000, 0x1000, downstream),
+                           "bridge")
+        upstream.resolve_checked(0x8000, TransactionKind.DATA_READ, 4)
+        with pytest.raises(DecodeError):
+            upstream.resolve_checked(0x8000, TransactionKind.DATA_WRITE, 4)
+
+    def test_bridge_cycle_detected(self):
+        class MutableBridge(FakeSlave):
+            downstream_map = None
+
+        mm = MemoryMap()
+        bridge = MutableBridge(0x0, 0x1000)
+        mm.add_slave(bridge, "loop")
+        bridge.downstream_map = mm  # the mis-wiring under test
+        with pytest.raises(DecodeError) as excinfo:
+            mm.resolve(0x10)
+        assert "bridge cycle" in str(excinfo.value)
+        assert str(MAX_ROUTE_DEPTH) in str(excinfo.value)

@@ -1,0 +1,246 @@
+"""Layer-1 bus bridge semantics: crossing latency, posted writes,
+read flush, backpressure, error and ledger behaviour."""
+
+import pytest
+
+from repro.ec import (AccessRights, BusState, MemoryMap, SlaveResponse,
+                      WaitStates, data_read, data_write)
+from repro.ec.interfaces import Slave
+from repro.fabric import BusBridge
+from repro.kernel import Clock, Simulator
+from repro.tlm import BlockingMaster, EcBusLayer1, MemorySlave, run_script
+
+LOCAL_BASE = 0x1000
+REMOTE_BASE = 0x8000
+
+
+class ErroringSlave(Slave):
+    """Decodes fine, then fails every data beat — makes downstream
+    errors reachable past the route's rights checks."""
+
+    def __init__(self, base, size):
+        self._base, self._size = base, size
+
+    @property
+    def base_address(self):
+        return self._base
+
+    @property
+    def size(self):
+        return self._size
+
+    @property
+    def wait_states(self):
+        return WaitStates()
+
+    @property
+    def access_rights(self):
+        return AccessRights.ALL
+
+    def read_beat(self, offset, byte_enables):
+        return SlaveResponse.error()
+
+    def write_beat(self, offset, byte_enables, data):
+        return SlaveResponse.error()
+
+
+def build(crossing_cycles=1, posted_depth=2, remote_slave=None):
+    """Two layer-1 segments joined by one bridge; a local RAM mirrors
+    the remote one so latencies compare like for like."""
+    simulator = Simulator("bridge_l1")
+    clock = Clock(simulator, "clk", period=100)
+    remote = remote_slave or MemorySlave(REMOTE_BASE, 0x1000, name="remote")
+    down_map = MemoryMap()
+    down_map.add_slave(remote, "remote")
+    down_bus = EcBusLayer1(simulator, clock, down_map)
+    bridge = BusBridge("bridge", down_map,
+                       crossing_cycles=crossing_cycles,
+                       posted_depth=posted_depth)
+    bridge.connect(down_bus, simulator, clock)
+    local = MemorySlave(LOCAL_BASE, 0x1000, name="local")
+    up_map = MemoryMap()
+    up_map.add_slave(local, "local")
+    up_map.add_slave(bridge, "bridge")
+    up_bus = EcBusLayer1(simulator, clock, up_map)
+    return simulator, clock, up_bus, down_bus, bridge, local, remote
+
+
+def run(simulator, clock, bus, script, max_cycles=500):
+    master = BlockingMaster(simulator, clock, bus, script)
+    run_script(simulator, master, max_cycles, clock)
+    assert master.done
+    return master
+
+
+class TestForwardedReads:
+    def test_write_then_read_round_trip(self):
+        simulator, clock, bus, _, bridge, _, remote = build()
+        master = run(simulator, clock, bus,
+                     [data_write(REMOTE_BASE, [0xDEAD_BEEF]),
+                      data_read(REMOTE_BASE)])
+        assert master.completed[1].data == [0xDEAD_BEEF]
+        assert remote.peek(0) == 0xDEAD_BEEF
+        assert bridge.forwarded_reads == 1
+        assert bridge.forwarded_writes == 1
+
+    def test_burst_read_streams_all_beats(self):
+        simulator, clock, bus, _, bridge, _, remote = build()
+        remote.load(0, [10, 20, 30, 40])
+        master = run(simulator, clock, bus,
+                     [data_read(REMOTE_BASE, burst_length=4)])
+        assert master.completed[0].data == [10, 20, 30, 40]
+        assert bridge.event_counts["beat_forwarded"] >= 4
+
+    def test_crossing_costs_at_least_crossing_cycles(self):
+        def read_latency(address, crossing):
+            simulator, clock, bus, _, _, _, _ = build(
+                crossing_cycles=crossing)
+            master = run(simulator, clock, bus, [data_read(address)])
+            return master.completed[0].latency_cycles
+
+        local = read_latency(LOCAL_BASE, 1)
+        bridged = read_latency(REMOTE_BASE, 1)
+        slower = read_latency(REMOTE_BASE, 4)
+        assert bridged > local
+        assert slower >= bridged + 3
+
+    def test_downstream_bus_drains_after_bridged_read(self):
+        # regression: the forwarded clone finishes on the downstream
+        # bus but needs one more issue() to be *collected* from its
+        # finish pool; a bridge that stops polling on the finished
+        # flag leaves the clone parked and the segment busy forever
+        simulator, clock, bus, down_bus, _, _, _ = build()
+        run(simulator, clock, bus,
+            [data_read(REMOTE_BASE), data_read(REMOTE_BASE + 8)])
+        simulator.run(100 * 10)
+        assert not down_bus.busy
+
+
+class TestPostedWrites:
+    def test_write_lands_downstream_after_drain(self):
+        simulator, clock, bus, _, bridge, _, remote = build()
+        run(simulator, clock, bus, [data_write(REMOTE_BASE, [0x55])])
+        simulator.run(100 * 20)  # the drain process runs on its own
+        assert bridge.posted_occupancy == 0
+        assert remote.peek(0) == 0x55
+        assert bridge.event_counts["posted_write"] == 1
+
+    def test_full_queue_backpressures_and_recovers(self):
+        slow = MemorySlave(REMOTE_BASE, 0x1000,
+                           WaitStates(address=6), name="slow")
+        simulator, clock, bus, _, bridge, _, _ = build(
+            posted_depth=1, remote_slave=slow)
+        run(simulator, clock, bus,
+            [data_write(REMOTE_BASE + 4 * i, [i + 1]) for i in range(3)],
+            max_cycles=2_000)
+        simulator.run(100 * 60)
+        assert bridge.event_counts.get("queue_stall", 0) > 0
+        assert bridge.posted_occupancy == 0
+        assert [slow.peek(4 * i) for i in range(3)] == [1, 2, 3]
+
+    def test_read_flushes_posted_writes_first(self):
+        # a read must not overtake the posted write to the same word
+        simulator, clock, bus, _, _, _, remote = build()
+        remote.load(0, [0xAAAA])
+        master = run(simulator, clock, bus,
+                     [data_write(REMOTE_BASE, [0xBBBB]),
+                      data_read(REMOTE_BASE)])
+        assert master.completed[1].data == [0xBBBB]
+
+    def test_posted_error_is_counted_not_signalled(self):
+        simulator, clock, bus, _, bridge, _, _ = build(
+            remote_slave=ErroringSlave(REMOTE_BASE, 0x1000))
+        master = run(simulator, clock, bus,
+                     [data_write(REMOTE_BASE, [1])], max_cycles=1_000)
+        # upstream saw a clean completion (the write was posted)...
+        assert not master.completed[0].error
+        simulator.run(100 * 30)
+        # ...and the downstream failure lands on the bridge's counter
+        assert bridge.posted_errors == 1
+        assert bridge.posted_occupancy == 0
+
+
+class TestErrors:
+    def test_downstream_read_error_surfaces_upstream(self):
+        simulator, clock, bus, _, _, _, _ = build(
+            remote_slave=ErroringSlave(REMOTE_BASE, 0x1000))
+        master = BlockingMaster(simulator, clock, bus,
+                                [data_read(REMOTE_BASE)])
+        run_script(simulator, master, 1_000, clock)
+        assert master.errors and master.errors[0].error
+
+    def test_plain_beat_interface_refused(self):
+        _, _, _, _, bridge, _, _ = build()
+        with pytest.raises(RuntimeError):
+            bridge.read_beat(0, 0xF)
+        with pytest.raises(RuntimeError):
+            bridge.write_beat(0, 0xF, 0)
+
+
+class TestConstruction:
+    def test_window_spans_downstream_regions(self):
+        _, _, _, _, bridge, _, _ = build()
+        assert bridge.base_address == REMOTE_BASE
+        assert bridge.size == 0x1000
+        assert bridge.wait_states.address == 1
+
+    def test_rights_are_downstream_union(self):
+        down_map = MemoryMap()
+        down_map.add_slave(MemorySlave(
+            0x0, 0x100, access_rights=AccessRights.READ), "ro")
+        down_map.add_slave(MemorySlave(
+            0x100, 0x100, access_rights=AccessRights.WRITE), "wo")
+        bridge = BusBridge("b", down_map)
+        assert bridge.access_rights & AccessRights.READ
+        assert bridge.access_rights & AccessRights.WRITE
+
+    def test_empty_downstream_needs_explicit_window(self):
+        with pytest.raises(ValueError):
+            BusBridge("b", MemoryMap())
+        bridge = BusBridge("b", MemoryMap(), base_address=0x0, size=0x100)
+        assert bridge.size == 0x100
+
+    def test_window_must_cover_downstream(self):
+        down_map = MemoryMap()
+        down_map.add_slave(MemorySlave(0x8000, 0x1000), "ram")
+        with pytest.raises(ValueError):
+            BusBridge("b", down_map, base_address=0x8000, size=0x800)
+
+    def test_parameter_validation(self):
+        down_map = MemoryMap()
+        down_map.add_slave(MemorySlave(0x0, 0x100), "ram")
+        with pytest.raises(ValueError):
+            BusBridge("b", down_map, crossing_cycles=-1)
+        with pytest.raises(ValueError):
+            BusBridge("b", down_map, posted_depth=0)
+
+    def test_unconnected_bridge_refuses_traffic(self):
+        down_map = MemoryMap()
+        down_map.add_slave(MemorySlave(0x0, 0x100), "ram")
+        bridge = BusBridge("b", down_map)
+        with pytest.raises(RuntimeError):
+            bridge.downstream
+
+
+class TestLedger:
+    def test_energy_decomposes_into_event_counts(self):
+        simulator, clock, bus, _, bridge, _, _ = build()
+        run(simulator, clock, bus,
+            [data_write(REMOTE_BASE, [1, 2]),
+             data_read(REMOTE_BASE, burst_length=2)])
+        assert bridge.energy_pj > 0.0
+        expected = sum(BusBridge.ENERGY_COSTS_PJ[event] * count
+                       for event, count in bridge.event_counts.items())
+        assert bridge.energy_pj == pytest.approx(expected)
+
+    def test_unknown_event_rejected(self):
+        _, _, _, _, bridge, _, _ = build()
+        with pytest.raises(KeyError):
+            bridge.book("teleport")
+
+    def test_layer3_message_booked(self):
+        _, _, _, _, bridge, _, _ = build()
+        before = bridge.energy_pj
+        bridge.note_message()
+        assert bridge.messages_forwarded == 1
+        assert bridge.energy_pj > before

@@ -1,0 +1,119 @@
+"""Layer-2 (timed) bridge forwarding: block reads, posted writes,
+ordering and error surfacing through the wait-state machinery."""
+
+from repro.ec import (MemoryMap, WaitStates, data_read, data_write)
+from repro.fabric import BusBridge
+from repro.kernel import Clock, Simulator
+from repro.tlm import BlockingMaster, EcBusLayer2, MemorySlave, run_script
+
+from .test_bridge import ErroringSlave
+
+LOCAL_BASE = 0x1000
+REMOTE_BASE = 0x8000
+
+
+class ErroringBlockSlave(ErroringSlave):
+    """Layer 2 consumes the block interface rather than per-beat."""
+
+    def read_block(self, offset, burst_length, byte_enables):
+        return [0] * burst_length, True
+
+    def write_block(self, offset, data, byte_enables):
+        return True
+
+
+def build(crossing_cycles=1, posted_depth=2, remote_slave=None):
+    simulator = Simulator("bridge_l2")
+    clock = Clock(simulator, "clk", period=100)
+    remote = remote_slave or MemorySlave(REMOTE_BASE, 0x1000, name="remote")
+    down_map = MemoryMap()
+    down_map.add_slave(remote, "remote")
+    down_bus = EcBusLayer2(simulator, clock, down_map)
+    bridge = BusBridge("bridge", down_map,
+                       crossing_cycles=crossing_cycles,
+                       posted_depth=posted_depth)
+    bridge.connect(down_bus, simulator, clock)
+    local = MemorySlave(LOCAL_BASE, 0x1000, name="local")
+    up_map = MemoryMap()
+    up_map.add_slave(local, "local")
+    up_map.add_slave(bridge, "bridge")
+    up_bus = EcBusLayer2(simulator, clock, up_map)
+    return simulator, clock, up_bus, down_bus, bridge, local, remote
+
+
+def run(simulator, clock, bus, script, max_cycles=800):
+    master = BlockingMaster(simulator, clock, bus, script)
+    run_script(simulator, master, max_cycles, clock)
+    assert master.done
+    return master
+
+
+class TestTimedForwarding:
+    def test_round_trip_through_bridge(self):
+        simulator, clock, bus, _, bridge, _, remote = build()
+        master = run(simulator, clock, bus,
+                     [data_write(REMOTE_BASE, [0xC0FFEE]),
+                      data_read(REMOTE_BASE)])
+        assert master.completed[1].data == [0xC0FFEE]
+        assert bridge.forwarded_reads == 1
+        assert bridge.forwarded_writes == 1
+
+    def test_burst_read_through_bridge(self):
+        simulator, clock, bus, _, _, _, remote = build()
+        remote.load(0, [7, 8, 9, 10])
+        master = run(simulator, clock, bus,
+                     [data_read(REMOTE_BASE, burst_length=4)])
+        assert master.completed[0].data == [7, 8, 9, 10]
+
+    def test_bridged_read_slower_than_local(self):
+        simulator, clock, bus, _, _, local, remote = build(
+            crossing_cycles=3)
+        local.load(0, [1])
+        remote.load(0, [2])
+        master = run(simulator, clock, bus,
+                     [data_read(LOCAL_BASE), data_read(REMOTE_BASE)])
+        local_latency = master.completed[0].latency_cycles
+        bridged_latency = master.completed[1].latency_cycles
+        assert bridged_latency > local_latency
+
+    def test_read_after_posted_write_is_ordered(self):
+        simulator, clock, bus, _, _, _, remote = build()
+        remote.load(0, [0x1111])
+        master = run(simulator, clock, bus,
+                     [data_write(REMOTE_BASE, [0x2222]),
+                      data_read(REMOTE_BASE)])
+        assert master.completed[1].data == [0x2222]
+
+    def test_posted_queue_drains(self):
+        simulator, clock, bus, _, bridge, _, remote = build()
+        run(simulator, clock, bus,
+            [data_write(REMOTE_BASE + 4 * i, [i + 1]) for i in range(4)],
+            max_cycles=2_000)
+        simulator.run(100 * 40)
+        assert bridge.posted_occupancy == 0
+        assert [remote.peek(4 * i) for i in range(4)] == [1, 2, 3, 4]
+
+    def test_backpressure_books_stalls(self):
+        slow = MemorySlave(REMOTE_BASE, 0x1000,
+                           WaitStates(address=8), name="slow")
+        simulator, clock, bus, _, bridge, _, _ = build(
+            posted_depth=1, remote_slave=slow)
+        run(simulator, clock, bus,
+            [data_write(REMOTE_BASE + 4 * i, [i]) for i in range(3)],
+            max_cycles=3_000)
+        assert bridge.event_counts.get("queue_stall", 0) > 0
+
+    def test_downstream_read_error_surfaces(self):
+        simulator, clock, bus, _, _, _, _ = build(
+            remote_slave=ErroringBlockSlave(REMOTE_BASE, 0x1000))
+        master = BlockingMaster(simulator, clock, bus,
+                                [data_read(REMOTE_BASE)])
+        run_script(simulator, master, 2_000, clock)
+        assert master.errors and master.errors[0].error
+
+    def test_downstream_bus_not_left_busy(self):
+        simulator, clock, bus, down_bus, _, _, _ = build()
+        run(simulator, clock, bus,
+            [data_read(REMOTE_BASE), data_read(REMOTE_BASE + 4)])
+        simulator.run(100 * 10)
+        assert not down_bus.busy

@@ -1,0 +1,146 @@
+"""Unit tests for the declarative topology descriptions."""
+
+import pytest
+
+from repro.fabric import (CPU_SLAVES, FLAT_SLAVES, PERIPHERAL_SLAVES,
+                          BridgeSpec, SegmentSpec, Topology)
+
+
+class TestSpecValidation:
+    def test_unknown_arbiter_policy_rejected(self):
+        with pytest.raises(ValueError):
+            SegmentSpec("bus", ("ram",), arbiter="coin_flip")
+
+    def test_negative_crossing_rejected(self):
+        with pytest.raises(ValueError):
+            BridgeSpec("b", "cpu", "periph", crossing_cycles=-1)
+
+    def test_zero_posted_depth_rejected(self):
+        with pytest.raises(ValueError):
+            BridgeSpec("b", "cpu", "periph", posted_depth=0)
+
+
+class TestTopologyValidation:
+    def test_needs_a_segment(self):
+        with pytest.raises(ValueError):
+            Topology(())
+
+    def test_duplicate_segment_names(self):
+        with pytest.raises(ValueError):
+            Topology((SegmentSpec("bus", ("a",)),
+                      SegmentSpec("bus", ("b",))))
+
+    def test_duplicate_slave_across_segments(self):
+        with pytest.raises(ValueError):
+            Topology((SegmentSpec("cpu", ("ram",)),
+                      SegmentSpec("periph", ("ram",))),
+                     (BridgeSpec("b", "cpu", "periph"),))
+
+    def test_unknown_root(self):
+        with pytest.raises(ValueError):
+            Topology((SegmentSpec("bus", ("ram",)),), root="nope")
+
+    def test_bridge_to_unknown_segment(self):
+        with pytest.raises(ValueError):
+            Topology((SegmentSpec("cpu", ("ram",)),),
+                     (BridgeSpec("b", "cpu", "ghost"),))
+
+    def test_bridge_feeding_root_rejected(self):
+        with pytest.raises(ValueError):
+            Topology((SegmentSpec("cpu", ("ram",)),
+                      SegmentSpec("periph", ("uart",))),
+                     (BridgeSpec("up", "cpu", "periph"),
+                      BridgeSpec("down", "periph", "cpu")))
+
+    def test_two_feeders_rejected(self):
+        with pytest.raises(ValueError):
+            Topology((SegmentSpec("cpu", ("ram",)),
+                      SegmentSpec("io", ("uart",)),
+                      SegmentSpec("leaf", ("intc",))),
+                     (BridgeSpec("a", "cpu", "leaf"),
+                      BridgeSpec("b", "io", "leaf"),
+                      BridgeSpec("c", "cpu", "io")))
+
+    def test_unreachable_segment_rejected(self):
+        with pytest.raises(ValueError):
+            Topology((SegmentSpec("cpu", ("ram",)),
+                      SegmentSpec("island", ("uart",))))
+
+    def test_bridge_name_clashing_with_slave_rejected(self):
+        with pytest.raises(ValueError):
+            Topology((SegmentSpec("cpu", ("ram",)),
+                      SegmentSpec("periph", ("uart",))),
+                     (BridgeSpec("uart", "cpu", "periph"),))
+
+    def test_three_level_chain_valid(self):
+        topo = Topology((SegmentSpec("cpu", ("ram",)),
+                         SegmentSpec("io", ("uart",)),
+                         SegmentSpec("leaf", ("intc",))),
+                        (BridgeSpec("b1", "cpu", "io"),
+                         BridgeSpec("b2", "io", "leaf")))
+        assert topo.root == "cpu"
+        assert not topo.is_flat
+        assert topo.bridges_from("io")[0].name == "b2"
+
+
+class TestPresets:
+    def test_flat_preset(self):
+        topo = Topology.flat()
+        assert topo.is_flat
+        assert topo.root == "bus"
+        assert topo.slave_names() == FLAT_SLAVES
+        assert topo.segments[0].arbiter is None
+
+    def test_two_segment_preset(self):
+        topo = Topology.two_segment()
+        assert not topo.is_flat
+        assert topo.root == "cpu"
+        assert topo.segment("cpu").slaves == CPU_SLAVES
+        assert topo.segment("periph").slaves == PERIPHERAL_SLAVES
+        (bridge,) = topo.bridges_from("cpu")
+        assert bridge.downstream == "periph"
+        assert bridge.crossing_cycles == 1
+
+    def test_two_segment_parameters(self):
+        topo = Topology.two_segment(crossing_cycles=3, posted_depth=5,
+                                    arbiter="round_robin")
+        (bridge,) = topo.bridges
+        assert bridge.crossing_cycles == 3
+        assert bridge.posted_depth == 5
+        assert topo.segment("cpu").arbiter == "round_robin"
+        assert topo.segment("periph").arbiter is None
+
+
+class TestCoerce:
+    def test_none_is_flat(self):
+        assert Topology.coerce(None).is_flat
+
+    def test_names(self):
+        assert Topology.coerce("flat").is_flat
+        assert not Topology.coerce("two_segment").is_flat
+
+    def test_instance_passthrough(self):
+        topo = Topology.two_segment()
+        assert Topology.coerce(topo) is topo
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            Topology.coerce("ring")
+
+
+class TestDerivation:
+    def test_with_slave_appends(self):
+        topo = Topology.flat().with_slave("bus", "dma")
+        assert topo.slave_names() == FLAT_SLAVES + ("dma",)
+
+    def test_with_slave_noop_when_placed(self):
+        topo = Topology.two_segment()
+        assert topo.with_slave("cpu", "uart") is topo
+
+    def test_with_arbiter(self):
+        topo = Topology.flat().with_arbiter("bus", "priority_rr")
+        assert topo.segment("bus").arbiter == "priority_rr"
+
+    def test_with_arbiter_unknown_segment(self):
+        with pytest.raises(KeyError):
+            Topology.flat().with_arbiter("ghost", "priority")

@@ -17,7 +17,7 @@ class TestParser:
     @pytest.mark.parametrize("command", [
         "report", "table1", "table2", "table3", "figure6", "casestudy",
         "coprocessor", "characterize", "trace", "vcd", "sweep",
-        "robustness", "faults", "dpm", "link"])
+        "robustness", "faults", "dpm", "link", "fabric"])
     def test_commands_parse(self, command):
         args = build_parser().parse_args([command])
         assert args.command == command
@@ -94,6 +94,17 @@ class TestCommands:
         assert main(["link", "--sessions", "0"]) == 2
         assert main(["link", "--noise", "1.5"]) == 2
         assert main(["link", "--resume"]) == 2
+
+    def test_fabric_small_campaign(self, capsys):
+        assert main(["fabric", "--layers", "layer1", "layer3",
+                     "--commands", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "fabric campaign" in out
+        assert "per-link energy books telescope to the probe total" in out
+
+    def test_fabric_rejects_bad_parameters(self, capsys):
+        assert main(["fabric", "--commands", "0"]) == 2
+        assert main(["fabric", "--resume"]) == 2
 
     def test_faults_small_campaign(self, capsys):
         assert main(["faults", "--rates", "0", "0.05",
