@@ -2,7 +2,7 @@
 
 Asserts the PR-5 performance contract — the clocked-kernel fast lane
 at least doubles the bare scheduler's cycles/second — and emits the
-same ``BENCH_PR5.json`` rows ``repro bench`` writes, validating their
+same ``BENCH_PR9.json`` rows ``repro bench`` writes, validating their
 schema on the way out.  Run with ``pytest benchmarks/``; the tier-1
 suite (``testpaths = tests``) does not collect this directory, so the
 wall-clock-sensitive assertion never flakes a functional CI run.
@@ -43,6 +43,6 @@ def test_layer_throughput_rows(char_table, kernel_rows, tmp_path):
     by_metric = {row["metric"]: row["value"] for row in rows}
     for layer in (1, 2):
         assert by_metric[f"layer{layer}_fastlane_speedup"] >= 1.0
-    path = tmp_path / "BENCH_PR5.json"
+    path = tmp_path / "BENCH_PR9.json"
     write_bench(rows, str(path))
     assert json.loads(path.read_text()) == rows

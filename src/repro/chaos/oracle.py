@@ -1,0 +1,496 @@
+"""Cross-layer differential oracle for chaos scenarios.
+
+One scenario runs three times — on the cycle-accurate layer-1 bus, the
+timed layer-2 bus and the untimed layer-3 bus — over identical seeded
+traffic, an identical fabric topology and an *identical* fabric fault
+schedule (pure per-crossing decisions, see :mod:`repro.faults.fabric`).
+The layers disagree about time by design; they must agree about
+everything else.  The oracle checks:
+
+* **no hangs** — each timed run sits under a
+  :class:`~repro.kernel.ProgressWatchdog`; a trip is a finding, never
+  a silent timeout,
+* **outcome equality** — per script item, every layer reports the same
+  ok / error-cause verdict (the CPU is a blocking master, so program
+  order — and therefore the crossing index each fault lands on — is
+  identical across layers),
+* **memory equality** — the digest over the architecturally-visible
+  memory span (scratchpad RAM + EEPROM) matches across layers,
+* **fault accounting** — each fault process's ``fired`` counts match
+  the bridge/arbiter counters on its own layer *and* match across
+  layers; every master-visible error carries a definite cause; posted
+  queues drain to empty and nothing is journaled as lost,
+* **balanced books** — each layer's per-link energy buckets telescope
+  bitwise into its composite probe total, faults included,
+* **energy envelope** — the layer-2 probe total stays within the
+  accuracy-study envelope of the layer-1 reference.
+
+Divergences are classified (``hang``, ``outcome``, ``memory``,
+``fault_accounting``, ``energy_leak``, ``energy_envelope``) and folded
+into a stable ``failure_signature`` the shrinker preserves while
+minimising.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import random
+import typing
+
+from repro.ec import RetryPolicy, data_write
+from repro.faults.fabric import build_fault_processes
+from repro.fabric import Topology, build_fabric
+from repro.kernel import StallError
+from repro.power import (DpmController, DpmGovernor, FixedTimeoutPolicy,
+                         Layer1PowerModel, Layer2PowerModel, PowerDomain,
+                         PowerSupply)
+from repro.soc import DMA_BASE, RAM_BASE, SmartCardPlatform
+from repro.soc.dma import CTRL, CTRL_BURST, CTRL_START, DST, LEN, SRC
+from repro.tlm.master import BlockingMaster, normalise_script, run_script
+
+from .scenario import ChaosScenario, scenario_script
+
+CHAOS_LAYERS = ("layer1", "layer2", "layer3")
+
+#: L2/L1 probe-total ratio bounds — generous on purpose: the envelope
+#: flags abstraction *breakage* (an order-of-magnitude leak), not the
+#: few-percent modeling error the accuracy study quantifies
+ENERGY_ENVELOPE = (0.3, 3.0)
+
+#: architecturally-visible digest span: the RAM/EEPROM bytes the
+#: workloads write (DMA staging sits above RAM+0x400 and is excluded —
+#: the untimed layer runs no DMA engine)
+_DIGEST_RAM_BYTES = 0x400
+_DIGEST_EEPROM_BYTES = 0x1000
+
+_DMA_SRC = RAM_BASE + 0x600
+_DMA_DST = RAM_BASE + 0x700
+_DMA_WORDS = 8
+
+#: recovery policy of scenarios with ``retry=True``; no per-attempt
+#: watchdog — injected stall windows must trip the *progress* watchdog
+#: (a finding) instead of being silently cancelled mid-flight
+_RETRY_POLICY = RetryPolicy(max_attempts=3, backoff_cycles=2,
+                            timeout_cycles=None)
+
+
+@dataclasses.dataclass
+class LayerRun:
+    """What one layer observed for one scenario (JSON-stable)."""
+
+    layer: str
+    hang: bool
+    hang_diagnostic: typing.Optional[str]
+    outcomes: typing.List[typing.List]  # [kind, address, verdict]
+    digest: str
+    cycles: int
+    transactions: int
+    errors: int
+    retries: int
+    uncaused_errors: int
+    fault_reports: int
+    recovered: int
+    crossings_read: int
+    crossings_write: int
+    fired: typing.Dict[str, int]
+    glitches_fired: int
+    bridge_counters: typing.Dict[str, int]
+    posted_pending: int
+    posted_lost: int
+    dma_words: int
+    probe_total_pj: float
+    balanced: bool
+    imbalance_pj: float
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class ScenarioResult:
+    """The oracle's verdict over the three layer runs."""
+
+    scenario: ChaosScenario
+    layers: typing.List[LayerRun]
+    divergences: typing.List[typing.Dict[str, str]]
+
+    @property
+    def passed(self) -> bool:
+        return not self.divergences
+
+    @property
+    def failure_signature(self) -> str:
+        """Stable classification of *how* the scenario failed: the
+        sorted set of divergence kinds.  Details (cycle counts,
+        picojoules) deliberately excluded — a shrunken scenario fails
+        "the same way" when its kinds match."""
+        kinds = sorted({item["kind"] for item in self.divergences})
+        return "+".join(kinds) if kinds else "pass"
+
+    @property
+    def faults_fired(self) -> int:
+        if not self.layers:
+            return 0
+        first = self.layers[0]
+        return sum(first.fired.values()) + first.glitches_fired
+
+    def to_dict(self) -> dict:
+        return {"scenario": self.scenario.to_dict(),
+                "layers": [run.to_dict() for run in self.layers],
+                "divergences": self.divergences,
+                "signature": self.failure_signature}
+
+
+def _dma_descriptor(seed: str) -> typing.List:
+    """Root-segment DMA program: RAM-to-RAM burst move (never crosses
+    the bridge, so it perturbs arbitration without consuming fault
+    crossing indices)."""
+    rng = random.Random(f"{seed}/dma")
+    payload = [rng.getrandbits(32) for _ in range(_DMA_WORDS)]
+    script = [data_write(_DMA_SRC, payload[:4]),
+              data_write(_DMA_SRC + 16, payload[4:])]
+    for offset, value in ((SRC, _DMA_SRC), (DST, _DMA_DST),
+                          (LEN, _DMA_WORDS),
+                          (CTRL, CTRL_START | CTRL_BURST)):
+        script.append(data_write(DMA_BASE + 4 * offset, [value]))
+    return script
+
+
+def _topology(scenario: ChaosScenario, layer: str) -> Topology:
+    arbiter = None if layer == "layer3" else scenario.arbiter
+    return Topology.two_segment(
+        crossing_cycles=scenario.crossing_cycles,
+        posted_depth=scenario.posted_depth,
+        arbiter=arbiter)
+
+
+def _memory_digest(platform: SmartCardPlatform) -> str:
+    """SHA-256 over the digest span of RAM + EEPROM.  Read through
+    the functional block interface in small chunks *after* the energy
+    report is captured (the reads themselves book events)."""
+    hasher = hashlib.sha256()
+    for slave, span in ((platform.ram, _DIGEST_RAM_BYTES),
+                        (platform.eeprom, _DIGEST_EEPROM_BYTES)):
+        words = min(span, slave.size) // 4
+        offset = 0
+        while offset < words:
+            chunk = min(64, words - offset)
+            data, error = slave.read_block(offset * 4, chunk, 0b1111)
+            if error:
+                raise RuntimeError(
+                    f"digest read failed at {offset * 4:#x}")
+            for word in data:
+                hasher.update(word.to_bytes(4, "little"))
+            offset += chunk
+    return hasher.hexdigest()
+
+
+def _item_outcomes(script: typing.List,
+                   completed: typing.List) -> typing.List[typing.List]:
+    """Final per-item verdicts in script order.  The blocking master
+    finishes items strictly in order, so ``completed`` (retries
+    collapsed by the recovery machinery) aligns with the script."""
+    outcomes = []
+    for transaction in completed:
+        verdict = ("ok" if not transaction.error
+                   else (transaction.error_cause.value
+                         if transaction.error_cause else "uncaused"))
+        outcomes.append([transaction.kind.value, transaction.address,
+                         verdict])
+    del script  # alignment is by order; the script fixes the length
+    return outcomes
+
+
+def _bridge_counter_dict(bridge) -> typing.Dict[str, int]:
+    return {
+        "route_faults": bridge.route_faults,
+        "posted_dropped": bridge.posted_dropped,
+        "posted_duplicated": bridge.posted_duplicated,
+        "fault_stall_cycles": bridge.fault_stall_cycles,
+        "posted_errors": bridge.posted_errors,
+        "posted_flushed_on_power_off": bridge.posted_flushed_on_power_off,
+        "posted_lost_on_power_off": bridge.posted_lost_on_power_off,
+    }
+
+
+def _drain(platform: SmartCardPlatform, limit: int = 20_000) -> bool:
+    """Run the timed platform until DMA, buses and posted queues are
+    quiet; False when the fabric refuses to settle (a hang finding)."""
+    for _ in range(limit):
+        quiet = ((platform.dma is None or not platform.dma.busy)
+                 and platform.fabric.posted_writes_pending == 0
+                 and all(not segment.bus.busy
+                         for segment in
+                         platform.fabric.segments.values()))
+        if quiet:
+            return True
+        platform.run_cycles(1)
+    return False
+
+
+def _run_timed_layer(scenario: ChaosScenario, layer: str) -> LayerRun:
+    table = _characterization_table()
+    model_cls = Layer1PowerModel if layer == "layer1" else Layer2PowerModel
+    platform = SmartCardPlatform(
+        bus_layer=1 if layer == "layer1" else 2,
+        power_model=model_cls(table),
+        topology=_topology(scenario, layer),
+        power_model_factory=lambda segment: model_cls(table),
+        with_dma=scenario.with_dma)
+    fault_process, glitch_process = build_fault_processes(scenario.faults)
+    bridge = platform.fabric.bridge("bridge")
+    bridge.fault_process = fault_process
+    arbiter = platform.fabric.root.arbiter
+    if arbiter is not None:
+        arbiter.glitch_process = glitch_process
+
+    psm_ledgers: typing.List = []
+    if scenario.dpm:
+        composite = platform.fabric.composite(platform.energy_ledgers())
+        supply = PowerSupply(composite)  # well-fed: chaos, not brownout
+        PowerDomain(platform.simulator, platform.clock, platform.bus,
+                    supply, halt_on_power_loss=False)
+        governor = DpmGovernor(supply, table,
+                               policy=FixedTimeoutPolicy())
+        psms = platform.attach_dpm(governor)
+        for psm in psms.values():
+            composite.add_ledger(psm)
+        DpmController(platform.simulator, platform.clock, governor)
+        psm_ledgers = list(psms.values())
+
+    script = scenario_script(scenario)
+    dma_items = 0
+    if scenario.with_dma:
+        dma_script = _dma_descriptor(scenario.seed)
+        dma_items = len(dma_script)
+        script = dma_script + script
+    master = BlockingMaster(
+        platform.simulator, platform.clock, platform.cpu_interface,
+        script, name="cpu",
+        retry_policy=_RETRY_POLICY if scenario.retry else None)
+
+    hang = False
+    diagnostic = None
+    cycles = 0
+    try:
+        cycles = run_script(platform.simulator, master,
+                            scenario.max_cycles, platform.clock,
+                            stall_cycles=scenario.stall_cycles)
+        if not _drain(platform):
+            hang = True
+            diagnostic = "fabric did not drain after script completion"
+    except StallError as exc:
+        hang = True
+        diagnostic = str(exc).splitlines()[0]
+
+    report = platform.fabric.energy_report(
+        platform.energy_ledgers() + psm_ledgers)
+    digest = _memory_digest(platform)
+    uncaused = sum(1 for txn in master.errors
+                   if txn.error_cause is None)
+    return LayerRun(
+        layer=layer, hang=hang, hang_diagnostic=diagnostic,
+        outcomes=_item_outcomes(script, master.completed)[dma_items:],
+        digest=digest, cycles=cycles,
+        transactions=len(master.completed) - dma_items,
+        errors=len(master.errors), retries=master.retries,
+        uncaused_errors=uncaused,
+        fault_reports=len(master.fault_reports),
+        recovered=sum(1 for rep in master.fault_reports
+                      if rep.recovered),
+        crossings_read=bridge._read_crossings,
+        crossings_write=bridge._write_crossings,
+        fired=dict(fault_process.fired),
+        glitches_fired=glitch_process.fired,
+        bridge_counters=_bridge_counter_dict(bridge),
+        posted_pending=platform.fabric.posted_writes_pending,
+        posted_lost=bridge.posted_lost_on_power_off,
+        dma_words=(platform.dma.words_moved
+                   if platform.dma is not None else 0),
+        probe_total_pj=report.probe_total_pj,
+        balanced=report.balanced,
+        imbalance_pj=report.imbalance_pj)
+
+
+def _run_layer3(scenario: ChaosScenario) -> LayerRun:
+    """The untimed arm: synchronous routing, emulated retry loop (the
+    same attempts/cause decisions the blocking master makes)."""
+    platform = SmartCardPlatform(bus_layer=1)  # slave farm only
+    named = {"rom": platform.rom, "flash": platform.flash,
+             "eeprom": platform.eeprom, "ram": platform.ram,
+             "uart": platform.uart, "timers": platform.timers,
+             "trng": platform.rng, "intc": platform.intc}
+    fabric = build_fabric(_topology(scenario, "layer3"), named,
+                          bus_layer=3)
+    fault_process, glitch_process = build_fault_processes(scenario.faults)
+    bridge = fabric.bridge("bridge")
+    bridge.fault_process = fault_process
+
+    policy = _RETRY_POLICY if scenario.retry else None
+    outcomes: typing.List[typing.List] = []
+    errors = retries = uncaused = reports = recovered = 0
+    for _, transaction in normalise_script(scenario_script(scenario)):
+        current = transaction
+        attempts = 0
+        while True:
+            state = fabric.root_bus.issue(current)
+            if not state.finished:
+                raise RuntimeError(
+                    "layer-3 transaction did not complete "
+                    f"synchronously: {current}")
+            if not current.error:
+                break
+            attempts += 1
+            if policy is None or not policy.should_retry(
+                    current.error_cause, attempts):
+                break
+            retries += 1
+            current = current.clone()
+        if current.error:
+            errors += 1
+            if current.error_cause is None:
+                uncaused += 1
+            verdict = (current.error_cause.value
+                       if current.error_cause else "uncaused")
+        else:
+            verdict = "ok"
+        if attempts > 0:
+            reports += 1
+            if not current.error:
+                recovered += 1
+        outcomes.append([current.kind.value, current.address, verdict])
+
+    report = fabric.energy_report(platform.energy_ledgers())
+    digest = _memory_digest(platform)
+    return LayerRun(
+        layer="layer3", hang=False, hang_diagnostic=None,
+        outcomes=outcomes, digest=digest, cycles=0,
+        transactions=len(outcomes), errors=errors, retries=retries,
+        uncaused_errors=uncaused, fault_reports=reports,
+        recovered=recovered,
+        crossings_read=bridge._read_crossings,
+        crossings_write=bridge._write_crossings,
+        fired=dict(fault_process.fired),
+        glitches_fired=glitch_process.fired,
+        bridge_counters=_bridge_counter_dict(bridge),
+        posted_pending=fabric.posted_writes_pending,
+        posted_lost=bridge.posted_lost_on_power_off,
+        dma_words=0,
+        probe_total_pj=report.probe_total_pj,
+        balanced=report.balanced,
+        imbalance_pj=report.imbalance_pj)
+
+
+_TABLE_CACHE: typing.List = []
+
+
+def _characterization_table():
+    if not _TABLE_CACHE:
+        from repro.experiments.common import characterization
+        _TABLE_CACHE.append(characterization().table)
+    return _TABLE_CACHE[0]
+
+
+def _classify(scenario: ChaosScenario,
+              runs: typing.List[LayerRun]
+              ) -> typing.List[typing.Dict[str, str]]:
+    divergences: typing.List[typing.Dict[str, str]] = []
+
+    def finding(kind: str, detail: str) -> None:
+        divergences.append({"kind": kind, "detail": detail})
+
+    for run in runs:
+        if run.hang:
+            finding("hang", f"{run.layer}: {run.hang_diagnostic}")
+    if any(run.hang for run in runs):
+        # a hung layer's books/outcomes are meaningless — report the
+        # hang alone so the signature stays stable under shrinking
+        return divergences
+
+    reference = runs[0]
+    for run in runs[1:]:
+        if run.outcomes != reference.outcomes:
+            detail = f"{reference.layer} vs {run.layer}"
+            for i, (a, b) in enumerate(zip(reference.outcomes,
+                                           run.outcomes)):
+                if a != b:
+                    detail += f" first at item {i}: {a} != {b}"
+                    break
+            else:
+                detail += (f" lengths {len(reference.outcomes)} != "
+                           f"{len(run.outcomes)}")
+            finding("outcome", detail)
+        if run.digest != reference.digest:
+            finding("memory",
+                    f"{reference.layer} vs {run.layer} digest mismatch")
+
+    for run in runs:
+        counters = run.bridge_counters
+        expected = {
+            "route_faults": run.fired.get("route_error", 0),
+            "posted_dropped": run.fired.get("drop_write", 0),
+            "posted_duplicated": run.fired.get("dup_write", 0),
+        }
+        for key, want in expected.items():
+            if counters.get(key, 0) != want:
+                finding("fault_accounting",
+                        f"{run.layer}: bridge {key}={counters.get(key)} "
+                        f"but process fired {want}")
+        if run.uncaused_errors:
+            finding("fault_accounting",
+                    f"{run.layer}: {run.uncaused_errors} errors "
+                    f"without a cause")
+        if run.posted_pending:
+            finding("fault_accounting",
+                    f"{run.layer}: {run.posted_pending} posted writes "
+                    f"still queued after drain")
+        if run.posted_lost:
+            finding("fault_accounting",
+                    f"{run.layer}: {run.posted_lost} posted writes "
+                    f"lost at power-off")
+        if scenario.retry and run.errors > run.fault_reports:
+            finding("fault_accounting",
+                    f"{run.layer}: {run.errors} errors but only "
+                    f"{run.fault_reports} fault reports")
+    for run in runs[1:]:
+        for key in ("crossings_read", "crossings_write"):
+            if getattr(run, key) != getattr(reference, key):
+                finding("fault_accounting",
+                        f"{key}: {reference.layer}="
+                        f"{getattr(reference, key)} vs {run.layer}="
+                        f"{getattr(run, key)}")
+        if run.fired != reference.fired:
+            finding("fault_accounting",
+                    f"fired counts diverge: {reference.layer}="
+                    f"{reference.fired} vs {run.layer}={run.fired}")
+
+    for run in runs:
+        if not run.balanced:
+            finding("energy_leak",
+                    f"{run.layer}: probe != bucket sum "
+                    f"(imbalance {run.imbalance_pj:+.6f} pJ)")
+    by_layer = {run.layer: run for run in runs}
+    l1, l2 = by_layer.get("layer1"), by_layer.get("layer2")
+    if l1 is not None and l2 is not None and l1.probe_total_pj > 0:
+        ratio = l2.probe_total_pj / l1.probe_total_pj
+        if not (ENERGY_ENVELOPE[0] <= ratio <= ENERGY_ENVELOPE[1]):
+            finding("energy_envelope",
+                    f"L2/L1 probe ratio {ratio:.3f} outside "
+                    f"{ENERGY_ENVELOPE}")
+    return divergences
+
+
+def run_scenario(scenario: ChaosScenario,
+                 layers: typing.Sequence[str] = CHAOS_LAYERS
+                 ) -> ScenarioResult:
+    """Run *scenario* on every requested layer and classify the
+    cross-layer divergences (empty list = the scenario passed)."""
+    runs: typing.List[LayerRun] = []
+    for layer in layers:
+        if layer == "layer3":
+            runs.append(_run_layer3(scenario))
+        else:
+            runs.append(_run_timed_layer(scenario, layer))
+    return ScenarioResult(scenario=scenario, layers=runs,
+                          divergences=_classify(scenario, runs))

@@ -1,0 +1,191 @@
+"""Seeded chaos scenarios: topology x workload x faults x power.
+
+A :class:`ChaosScenario` is the unit the chaos campaign runs, shrinks
+and replays.  It is *pure data*: every knob that influences the run is
+an explicit field, the workload is derived from the scenario's seed
+string alone, and :meth:`ChaosScenario.to_dict` /
+:meth:`ChaosScenario.from_dict` round-trip through JSON bit-exactly —
+that is what makes a shrunken repro cell replayable on another machine
+(or in CI) with byte-identical behaviour.
+
+:func:`generate_scenario` is the campaign's scenario source: a pure
+function of ``(seed, index)`` composing topology knobs (bridge
+crossing latency, posted-queue depth, arbitration policy), a workload
+(APDU session / generated memory traffic / both), a fabric fault
+schedule (:class:`~repro.faults.fabric.FabricFaultSpec`), an optional
+DMA burst and optional dynamic power management into one scenario.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import typing
+
+from repro.ec import data_read, data_write
+from repro.faults.fabric import FabricFaultSpec
+from repro.soc import EEPROM_BASE, RAM_BASE, UART_BASE
+from repro.workloads.apdu import apdu_session
+from repro.workloads.generator import Mix, Window, generate_script
+
+#: workload families the generator composes
+CHAOS_WORKLOADS = ("apdu", "mem", "mixed")
+
+#: generated memory traffic stays inside the digest span (and inside
+#: the root segment — crossings come from the peripheral traffic)
+_MEM_WINDOWS = (Window(RAM_BASE, 0x400),
+                Window(EEPROM_BASE + 0x400, 0x400))
+#: data-only mix: instruction bursts would trip execute-rights decode
+#: errors that have nothing to do with the fabric under test
+_DATA_MIX = Mix(1.0, 1.0, 1.0, 1.0, 0.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosScenario:
+    """One fully seeded chaos experiment (pure data, JSON-stable)."""
+
+    name: str
+    seed: str
+    workload: str = "apdu"
+    commands: int = 4
+    with_dma: bool = True
+    dpm: bool = False
+    crossing_cycles: int = 1
+    posted_depth: int = 2
+    arbiter: str = "priority_rr"
+    faults: typing.Tuple[FabricFaultSpec, ...] = ()
+    retry: bool = True
+    max_cycles: int = 300_000
+    stall_cycles: int = 2_000
+
+    def __post_init__(self) -> None:
+        if self.workload not in CHAOS_WORKLOADS:
+            raise ValueError(f"unknown workload {self.workload!r}; "
+                             f"expected one of {CHAOS_WORKLOADS}")
+        if self.commands < 1:
+            raise ValueError("commands must be >= 1")
+        if self.crossing_cycles < 0 or self.posted_depth < 1:
+            raise ValueError("bad topology knobs")
+        if self.max_cycles < 1 or self.stall_cycles < 1:
+            raise ValueError("cycle budgets must be >= 1")
+
+    # -- serialisation (the replayable repro cell format) ----------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "workload": self.workload,
+            "commands": self.commands,
+            "with_dma": self.with_dma,
+            "dpm": self.dpm,
+            "crossing_cycles": self.crossing_cycles,
+            "posted_depth": self.posted_depth,
+            "arbiter": self.arbiter,
+            "faults": [list(spec.to_tuple()) for spec in self.faults],
+            "retry": self.retry,
+            "max_cycles": self.max_cycles,
+            "stall_cycles": self.stall_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, value: typing.Mapping) -> "ChaosScenario":
+        fields = dict(value)
+        faults = tuple(FabricFaultSpec.from_tuple(item)
+                       for item in fields.pop("faults", ()))
+        return cls(faults=faults, **fields)
+
+    @property
+    def fault_count(self) -> int:
+        return len(self.faults)
+
+    def size(self) -> typing.Tuple[int, int, int, int]:
+        """Shrink-ordering key: smaller tuples are simpler scenarios."""
+        return (len(self.faults), self.commands,
+                int(self.dpm) + int(self.with_dma) + int(self.retry)
+                + self.crossing_cycles + (self.posted_depth - 1),
+                sum(spec.index + spec.param for spec in self.faults))
+
+    def __repr__(self) -> str:
+        return (f"ChaosScenario({self.name!r}, {self.workload}, "
+                f"commands={self.commands}, faults={len(self.faults)}, "
+                f"dpm={self.dpm}, dma={self.with_dma})")
+
+
+def _periph_probe() -> typing.List:
+    """Deterministic cross-bridge traffic appended to every workload:
+    a scenario whose seeded session never touches a peripheral would
+    exercise no crossings and prove nothing about the fabric."""
+    return [data_write(UART_BASE, [0x55AA_55AA]),
+            data_read(UART_BASE + 4),
+            data_read(UART_BASE)]
+
+
+def scenario_script(scenario: ChaosScenario) -> typing.List:
+    """The scenario's common bus script, rebuilt fresh per model run.
+
+    Script items carry live :class:`~repro.ec.Transaction` objects, so
+    every layer of a differential run must regenerate the script —
+    sharing one list across runs would replay already-finished
+    transactions.  Purely a function of the scenario fields.
+    """
+    script: typing.List = []
+    if scenario.workload in ("apdu", "mixed"):
+        script += apdu_session(random.Random(f"{scenario.seed}/apdu"),
+                               scenario.commands).script
+    if scenario.workload in ("mem", "mixed"):
+        script += generate_script(
+            random.Random(f"{scenario.seed}/mem"),
+            scenario.commands * 4, _MEM_WINDOWS, _DATA_MIX,
+            gap_probability=0.25, max_gap=3)
+    return script + _periph_probe()
+
+
+def _generate_faults(rng: random.Random) -> typing.Tuple[
+        FabricFaultSpec, ...]:
+    """A small seeded fault schedule with unique per-class indices."""
+    count = rng.choice((0, 1, 1, 2, 2, 3, 4))
+    specs: typing.List[FabricFaultSpec] = []
+    used: typing.Dict[str, typing.Set[int]] = {
+        "read": set(), "write": set(), "arb": set()}
+    for _ in range(count):
+        kind = rng.choice(("read_stall", "route_error", "drop_write",
+                           "dup_write", "arb_glitch"))
+        klass = ("read" if kind in ("read_stall", "route_error")
+                 else "write" if kind in ("drop_write", "dup_write")
+                 else "arb")
+        # index ranges match typical crossing counts per class so most
+        # scheduled faults actually land: a handful of posted writes, a
+        # few more forwarded reads, dozens of arbitration rounds
+        index = rng.randrange(0, {"read": 6, "write": 3,
+                                  "arb": 40}[klass])
+        if index in used[klass]:
+            continue  # one verdict per crossing: skip the collision
+        used[klass].add(index)
+        if kind == "read_stall":
+            param = rng.randrange(2, 25)
+        elif kind == "route_error":
+            param = rng.randrange(0, 2)
+        else:
+            param = 0
+        specs.append(FabricFaultSpec(kind, index, param))
+    return tuple(specs)
+
+
+def generate_scenario(seed: typing.Union[int, str],
+                      index: int) -> ChaosScenario:
+    """Scenario *index* of the campaign seeded by *seed* (pure)."""
+    scenario_seed = f"{seed}/scenario/{index}"
+    rng = random.Random(scenario_seed)
+    return ChaosScenario(
+        name=f"s{seed}-{index:04d}",
+        seed=scenario_seed,
+        workload=rng.choice(CHAOS_WORKLOADS),
+        commands=rng.randrange(2, 7),
+        with_dma=rng.random() < 0.5,
+        dpm=rng.random() < 0.35,
+        crossing_cycles=rng.randrange(0, 4),
+        posted_depth=rng.randrange(1, 5),
+        arbiter=rng.choice(("priority", "round_robin", "priority_rr")),
+        faults=_generate_faults(rng),
+        retry=rng.random() < 0.85)

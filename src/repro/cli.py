@@ -25,7 +25,7 @@ usable without writing Python:
 ``trace``                 run the §4.1 test program and dump its bus
                           trace
 ``bench``                 tracked performance benchmarks; writes
-                          ``BENCH_PR5.json`` and enforces the fast-lane
+                          ``BENCH_PR9.json`` and enforces the fast-lane
                           kernel speedup floor
 ========================  ==============================================
 """
@@ -33,6 +33,7 @@ usable without writing Python:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import typing
 
@@ -240,6 +241,55 @@ def _cmd_fabric(args: argparse.Namespace) -> int:
     # — or a flat topology that drifts from the legacy card — is a
     # failed campaign
     return 0 if result.passed else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.replay:
+        return _chaos_replay(args.replay)
+    from repro.experiments import run_chaos_campaign
+    if not _check_resume(args, "chaos"):
+        return 2
+    try:
+        result = run_chaos_campaign(
+            scenarios=args.scenarios, seed=args.seed,
+            journal_path=args.journal, resume=args.resume,
+            cell_wall_seconds=args.cell_wall_seconds,
+            workers=args.workers, selftest=not args.no_selftest)
+    except ValueError as error:
+        print(f"repro chaos: error: {error}", file=sys.stderr)
+        return 2
+    print(result.format())
+    if args.repro_out and result.selftest is not None \
+            and result.selftest.status == "ok":
+        with open(args.repro_out, "w", encoding="utf-8") as handle:
+            json.dump({"signature": result.selftest.signature,
+                       "original": result.selftest.original,
+                       "minimal": result.selftest.minimal},
+                      handle, indent=2)
+            handle.write("\n")
+        print(f"minimal repro written to {args.repro_out}")
+    # a hang, an unexplained cross-layer divergence, a leaking energy
+    # book or a shrink that does not replay is a failed campaign
+    return 0 if result.passed else 1
+
+
+def _chaos_replay(path: str) -> int:
+    """Replay a shrunken repro file; exit 0 when the failure still
+    reproduces (that is the replay's *purpose*), 1 when it passes."""
+    from repro.chaos import ChaosScenario, run_scenario
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    for key in ("minimal", "scenario"):
+        if isinstance(data, dict) and key in data:
+            data = data[key]
+            break
+    scenario = ChaosScenario.from_dict(data)
+    result = run_scenario(scenario)
+    print(f"replay {scenario.name}: signature "
+          f"{result.failure_signature!r}")
+    for divergence in result.divergences:
+        print(f"  {divergence['kind']}: {divergence['detail']}")
+    return 0 if not result.passed else 1
 
 
 def _cmd_vcd(args: argparse.Namespace) -> int:
@@ -518,6 +568,33 @@ def build_parser() -> argparse.ArgumentParser:
     add_workers(fabric, what="grid cells")
     fabric.set_defaults(func=_cmd_fabric)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="chaos campaign: seeded fabric-fault scenarios checked "
+             "by a cross-layer differential oracle, with a "
+             "self-shrinking repro of any failure")
+    chaos.add_argument("--scenarios", type=int, default=25,
+                       help="number of generated scenarios to run")
+    chaos.add_argument("--seed", default=7,
+                       help="campaign seed (any int or string)")
+    chaos.add_argument("--no-selftest", action="store_true",
+                       help="skip the injected-failure shrinker "
+                            "self-test cell")
+    chaos.add_argument("--replay", metavar="FILE",
+                       help="replay a shrunken repro JSON file instead "
+                            "of running the campaign (exit 0 when the "
+                            "failure reproduces)")
+    chaos.add_argument("--repro-out", metavar="FILE",
+                       help="write the self-test's minimal repro as "
+                            "replayable JSON")
+    chaos.add_argument("--cell-wall-seconds", type=float, default=None,
+                       help="wall-clock budget per scenario cell; a "
+                            "cell exceeding it degrades instead of "
+                            "hanging the campaign")
+    add_supervision(chaos)
+    add_workers(chaos, what="scenario cells")
+    chaos.set_defaults(func=_cmd_chaos)
+
     bench = sub.add_parser(
         "bench", help="tracked performance benchmarks "
                       "(kernel/layer/campaign throughput)")
@@ -525,7 +602,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="smaller workloads for CI smoke runs")
     bench.add_argument("--workers", type=int, default=2, metavar="N",
                        help="worker count for the campaign benchmark")
-    bench.add_argument("-o", "--output", default="BENCH_PR5.json",
+    bench.add_argument("-o", "--output", default="BENCH_PR9.json",
                        help="where to write the benchmark rows (JSON)")
     bench.set_defaults(func=_cmd_bench)
 

@@ -11,9 +11,13 @@ from __future__ import annotations
 
 import abc
 import dataclasses
+import typing
 
 from .types import AccessRights, BusState, TransactionKind
 from .transaction import Transaction
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from .recovery import ErrorCause
 
 
 @dataclasses.dataclass(frozen=True)
@@ -81,10 +85,19 @@ class SlaveDataInterface(abc.ABC):
 
 @dataclasses.dataclass(frozen=True)
 class SlaveResponse:
-    """Result of a slave data-interface invocation."""
+    """Result of a slave data-interface invocation.
+
+    ``cause`` optionally refines an ``ERROR`` state: a slave that
+    *knows* why it failed (a bridge relaying a downstream decode
+    fault, say) reports the original :class:`~repro.ec.ErrorCause`
+    so master-side recovery and fault reports see the same cause they
+    would on a flat bus.  Plain slaves leave it ``None`` and the bus
+    attributes the error to ``SLAVE_ERROR`` as before.
+    """
 
     state: BusState
     data: int = 0
+    cause: typing.Optional["ErrorCause"] = None
 
     @classmethod
     def ok(cls, data: int = 0) -> "SlaveResponse":
@@ -95,8 +108,9 @@ class SlaveResponse:
         return cls(BusState.WAIT)
 
     @classmethod
-    def error(cls) -> "SlaveResponse":
-        return cls(BusState.ERROR)
+    def error(cls, cause: typing.Optional["ErrorCause"] = None
+              ) -> "SlaveResponse":
+        return cls(BusState.ERROR, cause=cause)
 
 
 class Slave(SlaveControlInterface, SlaveDataInterface):

@@ -14,6 +14,8 @@
 from .bench import run_bench
 from .bus_sweep import BusSweepResult, run_bus_sweep
 from .casestudy import CaseStudyResult, run_casestudy
+from .chaos_campaign import (ChaosCampaignResult, ChaosCell, ShrinkCell,
+                             run_chaos_campaign)
 from .coprocessor import CoprocessorStudyResult, run_coprocessor_study
 from .common import (RunResult, characterization, evaluation_script,
                      percent_error, run_on_layer, run_on_rtl,
@@ -44,6 +46,8 @@ __all__ = [
     "CampaignSupervisor",
     "CaseStudyResult",
     "CellOutcome",
+    "ChaosCampaignResult",
+    "ChaosCell",
     "CheckpointJournal",
     "CoprocessorStudyResult",
     "DpmCampaignResult",
@@ -58,6 +62,7 @@ __all__ = [
     "LinkCell",
     "RobustnessResult",
     "RunResult",
+    "ShrinkCell",
     "Table1Result",
     "Table2Result",
     "Table3Result",
@@ -71,6 +76,7 @@ __all__ = [
     "run_bench",
     "run_bus_sweep",
     "run_casestudy",
+    "run_chaos_campaign",
     "run_coprocessor_study",
     "run_dpm_campaign",
     "run_fabric_campaign",

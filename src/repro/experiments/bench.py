@@ -1,4 +1,4 @@
-"""Tracked performance benchmarks: ``repro bench`` → ``BENCH_PR5.json``.
+"""Tracked performance benchmarks: ``repro bench`` → ``BENCH_PR9.json``.
 
 Measures, on this host, the throughput the fast-path engine is
 supposed to buy and writes the numbers as a flat list of rows —
@@ -48,7 +48,7 @@ from .table3 import make_script
 FASTLANE_FLOOR = 2.0
 
 #: Default output file, at the repository root by convention.
-DEFAULT_OUTPUT = "BENCH_PR5.json"
+DEFAULT_OUTPUT = "BENCH_PR9.json"
 
 
 def _row(metric: str, value: float, unit: str,
@@ -240,6 +240,31 @@ def bench_fabric(commands: int) -> typing.List[dict]:
 
 
 # ----------------------------------------------------------------------
+# chaos oracle: differential scenarios/second
+# ----------------------------------------------------------------------
+
+def bench_chaos(scenarios: int) -> typing.List[dict]:
+    """Prices the chaos oracle: one generated scenario costs three
+    full platform runs (layers 1, 2, 3) plus the invariant checks.
+    The bench scenarios must all pass — a failing scenario would be a
+    real finding, not a benchmark."""
+    from repro.chaos import generate_scenario, run_scenario
+    started = time.perf_counter()
+    for index in range(scenarios):
+        result = run_scenario(generate_scenario("bench-chaos", index))
+        if not result.passed:
+            raise RuntimeError(
+                f"chaos bench scenario {index} failed "
+                f"({result.failure_signature}): the bench only runs "
+                f"on a passing oracle")
+    wall = time.perf_counter() - started
+    return [_row("chaos_scenarios_per_s", scenarios / wall,
+                 "scenarios/s",
+                 {"scenarios": scenarios, "layers": 3,
+                  "seed": "bench-chaos"})]
+
+
+# ----------------------------------------------------------------------
 # campaign sharding: supervisor cells/second
 # ----------------------------------------------------------------------
 
@@ -288,10 +313,12 @@ def run_bench(quick: bool = False, workers: int = 2,
     transactions = 300 if quick else 2_000
     link_sessions = 2 if quick else 6
     fabric_commands = 4 if quick else 8
+    chaos_scenarios = 2 if quick else 6
     rows = bench_kernel(kernel_cycles)
     rows.extend(bench_layers(transactions))
     rows.extend(bench_link(link_sessions))
     rows.extend(bench_fabric(fabric_commands))
+    rows.extend(bench_chaos(chaos_scenarios))
     if campaign:
         rows.extend(bench_campaign(workers, quick))
     return rows

@@ -35,8 +35,9 @@ from __future__ import annotations
 import collections
 import typing
 
-from repro.ec import (AccessRights, BusState, MemoryMap, SlaveResponse,
-                      Transaction, WaitStates)
+from repro.ec import (AccessRights, BusState, DecodeError, Direction,
+                      ErrorCause, MemoryMap, SlaveResponse, Transaction,
+                      WaitStates)
 from repro.ec.interfaces import BusMasterInterface, Slave
 from repro.kernel import Clock, Module, Simulator
 
@@ -72,6 +73,14 @@ class BusBridge(Slave):
         "beat_forwarded": 0.3,  # one data beat through the bridge
         "posted_write": 0.6,    # one burst latched into the queue
         "queue_stall": 0.05,    # one upstream WAIT from a full queue
+        # -- power-loss handling ------------------------------------------
+        "power_off_drain": 0.8,   # one queued write flushed at power-off
+        "posted_lost": 0.2,       # one queued write journaled as lost
+        # -- injected fabric faults (repro.faults.fabric) ------------------
+        "route_fault": 0.4,       # one corrupted route resolution
+        "posted_dropped": 0.2,    # one posted write dropped at drain
+        "posted_duplicated": 0.6, # one posted write drained twice
+        "fault_stall": 0.05,      # one injected crossing-stall cycle
     }
 
     def __init__(self, name: str, downstream_map: MemoryMap,
@@ -121,6 +130,29 @@ class BusBridge(Slave):
         self.forwarded_writes = 0
         self.messages_forwarded = 0
         self.posted_errors = 0
+        # -- power-off posted-queue accounting ----------------------------
+        #: acknowledged writes flushed downstream at power-off
+        self.posted_flushed_on_power_off = 0
+        #: acknowledged writes that could not be flushed — journaled
+        self.posted_lost_on_power_off = 0
+        #: journal of the lost writes: (address, data words)
+        self.lost_writes: typing.List[
+            typing.Tuple[int, typing.List[int]]] = []
+        # -- seeded fabric fault injection (opt-in) -----------------------
+        #: a :class:`repro.faults.fabric.BridgeFaultProcess` (or any
+        #: object with its pure read_crossing/write_crossing API);
+        #: ``None`` keeps the bridge fault-free and byte-identical
+        self.fault_process: typing.Optional[typing.Any] = None
+        self._read_crossings = 0
+        self._write_crossings = 0
+        self.route_faults = 0
+        self.posted_dropped = 0
+        self.posted_duplicated = 0
+        self.fault_stall_cycles = 0
+        #: per-clone injected stall budget (read crossings)
+        self._fault_stalls: typing.Dict[int, int] = {}
+        #: per-posted-clone drain action ("drop" | "dup")
+        self._drain_actions: typing.Dict[int, str] = {}
 
     # -- wiring ------------------------------------------------------------
 
@@ -134,6 +166,9 @@ class BusBridge(Slave):
         self._downstream = downstream
         if simulator is not None and clock is not None:
             _BridgeDrain(simulator, clock, self)
+            # a tear must not silently lose writes already acknowledged
+            # upstream: flush (or journal) the posted queue at power-off
+            simulator.add_power_off_hook(self._on_power_off)
         return self
 
     @property
@@ -215,9 +250,10 @@ class BusBridge(Slave):
             if beat + 1 == transaction.burst_length:
                 self._read_forward = None
             return SlaveResponse.ok(clone.data[beat])
-        # the downstream burst errored before producing this beat
+        # the downstream burst errored before producing this beat;
+        # relay its cause so upstream recovery matches the flat bus
         self._read_forward = None
-        return SlaveResponse.error()
+        return SlaveResponse.error(clone.error_cause)
 
     def forward_write_beat(self, transaction: Transaction,
                            data: int) -> SlaveResponse:
@@ -246,6 +282,7 @@ class BusBridge(Slave):
         if forward is not None and forward.txn_id == transaction.txn_id:
             self._read_forward = None
             self._uncollected.discard(forward.clone.txn_id)
+            self._fault_stalls.pop(forward.clone.txn_id, None)
             if not forward.clone.finished and self._downstream is not None:
                 self._downstream.cancel(forward.clone)
 
@@ -258,7 +295,21 @@ class BusBridge(Slave):
         :meth:`forward_read_beat` (layer 1)."""
         self.book("crossing")
         self.forwarded_reads += 1
-        return transaction.clone()
+        clone = transaction.clone()
+        if self.fault_process is not None:
+            index = self._read_crossings
+            self._read_crossings += 1
+            stall, cause = self.fault_process.read_crossing(index)
+            if cause is not None:
+                # corrupted route resolution: the clone never reaches
+                # the downstream bus, it fails right at the hop
+                self.book("route_fault")
+                self.route_faults += 1
+                clone.issue_cycle = 0
+                clone.fail(0, cause)
+            elif stall > 0:
+                self._fault_stalls[clone.txn_id] = stall
+        return clone
 
     def timed_read_poll(self, clone: Transaction) -> BusState:
         """Advance a forwarded read *clone* by one downstream call;
@@ -273,6 +324,16 @@ class BusBridge(Slave):
         been *collected* from the downstream finish pool (the final
         state arrives one call after the last beat completes)."""
         txn_id = clone.txn_id
+        stall = self._fault_stalls.get(txn_id, 0)
+        if stall > 0:
+            # injected crossing-stall window: hold the hop before the
+            # clone ever reaches the downstream bus
+            self._fault_stalls[txn_id] = stall - 1
+            if stall == 1:
+                del self._fault_stalls[txn_id]
+            self.book("fault_stall")
+            self.fault_stall_cycles += 1
+            return BusState.WAIT
         if clone.issue_cycle is None or txn_id in self._uncollected:
             self._uncollected.add(txn_id)
             state = self.downstream.issue(clone)
@@ -295,17 +356,91 @@ class BusBridge(Slave):
         self.book("crossing")
         self.book("posted_write")
         self.forwarded_writes += 1
+        if self.fault_process is not None:
+            index = self._write_crossings
+            self._write_crossings += 1
+            action = self.fault_process.write_crossing(index)
+            if action is not None:
+                self._drain_actions[clone.txn_id] = action
 
     def _drain_posted(self) -> None:
         """Clock process: push the oldest posted write downstream."""
         if not self._posted:
             return
         head = self._posted[0]
+        action = self._drain_actions.get(head.txn_id)
+        if action == "drop":
+            # injected queue corruption: the write vanishes before it
+            # ever reaches the downstream bus — counted, never signalled
+            # (it completed upstream long ago), exactly the posted-write
+            # hazard the fault campaign probes
+            del self._drain_actions[head.txn_id]
+            self._posted.popleft()
+            self.book("posted_dropped")
+            self.posted_dropped += 1
+            return
         state = self.downstream.issue(head)
         if state.finished:
             self._posted.popleft()
             if head.error:
                 self.posted_errors += 1
+            if action == "dup":
+                # injected duplicate: drain the same burst a second
+                # time (a fresh clone — the drained one is finished)
+                del self._drain_actions[head.txn_id]
+                self._posted.appendleft(head.clone())
+                self.book("posted_duplicated")
+                self.posted_duplicated += 1
+
+    # -- power-off flush ----------------------------------------------------
+
+    def _on_power_off(self, reason: str) -> None:
+        """Flush the posted queue at power-off.
+
+        Every write in the queue was acknowledged upstream the moment
+        it was latched; losing it on a tear would break the posted
+        contract silently.  The residual charge of a dying card is
+        enough to settle the queue into the downstream memories
+        through the back door (no clock, no wire pacing) — each flush
+        is booked to the ledger as ``power_off_drain``.  A write that
+        cannot be committed (decode fault, slave error) is journaled
+        in :attr:`lost_writes` and booked as ``posted_lost``, so the
+        loss is visible to recovery instead of silent.
+        """
+        while self._posted:
+            clone = self._posted.popleft()
+            self._drain_actions.pop(clone.txn_id, None)
+            if self._flush_write(clone):
+                self.book("power_off_drain")
+                self.posted_flushed_on_power_off += 1
+            else:
+                self.book("posted_lost")
+                self.posted_lost_on_power_off += 1
+                self.lost_writes.append(
+                    (clone.address, list(clone.data)))
+
+    def _flush_write(self, clone: Transaction) -> bool:
+        """Back-door commit of one posted write into its terminal
+        slave, resolving through any deeper bridges."""
+        try:
+            route = self.downstream_map.resolve_checked(
+                clone.address, clone.kind, clone.num_bytes)
+        except DecodeError:
+            return False
+        region = route.terminal
+        base = region.slave.offset_of(clone.address)
+        enables = (clone.byte_enables(0) if clone.burst_length == 1
+                   else 0b1111)
+        # the back door needs the block interface; a slave exposing
+        # only beat-level access cannot be settled without a clock
+        writer = getattr(region.slave, "write_block", None)
+        if writer is None:
+            return False
+        try:
+            beats_ok, error = writer(base, clone.data, enables)
+        except (TypeError, ValueError):
+            return False
+        return not error and beats_ok == clone.burst_length
 
     # -- layer-3 forwarding (untimed) ---------------------------------------
 
@@ -313,6 +448,48 @@ class BusBridge(Slave):
         """Book one synchronous (layer-3) crossing through this bridge."""
         self.book("crossing")
         self.messages_forwarded += 1
+
+    def forward_message(self, transaction: Transaction
+                        ) -> typing.Union[None, str, ErrorCause]:
+        """One synchronous (layer-3) crossing of *transaction*.
+
+        Books exactly what :meth:`note_message` books, and — when a
+        fault process is attached — consults the *same* pure seeded
+        schedule the timed layers consult, keyed by the same per-
+        direction crossing index, so a given fault lands on the same
+        program-order crossing at every abstraction layer.  Returns
+        ``None`` (proceed), an :class:`~repro.ec.ErrorCause` (fail the
+        transaction at the hop), or a posted-drain action ``"drop"`` /
+        ``"dup"`` the untimed bus applies at the terminal slave.
+        """
+        self.book("crossing")
+        self.messages_forwarded += 1
+        if self.fault_process is None:
+            return None
+        if transaction.direction is Direction.WRITE:
+            index = self._write_crossings
+            self._write_crossings += 1
+            action = self.fault_process.write_crossing(index)
+            if action == "drop":
+                self.book("posted_dropped")
+                self.posted_dropped += 1
+            elif action == "dup":
+                self.book("posted_duplicated")
+                self.posted_duplicated += 1
+            return action
+        index = self._read_crossings
+        self._read_crossings += 1
+        stall, cause = self.fault_process.read_crossing(index)
+        if cause is not None:
+            self.book("route_fault")
+            self.route_faults += 1
+            return cause
+        if stall > 0:
+            # untimed: the stall costs no cycles, but the event count
+            # and ledger stay comparable across layers
+            self.book("fault_stall", stall)
+            self.fault_stall_cycles += stall
+        return None
 
     # -- plain per-beat slave data interface --------------------------------
     #

@@ -177,7 +177,13 @@ class BusFabric:
             buckets[name] = ledger.energy_pj
         for index, ledger in enumerate(extra_ledgers):
             name = getattr(ledger, "name", f"ledger{index}")
-            buckets[f"ledger:{name}"] = ledger.energy_pj
+            key = f"ledger:{name}"
+            # disambiguate duplicate names (a peripheral and its power
+            # state machine both answer to "uart"): a silently collapsed
+            # bucket would break the telescoping invariant
+            while key in buckets:
+                key = f"{key}+"
+            buckets[key] = ledger.energy_pj
         return buckets
 
     def energy_report(self, extra_ledgers: typing.Sequence[typing.Any]

@@ -1,0 +1,224 @@
+"""Seeded fault injection for the multi-bus fabric.
+
+The slave-side injectors (:mod:`repro.faults.injectors`) perturb what a
+*memory* answers; this module perturbs the *fabric itself* — the bus
+bridges and arbiters joining the segments.  The mechanisms mirror the
+hazards hierarchical smart-card interconnects actually have:
+
+* **crossing stalls** — a bridge holds a forwarded read at the hop for
+  a window of cycles (clock-domain resynchronisation glitch),
+* **route faults** — a crossing resolves to garbage and the clone
+  fails at the hop with a definite :class:`~repro.ec.ErrorCause`,
+* **posted-queue corruption** — a posted write is dropped at drain
+  time (vanishes after its upstream acknowledge) or drained twice,
+* **grant glitches** — an arbiter round with pending requests grants
+  nobody (a glitched grant line); pure timing, nothing is lost.
+
+Every decision is a *pure function of the crossing index* — the n-th
+read crossing, the n-th posted write, the n-th arbitration round with
+work to do — never of cycle numbers.  The three bus layers disagree
+about time but, driven by a blocking master, agree exactly about
+program order, so one schedule lands each fault on the same crossing
+at layer 1, layer 2 and layer 3.  That property is what makes the
+cross-layer differential oracle of :mod:`repro.chaos` possible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.ec import ErrorCause, MemoryMap
+from repro.fabric import BusBridge
+
+#: fault kinds a :class:`FabricFaultSpec` may carry
+BRIDGE_FAULT_KINDS = ("read_stall", "route_error", "drop_write",
+                      "dup_write")
+FABRIC_FAULT_KINDS = BRIDGE_FAULT_KINDS + ("arb_glitch",)
+
+#: route-fault ``param`` → the cause reported at the hop
+ROUTE_ERROR_CAUSES: typing.Tuple[ErrorCause, ...] = (
+    ErrorCause.DECODE, ErrorCause.SLAVE_ERROR)
+
+
+@dataclasses.dataclass(frozen=True)
+class FabricFaultSpec:
+    """One scheduled fabric fault.
+
+    ``index`` counts per mechanism class: read crossings for
+    ``read_stall``/``route_error``, posted writes for ``drop_write``/
+    ``dup_write``, arbitration rounds with pending requests for
+    ``arb_glitch``.  ``param`` is the stall length for ``read_stall``
+    and selects the :data:`ROUTE_ERROR_CAUSES` entry for
+    ``route_error``; other kinds ignore it.
+    """
+
+    kind: str
+    index: int
+    param: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FABRIC_FAULT_KINDS:
+            raise ValueError(f"unknown fabric fault kind {self.kind!r}")
+        if self.index < 0:
+            raise ValueError("fault index must be >= 0")
+        if self.kind == "read_stall" and self.param < 1:
+            raise ValueError("read_stall needs param >= 1 (cycles)")
+        if self.kind == "route_error" and not (
+                0 <= self.param < len(ROUTE_ERROR_CAUSES)):
+            raise ValueError(
+                f"route_error param must index ROUTE_ERROR_CAUSES "
+                f"(got {self.param})")
+
+    def to_tuple(self) -> typing.Tuple[str, int, int]:
+        """JSON-stable wire form (used by the chaos repro cells)."""
+        return (self.kind, self.index, self.param)
+
+    @classmethod
+    def from_tuple(cls, value: typing.Sequence) -> "FabricFaultSpec":
+        kind, index, param = value
+        return cls(str(kind), int(index), int(param))
+
+
+class BridgeFaultProcess:
+    """Pure per-crossing fault schedule consulted by a bus bridge.
+
+    Built once from the bridge-class specs of a scenario; the verdict
+    for crossing *n* depends only on *n*, so fresh instances built from
+    the same specs answer identically on every model layer.  ``fired``
+    counts what was actually applied — the oracle checks it against the
+    bridge's own counters (no fault may vanish unaccounted).
+    """
+
+    def __init__(self,
+                 specs: typing.Iterable[FabricFaultSpec]) -> None:
+        self.read_stalls: typing.Dict[int, int] = {}
+        self.route_errors: typing.Dict[int, ErrorCause] = {}
+        self.write_actions: typing.Dict[int, str] = {}
+        for spec in specs:
+            if spec.kind == "read_stall":
+                self.read_stalls[spec.index] = spec.param
+            elif spec.kind == "route_error":
+                self.route_errors[spec.index] = (
+                    ROUTE_ERROR_CAUSES[spec.param])
+            elif spec.kind == "drop_write":
+                self.write_actions[spec.index] = "drop"
+            elif spec.kind == "dup_write":
+                self.write_actions[spec.index] = "dup"
+            else:
+                raise ValueError(
+                    f"{spec.kind!r} is not a bridge fault")
+        self.fired: typing.Dict[str, int] = {
+            kind: 0 for kind in BRIDGE_FAULT_KINDS}
+
+    def read_crossing(self, index: int) -> typing.Tuple[
+            int, typing.Optional[ErrorCause]]:
+        """Verdict for the *index*-th forwarded read:
+        ``(stall_cycles, cause)`` — a cause wins over a stall."""
+        cause = self.route_errors.get(index)
+        if cause is not None:
+            self.fired["route_error"] += 1
+            return 0, cause
+        stall = self.read_stalls.get(index, 0)
+        if stall > 0:
+            self.fired["read_stall"] += 1
+        return stall, None
+
+    def write_crossing(self, index: int) -> typing.Optional[str]:
+        """Verdict for the *index*-th posted write:
+        ``"drop"``, ``"dup"`` or None."""
+        action = self.write_actions.get(index)
+        if action == "drop":
+            self.fired["drop_write"] += 1
+        elif action == "dup":
+            self.fired["dup_write"] += 1
+        return action
+
+    @property
+    def scheduled(self) -> int:
+        return (len(self.read_stalls) + len(self.route_errors)
+                + len(self.write_actions))
+
+    def __repr__(self) -> str:
+        return (f"BridgeFaultProcess(stalls={len(self.read_stalls)}, "
+                f"routes={len(self.route_errors)}, "
+                f"writes={len(self.write_actions)})")
+
+
+class ArbiterGlitchProcess:
+    """Pure per-decision glitch schedule consulted by a bus arbiter.
+
+    ``suppress(n)`` is True when arbitration round *n* (counting only
+    rounds with pending requests) must withhold its grants.
+    """
+
+    def __init__(self, indices: typing.Iterable[int]) -> None:
+        self.indices = frozenset(int(i) for i in indices)
+        self.fired = 0
+
+    def suppress(self, index: int) -> bool:
+        if index in self.indices:
+            self.fired += 1
+            return True
+        return False
+
+    @property
+    def scheduled(self) -> int:
+        return len(self.indices)
+
+    def __repr__(self) -> str:
+        return f"ArbiterGlitchProcess({sorted(self.indices)})"
+
+
+class FaultyBridge(BusBridge):
+    """A :class:`~repro.fabric.BusBridge` with a fault schedule baked
+    in at construction — the explicit opt-in API for hand-built
+    fabrics; :func:`build_fault_processes` + the ``fault_process``
+    attribute do the same for fabrics built from a topology."""
+
+    def __init__(self, name: str, downstream_map: MemoryMap,
+                 fault_process: typing.Optional[BridgeFaultProcess] = None,
+                 **kwargs: typing.Any) -> None:
+        super().__init__(name, downstream_map, **kwargs)
+        self.fault_process = fault_process
+
+
+def split_fault_specs(specs: typing.Iterable[FabricFaultSpec]
+                      ) -> typing.Tuple[typing.List[FabricFaultSpec],
+                                        typing.List[int]]:
+    """Partition *specs* into (bridge specs, arbiter glitch indices)."""
+    bridge_specs: typing.List[FabricFaultSpec] = []
+    glitch_indices: typing.List[int] = []
+    for spec in specs:
+        if spec.kind == "arb_glitch":
+            glitch_indices.append(spec.index)
+        else:
+            bridge_specs.append(spec)
+    return bridge_specs, glitch_indices
+
+
+def build_fault_processes(specs: typing.Iterable[FabricFaultSpec]
+                          ) -> typing.Tuple[
+                              BridgeFaultProcess, ArbiterGlitchProcess]:
+    """Fresh (bridge process, glitch process) pair for one model run.
+
+    Processes carry mutable ``fired`` accounting, so each layer of a
+    differential run gets its own pair — built from the same specs,
+    they answer identically by construction.
+    """
+    bridge_specs, glitch_indices = split_fault_specs(specs)
+    return (BridgeFaultProcess(bridge_specs),
+            ArbiterGlitchProcess(glitch_indices))
+
+
+__all__ = [
+    "ArbiterGlitchProcess",
+    "BRIDGE_FAULT_KINDS",
+    "BridgeFaultProcess",
+    "FABRIC_FAULT_KINDS",
+    "FabricFaultSpec",
+    "FaultyBridge",
+    "ROUTE_ERROR_CAUSES",
+    "build_fault_processes",
+    "split_fault_specs",
+]

@@ -70,6 +70,8 @@ class Simulator:
         self._started = False
         self._powered_off = False
         self.power_off_reason: typing.Optional[str] = None
+        self._power_off_hooks: typing.List[
+            typing.Callable[[str], None]] = []
         # ring buffer of the most recent event notifications — the
         # "flight recorder" DeadlockError diagnostics embed.  Raw
         # (time, delta, kind, event-name) tuples: this append sits on
@@ -138,6 +140,19 @@ class Simulator:
         """True once :meth:`power_off` has been called."""
         return self._powered_off
 
+    def add_power_off_hook(
+            self, hook: typing.Callable[[str], None]) -> None:
+        """Register *hook* to run inside :meth:`power_off`.
+
+        Hooks model the few nanoseconds of residual charge a dying
+        card still has: enough for combinational state to settle into
+        non-volatile side effects (a bus bridge flushing its posted
+        write buffer), not enough to clock anything.  A hook must not
+        schedule events or advance time — the kernel is already
+        latched off when it runs.
+        """
+        self._power_off_hooks.append(hook)
+
     def power_off(self, reason: str = "power loss") -> None:
         """Cooperative whole-card power loss.
 
@@ -147,10 +162,16 @@ class Simulator:
         updates are abandoned exactly where the current delta left
         them, and only state the testbench explicitly carries over
         (e.g. the EEPROM image) survives into the next simulator.
+        Registered power-off hooks run exactly once, on the first
+        call (see :meth:`add_power_off_hook`).
         """
+        if self._powered_off:
+            return
         self.power_off_reason = reason
         self._powered_off = True
         self._stop_requested = True
+        for hook in list(self._power_off_hooks):
+            hook(reason)
 
     def initialize(self) -> None:
         """Make every process runnable once, as SystemC elaboration does

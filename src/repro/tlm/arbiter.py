@@ -127,6 +127,13 @@ class BusArbiter(Module):
         self._rr_next = 0      # priority_rr: rotation origin within ties
         self._arb_cycle = 0    # arbitration cycles elapsed (for aging)
         self.total_grants = 0
+        #: optional fault hook: consulted once per arbitration round
+        #: that has pending requests; ``suppress(index)`` returning True
+        #: withholds every grant that round (a glitched grant line) —
+        #: a pure timing perturbation, requests stay registered
+        self.glitch_process: typing.Optional[typing.Any] = None
+        self._decision_index = 0
+        self.glitches = 0
         self.method(self._arbitrate, name="arbitrate",
                     sensitive=[clock.negedge_event], dont_initialize=True)
 
@@ -153,6 +160,12 @@ class BusArbiter(Module):
         self._arb_cycle += 1
         if not self._pending:
             return
+        if self.glitch_process is not None:
+            index = self._decision_index
+            self._decision_index += 1
+            if self.glitch_process.suppress(index):
+                self.glitches += 1
+                return
         if self.policy == "priority":
             self._pending.sort(key=lambda entry: entry[0].priority)
         elif self.policy == "priority_rr":

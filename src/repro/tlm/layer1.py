@@ -190,7 +190,11 @@ class EcBusLayer1(EcBusBase):
         if response.state is BusState.ERROR:
             queue.pop()
             del self._regions[transaction.txn_id]
-            transaction.fail(self.cycle, ErrorCause.SLAVE_ERROR)
+            # a cause-carrying response (bridge relaying a downstream
+            # fault) keeps its original cause; plain slave errors stay
+            # SLAVE_ERROR
+            transaction.fail(self.cycle,
+                             response.cause or ErrorCause.SLAVE_ERROR)
             self.finish_pool.push(transaction)
         elif response.state is BusState.OK:
             transaction.complete_beat(self.cycle, value)

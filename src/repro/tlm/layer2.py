@@ -209,7 +209,10 @@ class EcBusLayer2(EcBusBase):
                 # wire; mirror them before reporting the error upstream
                 for word in item.clone.data[:item.clone.beats_done]:
                     transaction.complete_beat(self.cycle, word)
-                self._finish_error(item, ErrorCause.SLAVE_ERROR)
+                # relay the downstream cause (a decode fault two hops
+                # away must not degenerate into SLAVE_ERROR upstream)
+                self._finish_error(item, item.clone.error_cause
+                                   or ErrorCause.SLAVE_ERROR)
                 return
             if item.data_remaining > 0 or state is not BusState.OK:
                 return  # still streaming upstream / still downstream

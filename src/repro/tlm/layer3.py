@@ -112,20 +112,43 @@ class EcBusLayer3(BusMasterInterface):
             transaction.fail(0, ErrorCause.DECODE)
             self.errors += 1
             return BusState.ERROR
+        # notify each bridge hop; a fault-injecting bridge may fail the
+        # crossing (returning the cause) or corrupt the posted drain
+        # ("drop"/"dup") — the same schedule the timed layers apply
+        drop = dup = False
         for hop in route.bridges:
-            hop.slave.note_message()
+            forward = getattr(hop.slave, "forward_message", None)
+            if forward is None:
+                hop.slave.note_message()
+                continue
+            verdict = forward(transaction)
+            if isinstance(verdict, ErrorCause):
+                transaction.issue_cycle = 0
+                transaction.fail(0, verdict)
+                self.errors += 1
+                return BusState.ERROR
+            if verdict == "drop":
+                drop = True
+            elif verdict == "dup":
+                dup = True
         region = route.terminal
         transaction.issue_cycle = 0
         transaction.address_done_cycle = 0
         slave = region.slave
         base = slave.offset_of(transaction.address)
         if transaction.kind is TransactionKind.DATA_WRITE:
-            if transaction.burst_length == 1:
-                beats_ok, error = slave.write_block(
-                    base, transaction.data, transaction.byte_enables(0))
+            enables = (transaction.byte_enables(0)
+                       if transaction.burst_length == 1 else 0b1111)
+            if drop:
+                # dropped posted write: acknowledged upstream, never
+                # committed — complete the beats without touching the
+                # slave, exactly what the timed drain process does
+                beats_ok, error = transaction.burst_length, False
             else:
                 beats_ok, error = slave.write_block(
-                    base, transaction.data, 0b1111)
+                    base, transaction.data, enables)
+                if dup and not error:
+                    slave.write_block(base, transaction.data, enables)
             for _ in range(beats_ok):
                 transaction.complete_beat(0)
             if error:

@@ -1,0 +1,79 @@
+"""Shrinker: failing scenarios minimise to deterministic repros."""
+
+import dataclasses
+
+from repro.chaos import (ChaosScenario, run_scenario, shrink_scenario)
+from repro.faults.fabric import FabricFaultSpec
+
+
+def failing_scenario():
+    """A hang buried under irrelevant machinery: two extra faults, a
+    DMA burst, retry — everything the shrinker should strip."""
+    return ChaosScenario(
+        name="shrinkme", seed="shrink/0", workload="mixed",
+        commands=4, with_dma=True, dpm=False, crossing_cycles=2,
+        posted_depth=2, arbiter="priority_rr",
+        faults=(FabricFaultSpec("read_stall", 0, 40_000),
+                FabricFaultSpec("dup_write", 0),
+                FabricFaultSpec("arb_glitch", 2)),
+        retry=True, max_cycles=80_000, stall_cycles=1_000)
+
+
+class TestShrink:
+    def test_passing_scenario_returns_none(self):
+        scenario = ChaosScenario(name="fine", seed="shrink/fine",
+                                 workload="apdu", commands=1,
+                                 with_dma=False, dpm=False)
+        assert shrink_scenario(scenario, max_runs=4) is None
+
+    def test_minimises_to_single_fault_and_replays(self):
+        result = shrink_scenario(failing_scenario(), max_runs=40)
+        assert result is not None
+        assert result.signature == "hang"
+        # the survivor: one fault, the orthogonal machinery stripped
+        assert len(result.minimal.faults) == 1
+        assert result.minimal.faults[0].kind == "read_stall"
+        assert result.minimal.commands < result.original.commands
+        assert not result.minimal.with_dma
+        assert not result.minimal.retry
+        assert result.minimal.size() < result.original.size()
+        # determinism: the minimal scenario replayed to the failure
+        assert result.replayed
+        assert result.steps >= 3
+        assert result.runs <= 40 + 1  # budget + the final replay
+
+    def test_minimal_repro_round_trips_through_dict(self):
+        result = shrink_scenario(failing_scenario(), max_runs=40)
+        wire = result.to_dict()
+        replayed = run_scenario(
+            ChaosScenario.from_dict(wire["minimal"]))
+        assert not replayed.passed
+        assert replayed.failure_signature == wire["signature"]
+
+    def test_budget_is_respected(self):
+        result = shrink_scenario(failing_scenario(), max_runs=5)
+        assert result is not None
+        assert result.runs <= 6  # 5 + the final replay
+        # even a tiny budget must keep the signature
+        assert result.signature == "hang"
+
+    def test_baseline_result_is_reused(self):
+        # a caller-provided oracle result spares the shrinker its own
+        # baseline run; the minimal repro is the same either way
+        scenario = failing_scenario()
+        baseline = run_scenario(scenario)
+        with_baseline = shrink_scenario(scenario, max_runs=12,
+                                        baseline=baseline)
+        without = shrink_scenario(scenario, max_runs=12)
+        assert with_baseline.signature == without.signature == "hang"
+        assert with_baseline.runs <= without.runs
+        # the saved run is budget the shrinker can spend on candidates:
+        # the result is never worse than the run-it-yourself variant
+        assert with_baseline.minimal.size() <= without.minimal.size()
+
+    def test_baseline_that_passes_short_circuits(self):
+        scenario = ChaosScenario(name="fine", seed="shrink/fine2",
+                                 workload="apdu", commands=1,
+                                 with_dma=False, dpm=False)
+        baseline = run_scenario(scenario)
+        assert shrink_scenario(scenario, baseline=baseline) is None

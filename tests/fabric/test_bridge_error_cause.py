@@ -1,0 +1,135 @@
+"""Error-cause parity: bridged reads must attribute like flat reads.
+
+Regression: the bridge used to surface downstream read failures as
+bare errors, so a master's :class:`~repro.ec.FaultReport` said
+``SLAVE_ERROR`` for what was really a decode fault — and retry
+policies (decode is permanent, slave errors are transient) made the
+wrong call.  The clone-forwarding path now propagates the downstream
+``ErrorCause`` and the partial beat progress, so the same access fails
+identically whether the slave sits on the master's own bus or behind
+a bridge.
+"""
+
+import pytest
+
+from repro.ec import (ErrorCause, MemoryMap, RetryPolicy, SlaveResponse,
+                      data_read, data_write)
+from repro.fabric import BusBridge
+from repro.kernel import Clock, Simulator
+from repro.tlm import (BlockingMaster, EcBusLayer1, EcBusLayer2,
+                       MemorySlave, run_script)
+
+LOW_BASE = 0x8000
+HIGH_BASE = 0xA000
+HOLE = 0x9000  # decodes upstream (inside the bridge window), not down
+
+_BUS = {"layer1": EcBusLayer1, "layer2": EcBusLayer2}
+
+
+class FlakyReadSlave(MemorySlave):
+    """Serves the first two beats of a burst, then fails — the
+    partial-progress shape layer 1 reports beat by beat."""
+
+    def __init__(self, base):
+        super().__init__(base, 0x1000, name="flaky")
+        self.load(0, [11, 22, 33, 44])
+
+    def do_read(self, offset, byte_enables):
+        if offset >= 8:
+            return SlaveResponse.error()
+        return super().do_read(offset, byte_enables)
+
+
+def _policy(retry):
+    return (RetryPolicy(max_attempts=2, backoff_cycles=1,
+                        timeout_cycles=None) if retry else None)
+
+
+def run_flat(layer, script, slaves, retry=False):
+    simulator = Simulator("flat")
+    clock = Clock(simulator, "clk", period=100)
+    memory_map = MemoryMap()
+    for name, slave in slaves.items():
+        memory_map.add_slave(slave, name)
+    bus = _BUS[layer](simulator, clock, memory_map)
+    master = BlockingMaster(simulator, clock, bus, script,
+                            retry_policy=_policy(retry))
+    run_script(simulator, master, 2_000, clock)
+    assert master.done
+    return master
+
+
+def run_bridged(layer, script, slaves, retry=False):
+    simulator = Simulator("bridged")
+    clock = Clock(simulator, "clk", period=100)
+    down_map = MemoryMap()
+    for name, slave in slaves.items():
+        down_map.add_slave(slave, name)
+    down_bus = _BUS[layer](simulator, clock, down_map)
+    bridge = BusBridge("bridge", down_map)
+    bridge.connect(down_bus, simulator, clock)
+    up_map = MemoryMap()
+    up_map.add_slave(bridge, "bridge")
+    up_bus = _BUS[layer](simulator, clock, up_map)
+    master = BlockingMaster(simulator, clock, up_bus, script,
+                            retry_policy=_policy(retry))
+    run_script(simulator, master, 2_000, clock)
+    assert master.done
+    return master
+
+
+def failure_shape(master):
+    """(cause, beats served, data prefix) of the single failed item."""
+    assert len(master.errors) == 1
+    transaction = master.errors[0]
+    served = transaction.data[:transaction.beats_done]
+    return (transaction.error_cause, transaction.beats_done, served)
+
+
+@pytest.mark.parametrize("layer", ["layer1", "layer2"])
+class TestCauseParity:
+    def test_downstream_decode_fault_is_decode_both_ways(self, layer):
+        slaves = {"low": MemorySlave(LOW_BASE, 0x1000),
+                  "high": MemorySlave(HIGH_BASE, 0x1000)}
+        flat = run_flat(layer, [data_read(HOLE)], slaves)
+        slaves = {"low": MemorySlave(LOW_BASE, 0x1000),
+                  "high": MemorySlave(HIGH_BASE, 0x1000)}
+        bridged = run_bridged(layer, [data_read(HOLE)], slaves)
+        assert failure_shape(flat)[0] is ErrorCause.DECODE
+        assert failure_shape(flat) == failure_shape(bridged)
+
+    def test_slave_fault_keeps_cause_and_partial_beats(self, layer):
+        # script items are live transactions: each run needs fresh ones
+        flat = run_flat(layer, [data_read(LOW_BASE, burst_length=4)],
+                        {"flaky": FlakyReadSlave(LOW_BASE)})
+        bridged = run_bridged(layer,
+                              [data_read(LOW_BASE, burst_length=4)],
+                              {"flaky": FlakyReadSlave(LOW_BASE)})
+        cause, beats, served = failure_shape(flat)
+        assert cause is ErrorCause.SLAVE_ERROR
+        assert (beats, served) == (2, [11, 22])
+        assert failure_shape(bridged) == (cause, beats, served)
+
+    def test_fault_report_cause_matches_flat_path(self, layer):
+        # the master-facing artefact: the recovery machinery's report
+        # must name the same cause on both topologies
+        report_pair = []
+        for runner in (run_flat, run_bridged):
+            master = runner(layer, [data_read(HOLE)],
+                            {"low": MemorySlave(LOW_BASE, 0x1000),
+                             "high": MemorySlave(HIGH_BASE, 0x1000)},
+                            retry=True)
+            assert len(master.fault_reports) == 1
+            report_pair.append(master.fault_reports[0])
+        assert report_pair[0].cause is ErrorCause.DECODE
+        assert report_pair[0].cause == report_pair[1].cause
+        assert report_pair[0].recovered == report_pair[1].recovered
+
+    def test_successful_bridged_read_unaffected(self, layer):
+        slave = MemorySlave(LOW_BASE, 0x1000)
+        slave.load(0, [0x1234])
+        master = run_bridged(layer,
+                             [data_write(LOW_BASE + 4, [0x5678]),
+                              data_read(LOW_BASE)], {"mem": slave})
+        assert not master.errors
+        assert master.completed[1].data == [0x1234]

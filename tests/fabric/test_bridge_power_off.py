@@ -1,0 +1,112 @@
+"""Posted-write queue behaviour at whole-card power-off.
+
+Regression: a tear used to silently discard whatever the bridge still
+held in its posted queue — writes the upstream master had already seen
+acknowledged.  The bridge now flushes the queue through the back door
+at power-off (booked per write), and journals anything it cannot
+commit instead of losing it silently.
+"""
+
+from repro.ec import MemoryMap, SlaveResponse, WaitStates, data_write
+from repro.fabric import BusBridge
+from repro.kernel import Clock, Simulator
+from repro.tlm import BlockingMaster, EcBusLayer1, MemorySlave, run_script
+
+from .test_bridge import REMOTE_BASE
+
+
+class RejectingSlave(MemorySlave):
+    """Accepts the posted handshake (slow address phase keeps the
+    queue occupied) but fails every committed write — the flush at
+    power-off has nowhere to put the data."""
+
+    def __init__(self):
+        super().__init__(REMOTE_BASE, 0x1000, WaitStates(address=200),
+                         name="rejecting")
+
+    def do_write(self, offset, byte_enables, data):
+        return SlaveResponse.error()
+
+
+def build(remote_slave=None, posted_depth=4):
+    simulator = Simulator("bridge_tear")
+    clock = Clock(simulator, "clk", period=100)
+    remote = remote_slave or MemorySlave(
+        REMOTE_BASE, 0x1000, WaitStates(address=20), name="slow_remote")
+    down_map = MemoryMap()
+    down_map.add_slave(remote, "remote")
+    down_bus = EcBusLayer1(simulator, clock, down_map)
+    bridge = BusBridge("bridge", down_map, posted_depth=posted_depth)
+    bridge.connect(down_bus, simulator, clock)
+    up_map = MemoryMap()
+    up_map.add_slave(bridge, "bridge")
+    up_bus = EcBusLayer1(simulator, clock, up_map)
+    return simulator, clock, up_bus, bridge, remote
+
+
+def post_writes(simulator, clock, bus, count=3):
+    script = [data_write(REMOTE_BASE + 4 * i, [i + 1])
+              for i in range(count)]
+    master = BlockingMaster(simulator, clock, bus, script)
+    run_script(simulator, master, 5_000, clock)
+    assert master.done and not master.errors
+    return master
+
+
+class TestTearMidQueue:
+    def test_flush_commits_queued_writes_downstream(self):
+        simulator, clock, bus, bridge, remote = build()
+        post_writes(simulator, clock, bus)
+        # the slow remote guarantees the tear lands mid-queue: writes
+        # were acknowledged upstream but not yet drained downstream
+        assert bridge.posted_occupancy > 0
+        queued = bridge.posted_occupancy
+        simulator.power_off("tear mid-queue")
+        assert bridge.posted_occupancy == 0
+        assert bridge.posted_flushed_on_power_off == queued
+        assert bridge.posted_lost_on_power_off == 0
+        assert bridge.lost_writes == []
+        # every acknowledged write survived into the remote memory
+        assert [remote.peek(4 * i) for i in range(3)] == [1, 2, 3]
+
+    def test_flush_is_booked_to_the_ledger(self):
+        simulator, clock, bus, bridge, _ = build()
+        post_writes(simulator, clock, bus)
+        queued = bridge.posted_occupancy
+        before = bridge.energy_pj
+        simulator.power_off("tear")
+        assert bridge.event_counts["power_off_drain"] == queued
+        expected = (before + queued
+                    * BusBridge.ENERGY_COSTS_PJ["power_off_drain"])
+        assert bridge.energy_pj == expected
+
+    def test_unflushable_write_is_journaled_not_silent(self):
+        simulator, clock, bus, bridge, _ = build(
+            remote_slave=RejectingSlave())
+        post_writes(simulator, clock, bus, count=2)
+        assert bridge.posted_occupancy == 2
+        simulator.power_off("tear")
+        assert bridge.posted_occupancy == 0
+        assert bridge.posted_flushed_on_power_off == 0
+        assert bridge.posted_lost_on_power_off == 2
+        assert bridge.lost_writes == [(REMOTE_BASE, [1]),
+                                      (REMOTE_BASE + 4, [2])]
+        assert bridge.event_counts["posted_lost"] == 2
+
+    def test_power_off_hook_runs_once(self):
+        simulator, clock, bus, bridge, _ = build()
+        post_writes(simulator, clock, bus)
+        simulator.power_off("tear")
+        flushed = bridge.posted_flushed_on_power_off
+        simulator.power_off("tear again")
+        assert bridge.posted_flushed_on_power_off == flushed
+
+    def test_empty_queue_tear_is_a_no_op(self):
+        simulator, clock, bus, bridge, remote = build(
+            remote_slave=MemorySlave(REMOTE_BASE, 0x1000, name="fast"))
+        post_writes(simulator, clock, bus)
+        simulator.run(100 * 40)  # let the drain finish normally
+        assert bridge.posted_occupancy == 0
+        simulator.power_off("tear after drain")
+        assert bridge.posted_flushed_on_power_off == 0
+        assert bridge.posted_lost_on_power_off == 0

@@ -1,0 +1,210 @@
+"""Fabric fault injection: pure schedules and live bridge semantics."""
+
+import pytest
+
+from repro.ec import (ErrorCause, MemoryMap, data_read, data_write)
+from repro.faults.fabric import (ArbiterGlitchProcess,
+                                 BridgeFaultProcess, FabricFaultSpec,
+                                 FaultyBridge, build_fault_processes,
+                                 split_fault_specs)
+from repro.kernel import Clock, Simulator
+from repro.tlm import BlockingMaster, EcBusLayer1, MemorySlave, run_script
+
+REMOTE_BASE = 0x8000
+
+
+class TestFaultSpec:
+    def test_round_trips_through_tuple(self):
+        spec = FabricFaultSpec("read_stall", 3, 17)
+        assert FabricFaultSpec.from_tuple(spec.to_tuple()) == spec
+        assert FabricFaultSpec.from_tuple(["dup_write", 1, 0]) == \
+            FabricFaultSpec("dup_write", 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FabricFaultSpec("teleport", 0)
+        with pytest.raises(ValueError):
+            FabricFaultSpec("read_stall", 0, 0)   # stall needs cycles
+        with pytest.raises(ValueError):
+            FabricFaultSpec("route_error", 0, 9)  # bad cause index
+        with pytest.raises(ValueError):
+            FabricFaultSpec("drop_write", -1)
+
+    def test_split_partitions_bridge_and_arbiter(self):
+        specs = (FabricFaultSpec("read_stall", 0, 5),
+                 FabricFaultSpec("arb_glitch", 7),
+                 FabricFaultSpec("drop_write", 1))
+        bridge_specs, glitch_indices = split_fault_specs(specs)
+        assert [s.kind for s in bridge_specs] == ["read_stall",
+                                                  "drop_write"]
+        assert glitch_indices == [7]
+
+
+class TestPureProcesses:
+    def test_fresh_processes_answer_identically(self):
+        specs = (FabricFaultSpec("read_stall", 2, 9),
+                 FabricFaultSpec("route_error", 4, 1),
+                 FabricFaultSpec("drop_write", 0),
+                 FabricFaultSpec("dup_write", 3),
+                 FabricFaultSpec("arb_glitch", 5))
+        a_bridge, a_glitch = build_fault_processes(specs)
+        b_bridge, b_glitch = build_fault_processes(specs)
+        for index in range(8):
+            assert a_bridge.read_crossing(index) == \
+                b_bridge.read_crossing(index)
+            assert a_bridge.write_crossing(index) == \
+                b_bridge.write_crossing(index)
+            assert a_glitch.suppress(index) == b_glitch.suppress(index)
+        assert a_bridge.fired == b_bridge.fired
+        assert a_glitch.fired == b_glitch.fired == 1
+
+    def test_cause_wins_over_stall_on_same_crossing(self):
+        process = BridgeFaultProcess(
+            (FabricFaultSpec("read_stall", 0, 5),
+             FabricFaultSpec("route_error", 0, 0)))
+        stall, cause = process.read_crossing(0)
+        assert (stall, cause) == (0, ErrorCause.DECODE)
+        assert process.fired["route_error"] == 1
+        assert process.fired["read_stall"] == 0
+
+    def test_unscheduled_crossings_are_clean(self):
+        process = BridgeFaultProcess(
+            (FabricFaultSpec("read_stall", 3, 5),))
+        assert process.read_crossing(0) == (0, None)
+        assert process.write_crossing(0) is None
+        assert sum(process.fired.values()) == 0
+
+    def test_arb_glitch_is_not_a_bridge_fault(self):
+        with pytest.raises(ValueError):
+            BridgeFaultProcess((FabricFaultSpec("arb_glitch", 0),))
+
+
+def build(fault_process=None, posted_depth=2):
+    simulator = Simulator("faulty_bridge")
+    clock = Clock(simulator, "clk", period=100)
+    remote = MemorySlave(REMOTE_BASE, 0x1000, name="remote")
+    down_map = MemoryMap()
+    down_map.add_slave(remote, "remote")
+    down_bus = EcBusLayer1(simulator, clock, down_map)
+    bridge = FaultyBridge("bridge", down_map,
+                          fault_process=fault_process,
+                          posted_depth=posted_depth)
+    bridge.connect(down_bus, simulator, clock)
+    up_map = MemoryMap()
+    up_map.add_slave(bridge, "bridge")
+    up_bus = EcBusLayer1(simulator, clock, up_map)
+    return simulator, clock, up_bus, bridge, remote
+
+
+def run(simulator, clock, bus, script, max_cycles=2_000):
+    master = BlockingMaster(simulator, clock, bus, script)
+    run_script(simulator, master, max_cycles, clock)
+    assert master.done
+    simulator.run(100 * 60)  # let the posted drain settle
+    return master
+
+
+class TestFaultyBridge:
+    def test_read_stall_adds_exactly_the_window(self):
+        def latency(process):
+            simulator, clock, bus, _, _ = build(process)
+            master = run(simulator, clock, bus, [data_read(REMOTE_BASE)])
+            return master.completed[0].latency_cycles
+
+        clean = latency(None)
+        stalled = latency(BridgeFaultProcess(
+            (FabricFaultSpec("read_stall", 0, 12),)))
+        assert stalled == clean + 12
+
+    def test_read_stall_is_booked_per_cycle(self):
+        process = BridgeFaultProcess(
+            (FabricFaultSpec("read_stall", 0, 7),))
+        simulator, clock, bus, bridge, _ = build(process)
+        run(simulator, clock, bus, [data_read(REMOTE_BASE)])
+        assert bridge.fault_stall_cycles == 7
+        assert bridge.event_counts["fault_stall"] == 7
+        assert process.fired["read_stall"] == 1
+
+    def test_route_error_fails_with_the_scheduled_cause(self):
+        process = BridgeFaultProcess(
+            (FabricFaultSpec("route_error", 1, 0),))
+        simulator, clock, bus, bridge, _ = build(process)
+        master = run(simulator, clock, bus,
+                     [data_read(REMOTE_BASE),
+                      data_read(REMOTE_BASE + 4)])
+        assert not master.completed[0].error
+        assert master.completed[1].error
+        assert master.completed[1].error_cause is ErrorCause.DECODE
+        assert bridge.route_faults == 1
+        assert process.fired["route_error"] == 1
+
+    def test_dropped_write_never_reaches_the_slave(self):
+        process = BridgeFaultProcess(
+            (FabricFaultSpec("drop_write", 0),))
+        simulator, clock, bus, bridge, remote = build(process)
+        master = run(simulator, clock, bus,
+                     [data_write(REMOTE_BASE, [0xBAD]),
+                      data_write(REMOTE_BASE + 4, [0x600D])])
+        # the drop is silent upstream (the write was posted) ...
+        assert not master.errors
+        # ... but the word never landed, and the ledger knows
+        assert remote.peek(0) == 0
+        assert remote.peek(4) == 0x600D
+        assert bridge.posted_dropped == 1
+        assert bridge.posted_occupancy == 0
+
+    def test_duplicated_write_drains_twice(self):
+        process = BridgeFaultProcess(
+            (FabricFaultSpec("dup_write", 0),))
+        simulator, clock, bus, bridge, remote = build(process)
+        run(simulator, clock, bus, [data_write(REMOTE_BASE, [0x77])])
+        assert remote.peek(0) == 0x77
+        assert remote.writes == 2  # the same word committed twice
+        assert bridge.posted_duplicated == 1
+        assert bridge.event_counts["posted_duplicated"] == 1
+        assert bridge.posted_occupancy == 0
+
+    def test_no_process_means_byte_identical_clean_bridge(self):
+        def trace(process):
+            simulator, clock, bus, bridge, remote = build(process)
+            master = run(simulator, clock, bus,
+                         [data_write(REMOTE_BASE, [1, 2]),
+                          data_read(REMOTE_BASE, burst_length=2)])
+            return (master.completed[1].data, bridge.energy_pj,
+                    dict(bridge.event_counts))
+
+        assert trace(None) == trace(BridgeFaultProcess(()))
+
+
+class TestArbiterGlitch:
+    def test_glitched_rounds_grant_nobody_but_work_completes(self):
+        from repro.tlm.arbiter import BusArbiter
+
+        def run_arbitrated(glitch_process):
+            simulator = Simulator("arb_glitch")
+            clock = Clock(simulator, "clk", period=100)
+            memory_map = MemoryMap()
+            memory_map.add_slave(MemorySlave(0x0, 0x1000, name="ram"),
+                                 "ram")
+            bus = EcBusLayer1(simulator, clock, memory_map)
+            arbiter = BusArbiter(simulator, clock, bus,
+                                 policy="priority_rr")
+            arbiter.glitch_process = glitch_process
+            port = arbiter.port("cpu")
+            master = BlockingMaster(
+                simulator, clock, port,
+                [data_write(4 * i, [i]) for i in range(4)])
+            run_script(simulator, master, 2_000, clock)
+            assert master.done and not master.errors
+            return port, arbiter
+
+        clean_port, _ = run_arbitrated(None)
+        process = ArbiterGlitchProcess((0, 1, 2))
+        port, arbiter = run_arbitrated(process)
+        assert process.fired == 3
+        assert arbiter.glitches == 3
+        # pure timing fault: everything still completes, the master
+        # just waits out the withheld grants at the port
+        assert clean_port.wait_cycles == 0
+        assert port.wait_cycles == 3
+        assert port.grants == clean_port.grants == 4

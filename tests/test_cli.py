@@ -17,7 +17,7 @@ class TestParser:
     @pytest.mark.parametrize("command", [
         "report", "table1", "table2", "table3", "figure6", "casestudy",
         "coprocessor", "characterize", "trace", "vcd", "sweep",
-        "robustness", "faults", "dpm", "link", "fabric"])
+        "robustness", "faults", "dpm", "link", "fabric", "chaos"])
     def test_commands_parse(self, command):
         args = build_parser().parse_args([command])
         assert args.command == command
@@ -105,6 +105,23 @@ class TestCommands:
     def test_fabric_rejects_bad_parameters(self, capsys):
         assert main(["fabric", "--commands", "0"]) == 2
         assert main(["fabric", "--resume"]) == 2
+
+    def test_chaos_small_campaign(self, tmp_path, capsys):
+        repro = tmp_path / "repro.json"
+        assert main(["chaos", "--scenarios", "2", "--seed", "3",
+                     "--repro-out", str(repro)]) == 0
+        out = capsys.readouterr().out
+        assert "chaos campaign" in out
+        assert "verdict: layers agree under fabric faults" in out
+        assert repro.exists()
+        # the replay exits 0 when the shrunken failure reproduces
+        assert main(["chaos", "--replay", str(repro)]) == 0
+        assert "signature" in capsys.readouterr().out
+
+    def test_chaos_rejects_bad_parameters(self, capsys):
+        assert main(["chaos", "--scenarios", "0",
+                     "--no-selftest"]) == 2
+        assert main(["chaos", "--resume"]) == 2
 
     def test_faults_small_campaign(self, capsys):
         assert main(["faults", "--rates", "0", "0.05",
