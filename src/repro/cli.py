@@ -25,8 +25,9 @@ usable without writing Python:
 ``trace``                 run the §4.1 test program and dump its bus
                           trace
 ``bench``                 tracked performance benchmarks; writes
-                          ``BENCH_PR9.json`` and enforces the fast-lane
-                          kernel speedup floor
+                          ``BENCH_PR10.json`` and enforces the
+                          fast-lane kernel and end-to-end layer-1
+                          speedup floors
 ========================  ==============================================
 """
 
@@ -316,22 +317,35 @@ def _cmd_vcd(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.experiments.bench import (FASTLANE_FLOOR, fastlane_speedup,
-                                         format_rows, run_bench,
+    from repro.experiments.bench import (E2E_FLOOR, FASTLANE_FLOOR,
+                                         fastlane_speedup, format_rows,
+                                         layer1_e2e_speedup, run_bench,
                                          write_bench)
     rows = run_bench(quick=args.quick, workers=args.workers)
     write_bench(rows, args.output)
     print(format_rows(rows))
     print(f"\nbenchmark rows written to {args.output}")
-    speedup = fastlane_speedup(rows)
-    if speedup < FASTLANE_FLOOR:
+    status = 0
+    kernel = fastlane_speedup(rows)
+    if kernel < FASTLANE_FLOOR:
         print(f"repro bench: FAIL: fast-lane kernel speedup "
-              f"{speedup:.2f}x is below the {FASTLANE_FLOOR:.1f}x floor",
+              f"{kernel:.2f}x is below the {FASTLANE_FLOOR:.1f}x floor",
               file=sys.stderr)
-        return 1
-    print(f"fast-lane kernel speedup {speedup:.2f}x "
-          f"(floor {FASTLANE_FLOOR:.1f}x)")
-    return 0
+        status = 1
+    else:
+        print(f"fast-lane kernel speedup {kernel:.2f}x "
+              f"(floor {FASTLANE_FLOOR:.1f}x)")
+    e2e = layer1_e2e_speedup(rows)
+    if e2e < E2E_FLOOR:
+        print(f"repro bench: FAIL: end-to-end layer-1 speedup "
+              f"{e2e:.2f}x (fast lane + packed engine vs generic lane "
+              f"+ per-cycle reference engine) is below the "
+              f"{E2E_FLOOR:.1f}x floor", file=sys.stderr)
+        status = 1
+    else:
+        print(f"end-to-end layer-1 speedup {e2e:.2f}x "
+              f"(floor {E2E_FLOOR:.1f}x)")
+    return status
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -602,7 +616,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="smaller workloads for CI smoke runs")
     bench.add_argument("--workers", type=int, default=2, metavar="N",
                        help="worker count for the campaign benchmark")
-    bench.add_argument("-o", "--output", default="BENCH_PR9.json",
+    bench.add_argument("-o", "--output", default="BENCH_PR10.json",
                        help="where to write the benchmark rows (JSON)")
     bench.set_defaults(func=_cmd_bench)
 

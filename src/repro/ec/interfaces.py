@@ -105,12 +105,17 @@ class SlaveResponse:
 
     @classmethod
     def wait(cls) -> "SlaveResponse":
-        return cls(BusState.WAIT)
+        # frozen and field-free per wait state: share one instance (a
+        # slave paced by wait states returns one of these per cycle)
+        return _WAIT_RESPONSE
 
     @classmethod
     def error(cls, cause: typing.Optional["ErrorCause"] = None
               ) -> "SlaveResponse":
         return cls(BusState.ERROR, cause=cause)
+
+
+_WAIT_RESPONSE = SlaveResponse(BusState.WAIT)
 
 
 class Slave(SlaveControlInterface, SlaveDataInterface):

@@ -41,10 +41,15 @@ class BusState(enum.Enum):
     OK = "ok"
     ERROR = "error"
 
-    @property
-    def finished(self) -> bool:
-        """True when the master must stop re-invoking the interface."""
-        return self in (BusState.OK, BusState.ERROR)
+    #: True when the master must stop re-invoking the interface;
+    #: precomputed per member below (this attribute is read on every
+    #: bus call of every cycle, so it must not be a property)
+    finished: bool
+
+
+for _state in BusState:
+    _state.finished = _state in (BusState.OK, BusState.ERROR)
+del _state
 
 
 class Direction(enum.Enum):

@@ -1,6 +1,6 @@
-"""Tracked performance benchmarks: ``repro bench`` → ``BENCH_PR9.json``.
+"""Tracked performance benchmarks: ``repro bench`` → ``BENCH_PR10.json``.
 
-Measures, on this host, the throughput the fast-path engine is
+Measures, on this host, the throughput the fast-path engines are
 supposed to buy and writes the numbers as a flat list of rows —
 ``{"metric", "value", "unit", "config"}`` — so successive runs can be
 diffed and CI can gate on a floor:
@@ -8,12 +8,13 @@ diffed and CI can gate on a floor:
 * **kernel throughput** — cycles/second of the bare clocked kernel
   (one clock, trivial posedge/negedge ``SC_METHOD`` processes), fast
   lane vs generic delta loop.  This isolates the scheduler itself and
-  is the metric the ``>= 2x`` CI gate applies to.
+  carries the ``>= 2x`` CI gate.
 * **bus-layer throughput** — cycles/second of the full Table-3
-  workload on layer 1 and layer 2 with energy estimation, fast lane vs
-  generic.  End-to-end the kernel is only part of the work (bus
-  engines, power accounting), so these speedups are smaller; they are
-  reported, not gated.
+  workload on layer 1 and layer 2 with energy estimation, end to end:
+  generic lane + per-cycle ``reference`` transition engine (the
+  uncompiled energy path) vs fast lane + deferred ``packed`` engine.
+  The layer-1 ratio carries the ``>= 3x`` CI gate; one extra row per
+  available engine backend races the backends on equal terms.
 * **link throughput** — T=1 sessions/second over the modelled UART on
   layer 1, clean wire vs a 1% noisy channel.  The gap prices what the
   retransmission machinery costs in simulation speed; reported, not
@@ -47,8 +48,17 @@ from .table3 import make_script
 #: CI floor for the fast-lane kernel speedup (see docs/PERFORMANCE.md).
 FASTLANE_FLOOR = 2.0
 
+#: CI floor for the end-to-end layer-1 speedup: fast lane + packed
+#: transition engine vs generic lane + per-cycle reference engine.
+E2E_FLOOR = 3.0
+
+#: Interleaved repetitions per (lane, backend) configuration; the best
+#: rep is reported.  Wall clock on a loaded host only ever adds noise,
+#: so best-of-N is the stable estimator of what the code costs.
+E2E_REPS = 3
+
 #: Default output file, at the repository root by convention.
-DEFAULT_OUTPUT = "BENCH_PR9.json"
+DEFAULT_OUTPUT = "BENCH_PR10.json"
 
 
 def _row(metric: str, value: float, unit: str,
@@ -104,18 +114,25 @@ def bench_kernel(cycles: int) -> typing.List[dict]:
 # full bus layers: Table-3 workload with energy estimation
 # ----------------------------------------------------------------------
 
-def _layer_throughput(layer: int, transactions: int,
-                      fast_lane: bool) -> typing.Tuple[float, float]:
-    """(cycles/s, total energy pJ) of the Table-3 workload on *layer*."""
+def _layer_throughput(layer: int, transactions: int, fast_lane: bool,
+                      backend: str = "packed", eager: bool = False
+                      ) -> typing.Tuple[float, float]:
+    """(cycles/s, total energy pJ) of the Table-3 workload on *layer*.
+
+    *backend* selects the transition engine; *eager* (layer 1 only)
+    forces per-cycle accounting — the shape of the pre-packed-word
+    energy path, which is what the end-to-end baseline must price.
+    """
     table = characterization().table
     simulator = Simulator(f"bench_l{layer}", fast_lane=fast_lane)
     clock = Clock(simulator, "clk", period=CLOCK_PERIOD)
     memory_map = fresh_memory_map()
     if layer == 1:
-        model: typing.Any = Layer1PowerModel(table)
+        model: typing.Any = Layer1PowerModel(table, backend=backend,
+                                             eager=eager)
         bus = EcBusLayer1(simulator, clock, memory_map, power_model=model)
     else:
-        model = Layer2PowerModel(table)
+        model = Layer2PowerModel(table, backend=backend)
         bus = EcBusLayer2(simulator, clock, memory_map, power_model=model)
     _bind_dynamic_slaves(memory_map, bus)
     master = PipelinedMaster(simulator, clock, bus,
@@ -131,26 +148,64 @@ def _layer_throughput(layer: int, transactions: int,
 
 
 def bench_layers(transactions: int) -> typing.List[dict]:
+    """End-to-end bus-layer throughput plus per-backend rows.
+
+    The end-to-end comparison is the whole PR-10 claim: *baseline* is
+    the generic delta-cycle lane driving the per-cycle ``reference``
+    engine (the uncompiled energy path), *fast* is the fast lane
+    driving the deferred ``packed`` engine.  Configurations are
+    interleaved across :data:`E2E_REPS` repetitions and the best rep
+    of each is reported, which keeps the ratio stable on noisy hosts.
+    Every run's total energy is asserted identical first.
+    """
+    from repro.power import available_backends
     rows = []
     for layer in (1, 2):
         config = {"workload": "table3", "transactions": transactions,
-                  "layer": layer, "estimation": True}
-        generic, energy_generic = _layer_throughput(
-            layer, transactions, fast_lane=False)
-        fast, energy_fast = _layer_throughput(
-            layer, transactions, fast_lane=True)
-        if energy_fast != energy_generic:
+                  "layer": layer, "estimation": True, "reps": E2E_REPS}
+        setups = {
+            "generic": dict(fast_lane=False, backend="reference",
+                            eager=(layer == 1)),
+            "fast": dict(fast_lane=True, backend="packed"),
+        }
+        best: typing.Dict[str, float] = {}
+        energies = {}
+        for _rep in range(E2E_REPS):
+            for name, setup in setups.items():
+                rate, energy = _layer_throughput(layer, transactions,
+                                                 **setup)
+                best[name] = max(best.get(name, 0.0), rate)
+                energies[name] = energy
+        if energies["fast"] != energies["generic"]:
             raise RuntimeError(
-                f"layer-{layer} energy diverged between lanes: "
-                f"{energy_fast} != {energy_generic}")
+                f"layer-{layer} energy diverged between engines: "
+                f"{energies['fast']} != {energies['generic']}")
         rows.extend([
-            _row(f"layer{layer}_cycles_per_s_generic", generic,
-                 "cycles/s", config),
-            _row(f"layer{layer}_cycles_per_s_fast", fast,
-                 "cycles/s", config),
-            _row(f"layer{layer}_fastlane_speedup", fast / generic,
-                 "x", config),
+            _row(f"layer{layer}_cycles_per_s_e2e_generic",
+                 best["generic"], "cycles/s",
+                 dict(config, lane="generic", backend="reference",
+                      accounting="per-cycle")),
+            _row(f"layer{layer}_cycles_per_s_e2e_fast",
+                 best["fast"], "cycles/s",
+                 dict(config, lane="fast", backend="packed",
+                      accounting="deferred")),
+            _row(f"layer{layer}_e2e_speedup",
+                 best["fast"] / best["generic"], "x", config),
         ])
+        # one row per available engine backend, all on the fast lane
+        # with deferred accounting, so the backends race on equal terms
+        for backend in available_backends():
+            rate, energy = _layer_throughput(layer, transactions,
+                                             fast_lane=True,
+                                             backend=backend)
+            if energy != energies["fast"]:
+                raise RuntimeError(
+                    f"layer-{layer} backend {backend!r} energy "
+                    f"diverged: {energy} != {energies['fast']}")
+            rows.append(_row(
+                f"layer{layer}_cycles_per_s_backend_{backend}", rate,
+                "cycles/s", dict(config, lane="fast",
+                                 backend=backend)))
     return rows
 
 
@@ -269,14 +324,15 @@ def bench_chaos(scenarios: int) -> typing.List[dict]:
 # ----------------------------------------------------------------------
 
 def _campaign_cells_per_s(workers: int, rates, classes
-                          ) -> typing.Tuple[float, int]:
+                          ) -> typing.Tuple[float, int, int]:
     from .fault_campaign import run_fault_campaign
     started = time.perf_counter()
     result = run_fault_campaign(
         rates=rates, classes=classes,
         layers=("layer1", "layer2"), workers=workers)
     wall = time.perf_counter() - started
-    return len(result.cells) / wall, len(result.cells)
+    return (len(result.cells) / wall, len(result.cells),
+            result.effective_workers or 1)
 
 
 def bench_campaign(workers: int, quick: bool) -> typing.List[dict]:
@@ -287,19 +343,26 @@ def bench_campaign(workers: int, quick: bool) -> typing.List[dict]:
     else:
         rates = (0.0, 0.02, 0.05, 0.1)
         classes = ("random_mix", "burst_heavy")
-    serial, cells = _campaign_cells_per_s(1, rates, classes)
-    parallel, _ = _campaign_cells_per_s(workers, rates, classes)
+    serial, cells, _ = _campaign_cells_per_s(1, rates, classes)
+    parallel, _, effective = _campaign_cells_per_s(
+        workers, rates, classes)
     # sharding buys wall clock only when cores exist to shard onto;
-    # record the host's count so the speedup row is interpretable
+    # the supervisor falls back to serial on 1-CPU hosts, and calling
+    # the resulting ~1.0 a "speedup" would misread as a regression —
+    # label the ratio honestly and record what actually ran
+    serial_fallback = effective < max(1, workers)
     config = {"experiment": "fault_campaign", "cells": cells,
-              "workers": workers, "host_cpus": os.cpu_count()}
+              "workers": workers, "effective_workers": effective,
+              "serial_fallback": serial_fallback,
+              "host_cpus": os.cpu_count()}
+    ratio_metric = ("campaign_parallel_ratio" if serial_fallback
+                    else "campaign_parallel_speedup")
     return [
         _row("campaign_cells_per_s_serial", serial, "cells/s",
-             dict(config, workers=1)),
+             dict(config, workers=1, effective_workers=1)),
         _row("campaign_cells_per_s_parallel", parallel, "cells/s",
              config),
-        _row("campaign_parallel_speedup", parallel / serial, "x",
-             config),
+        _row(ratio_metric, parallel / serial, "x", config),
     ]
 
 
@@ -329,6 +392,13 @@ def fastlane_speedup(rows: typing.Sequence[dict]) -> float:
         if row["metric"] == "kernel_fastlane_speedup":
             return row["value"]
     raise KeyError("kernel_fastlane_speedup")
+
+
+def layer1_e2e_speedup(rows: typing.Sequence[dict]) -> float:
+    for row in rows:
+        if row["metric"] == "layer1_e2e_speedup":
+            return row["value"]
+    raise KeyError("layer1_e2e_speedup")
 
 
 def write_bench(rows: typing.Sequence[dict], path: str) -> None:

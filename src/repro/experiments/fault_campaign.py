@@ -109,6 +109,10 @@ class FaultCampaignResult:
     classes: typing.Tuple[str, ...]
     policy: RetryPolicy
     cells: typing.List[CampaignCell]
+    #: workers the supervisor actually ran with — smaller than the
+    #: requested count when the 1-CPU serial fallback engaged; None
+    #: for results built before the field existed (old journals)
+    effective_workers: typing.Optional[int] = None
 
     def cell(self, layer: str, workload: str,
              rate: float) -> CampaignCell:
@@ -385,4 +389,6 @@ def run_fault_campaign(
         cells.append(cell)
     return FaultCampaignResult(seed=seed, rates=tuple(rate_axis),
                                classes=tuple(classes), policy=policy,
-                               cells=cells)
+                               cells=cells,
+                               effective_workers=supervisor
+                               .effective_workers)

@@ -7,12 +7,15 @@ from .calibration import (TechnologyPoint, TechnologyTable,
 from .domain import (BrownoutEvent, EnergyGovernor, PowerDomain,
                      PowerLossEvent, PowerSupply,
                      estimate_transaction_energy_pj)
+from .engine import (BACKEND_ENV_VAR, BACKEND_NAMES, NumpyEngine,
+                     PackedEngine, ReferenceEngine, TransitionEngine,
+                     available_backends, make_engine, resolve_backend)
 from .governors import (AlwaysOnPolicy, BudgetAwarePolicy, DpmController,
                         DpmGovernor, DpmPolicy, FixedTimeoutPolicy,
                         HistoryPredictivePolicy, IssueGate, POLICIES)
 from .interfaces import (CycleAccuratePowerInterface, EnergyAccumulator,
                          PowerInterface)
-from .layer1 import Layer1PowerModel, SignalStateRecorder, popcount
+from .layer1 import Layer1PowerModel, SignalStateRecorder
 from .layer2 import Layer2PowerModel
 from .psm import (CardPowerModel, DEFAULT_STATE_PROFILES, PowerState,
                   PowerStateMachine, StateProfile)
@@ -23,6 +26,8 @@ from . import security, units
 
 __all__ = [
     "AlwaysOnPolicy",
+    "BACKEND_ENV_VAR",
+    "BACKEND_NAMES",
     "BrownoutEvent",
     "BudgetAwarePolicy",
     "CardPowerModel",
@@ -40,7 +45,9 @@ __all__ = [
     "IssueGate",
     "Layer1PowerModel",
     "Layer2PowerModel",
+    "NumpyEngine",
     "POLICIES",
+    "PackedEngine",
     "PowerDomain",
     "PowerInterface",
     "PowerLossEvent",
@@ -48,16 +55,20 @@ __all__ = [
     "PowerStateMachine",
     "PowerSupply",
     "PowerTrace",
+    "ReferenceEngine",
     "SamplingProfiler",
     "SignalStateRecorder",
     "StateProfile",
     "TechnologyPoint",
     "TechnologyTable",
+    "TransitionEngine",
+    "available_backends",
     "default_table",
     "default_technology_table",
     "dump_vcd",
     "estimate_transaction_energy_pj",
-    "popcount",
+    "make_engine",
+    "resolve_backend",
     "save_vcd",
     "security",
     "units",

@@ -35,7 +35,7 @@ from repro.tlm import PipelinedMaster, run_script
 
 from .diesel import (DieselEstimator, DieselReport, InterfaceActivityLog,
                      WireLoadModel, default_wire_load)
-from .layer1 import SignalStateRecorder, popcount
+from .layer1 import SignalStateRecorder
 from .table import CharacterizationTable
 from .units import transition_energy_pj
 
@@ -65,7 +65,7 @@ def extract_inter_transaction_hamming(
     tenure_addresses = [values["EB_A"] for values in recorder.values
                         if values["EB_BFirst"]]
     if len(tenure_addresses) >= 2:
-        distances = [popcount(a ^ b) for a, b in
+        distances = [(a ^ b).bit_count() for a, b in
                      zip(tenure_addresses, tenure_addresses[1:])]
         address_hamming = sum(distances) / len(distances)
     else:
@@ -80,7 +80,7 @@ def extract_inter_transaction_hamming(
             continue
         previous = last_word[txn.direction]
         if previous is not None:
-            data_distances.append(popcount(previous ^ txn.data[0]))
+            data_distances.append((previous ^ txn.data[0]).bit_count())
         last_word[txn.direction] = txn.data[-1]
     data_hamming = (sum(data_distances) / len(data_distances)
                     if data_distances else 0.0)

@@ -35,7 +35,6 @@ import typing
 
 from repro.ec import EC_SIGNALS, SIGNALS_BY_NAME
 
-from .layer1 import popcount
 from .units import DEFAULT_VDD, transition_energy_pj
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
@@ -120,8 +119,8 @@ class InterfaceActivityLog:
         for name, new_value in new.items():
             toggled = old[name] ^ new_value
             if toggled:
-                total = popcount(toggled)
-                rises = popcount(toggled & new_value)
+                total = toggled.bit_count()
+                rises = (toggled & new_value).bit_count()
                 self.rises[name] += rises
                 self.falls[name] += total - rises
                 self.simultaneity[name] += total * (total - 1)

@@ -37,7 +37,6 @@ import typing
 from repro.ec import Transaction, TransactionKind
 
 from .interfaces import PowerInterface
-from .layer1 import popcount
 from .table import CharacterizationTable
 
 #: pJ per nJ — the supply is configured in nJ, drained in pJ.
@@ -178,7 +177,7 @@ def estimate_transaction_energy_pj(table: CharacterizationTable,
         transaction.kind is TransactionKind.DATA_WRITE) else None
     for beat in range(1, transaction.burst_length):
         if data is not None:
-            energy += popcount(data[beat - 1] ^ data[beat]) \
+            energy += (data[beat - 1] ^ data[beat]).bit_count() \
                 * coeff(bus_name)
         else:
             energy += table.inter_txn_data_hamming * coeff(bus_name)

@@ -26,6 +26,15 @@ Reconstruction contract (per cycle):
 * Write channel — ``EB_WData`` is driven for every active write-beat
   cycle (wait states included); ``EB_WDRdy`` pulses per accepted beat;
   ``EB_WBErr`` pulses on error.
+
+Since PR 10 the reconstructed wires live packed in one 128-bit python
+int per cycle (one lane per signal, see :mod:`repro.power.engine`): the
+phase hooks are pure mask arithmetic, and the per-cycle accounting is
+delegated to a selectable :class:`~repro.power.engine.TransitionEngine`
+backend.  With no per-cycle sinks attached the model defers whole
+batches of cycle words and flushes them on the first energy read —
+byte-identical results (the engines replay the historical float
+operations in the historical order), a fraction of the per-cycle cost.
 """
 
 from __future__ import annotations
@@ -34,15 +43,16 @@ import collections.abc
 import typing
 
 from repro.ec import (BusState, EC_SIGNALS, SignalGroup, SlaveResponse,
-                      Transaction)
+                      Transaction, TransactionKind)
 
+from .engine import (GROUP_INDEX, GROUP_ORDER, LANES, RESET_WORD,
+                     TransitionEngine, make_engine, unpack_word)
 from .interfaces import CycleAccuratePowerInterface, EnergyAccumulator
 from .table import CharacterizationTable
 
-
-def popcount(value: int) -> int:
-    """Number of set bits (``int.bit_count`` with the historic name)."""
-    return value.bit_count()
+#: deferred-mode flush threshold: cycle words buffered between engine
+#: flushes when no per-cycle sink forces eager accounting
+FLUSH_CAP = 4096
 
 
 class SignalValuesView(collections.abc.Mapping):
@@ -50,31 +60,34 @@ class SignalValuesView(collections.abc.Mapping):
 
     One view is built per model and handed to every per-cycle sink, so
     streaming a cycle costs no dict copy.  The view always shows the
-    *current* cycle — sinks that keep history must snapshot (see
-    :meth:`snapshot`, used by :class:`SignalStateRecorder`).
+    *current* cycle, decoded lazily from the packed cycle word — sinks
+    that keep history must snapshot (see :meth:`snapshot`, used by
+    :class:`SignalStateRecorder`).
     """
 
-    __slots__ = ("_names", "_index", "_values")
+    __slots__ = ("_model",)
 
-    def __init__(self, names: typing.Tuple[str, ...],
-                 index: typing.Dict[str, int],
-                 values: typing.List[int]) -> None:
-        self._names = names
-        self._index = index
-        self._values = values
+    #: signal name -> (shift, value mask), resolved once
+    _FIELDS = {name: (shift, mask >> shift)
+               for name, shift, _width, mask in LANES}
+    _NAMES = tuple(spec.name for spec in EC_SIGNALS)
+
+    def __init__(self, model: "Layer1PowerModel") -> None:
+        self._model = model
 
     def __getitem__(self, name: str) -> int:
-        return self._values[self._index[name]]
+        shift, mask = self._FIELDS[name]
+        return (self._model._word >> shift) & mask
 
     def __iter__(self) -> typing.Iterator[str]:
-        return iter(self._names)
+        return iter(self._NAMES)
 
     def __len__(self) -> int:
-        return len(self._names)
+        return len(self._NAMES)
 
     def snapshot(self) -> typing.Tuple[int, ...]:
         """The current values as an immutable tuple (EC_SIGNALS order)."""
-        return tuple(self._values)
+        return unpack_word(self._model._word)
 
 
 class SignalStateRecorder:
@@ -134,207 +147,196 @@ class SignalStateRecorder:
         return len(self.cycles)
 
 
-class Layer1PowerModel(CycleAccuratePowerInterface):
-    """Cycle-accurate transition-counting energy model for layer 1."""
+# packed-lane constants for the phase hooks, resolved once
+_A_MASK = LANES[0][3]
+_AVALID = LANES[1][3]
+_INSTR = LANES[2][3]
+_WRITE = LANES[3][3]
+_BURST = LANES[4][3]
+_BFIRST = LANES[5][3]
+_BLAST = LANES[6][3]
+_BE_SHIFT = LANES[7][1]
+_BE_MASK = LANES[7][3]
+_ARDY = LANES[8][3]
+_RDATA_SHIFT = LANES[9][1]
+_RDATA_MASK = LANES[9][3]
+_RDVAL = LANES[10][3]
+_RBERR = LANES[11][3]
+_WDATA_SHIFT = LANES[12][1]
+_WDATA_MASK = LANES[12][3]
+_WDRDY = LANES[13][3]
+_WBERR = LANES[14][3]
 
-    #: index of each signal in the value arrays (hot-path layout)
+# per-hook clear masks: the lanes a phase hook rewrites; everything
+# else holds its value (the buses' "hold when idle" reconstruction)
+_ADDR_IDLE_CLEAR = ~(_AVALID | _BFIRST | _BLAST | _ARDY)
+_ADDR_ACTIVE_CLEAR = ~(_A_MASK | _AVALID | _INSTR | _WRITE | _BURST
+                       | _BFIRST | _BLAST | _BE_MASK | _ARDY)
+_READ_IDLE_CLEAR = ~(_RDVAL | _RBERR)
+_READ_OK_CLEAR = ~(_RDATA_MASK | _RDVAL | _RBERR)
+_WRITE_IDLE_CLEAR = ~(_WDRDY | _WBERR)
+_WRITE_ACTIVE_CLEAR = ~(_WDATA_MASK | _WDRDY | _WBERR)
+
+_INSTRUCTION_READ = TransactionKind.INSTRUCTION_READ
+_DATA_WRITE = TransactionKind.DATA_WRITE
+
+
+class Layer1PowerModel(CycleAccuratePowerInterface):
+    """Cycle-accurate transition-counting energy model for layer 1.
+
+    *backend* selects the transition engine (``packed`` default,
+    ``reference`` oracle, ``numpy`` bit-slice); ``None`` defers to the
+    ``REPRO_ENERGY_BACKEND`` environment variable.  All backends are
+    byte-identical; they differ only in throughput.
+    """
+
+    #: index of each signal in value tuples (hot-path layout, kept for
+    #: introspection compatibility)
     _INDEX = {spec.name: i for i, spec in enumerate(EC_SIGNALS)}
 
     def __init__(self, table: CharacterizationTable,
-                 recorder: typing.Optional[SignalStateRecorder] = None
-                 ) -> None:
+                 recorder: typing.Optional[SignalStateRecorder] = None,
+                 backend: typing.Optional[str] = None,
+                 eager: typing.Optional[bool] = None) -> None:
         self.table = table
         self.recorder = recorder
+        self._engine: TransitionEngine = make_engine(backend, table)
+        self.backend = self._engine.name
         self._sinks: typing.List[typing.Callable[
-            [int, typing.Dict[str, int], float], None]] = []
-        if recorder is not None:
-            self._sinks.append(recorder.record)
+            [int, typing.Mapping[str, int], float], None]] = []
         self._acc = EnergyAccumulator()
         self._last_cycle_energy = 0.0
         self._names = [spec.name for spec in EC_SIGNALS]
-        self._coeffs = [table.coefficient(spec.name)
-                        for spec in EC_SIGNALS]
-        self._groups = [spec.group for spec in EC_SIGNALS]
-        self.group_energy_pj = {group: 0.0 for group in SignalGroup}
         self._counts = [0] * len(EC_SIGNALS)
-        # old and new signal values; reset state: controls low, ARdy high
-        self._old = [0] * len(EC_SIGNALS)
-        self._new = [0] * len(EC_SIGNALS)
-        self._old[self._INDEX["EB_ARdy"]] = 1
-        self._new[self._INDEX["EB_ARdy"]] = 1
+        #: per-group energy accumulators, GROUP_ORDER slots
+        self._gvals = [0.0] * len(GROUP_ORDER)
+        # packed signal state; reset: controls low, ARdy high
+        self._word = RESET_WORD
+        self._prev_word = RESET_WORD
+        self._pending: typing.List[int] = []
         self._current_tenure_id: typing.Optional[int] = None
-        # dirty-index tracking: each phase hook ORs in the bitmask of
-        # the indices it wrote, so end_of_cycle only diffs those
-        self._touched = 0
-        self._view = SignalValuesView(tuple(self._names),
-                                      dict(self._INDEX), self._new)
+        self._view = SignalValuesView(self)
+        if recorder is not None:
+            self._sinks.append(recorder.record)
+        # eager=True forces per-cycle accounting even without sinks
+        # (the uncompiled baseline the benchmarks compare to); sinks
+        # always imply eager — they observe every cycle as it commits
+        self._eager = bool(self._sinks) or bool(eager)
+
+    # ------------------------------------------------------------------
+    # deferred accounting plumbing
+    # ------------------------------------------------------------------
+
+    def _flush(self) -> None:
+        """Account every deferred cycle word (byte-identical replay)."""
+        pending = self._pending
+        if pending:
+            self._pending = []
+            self._engine.flush(self, pending)
 
     @property
     def transition_counts(self) -> typing.Dict[str, int]:
         """Per-signal bit-transition counts (reporting view)."""
+        self._flush()
         return dict(zip(self._names, self._counts))
 
+    @property
+    def group_energy_pj(self) -> typing.Dict[SignalGroup, float]:
+        """Accumulated energy per signal group (reporting view)."""
+        self._flush()
+        return dict(zip(GROUP_ORDER, self._gvals))
+
     def add_signal_sink(self, sink: typing.Callable[
-            [int, typing.Dict[str, int], float], None]) -> None:
+            [int, typing.Mapping[str, int], float], None]) -> None:
         """Stream each cycle's committed wire values (and energy) to
-        *sink* — the hook online monitors attach through."""
+        *sink* — the hook online monitors attach through.  Attaching a
+        sink switches the model to eager per-cycle accounting."""
         if sink not in self._sinks:
+            self._flush()  # sinks must not observe a stale accumulator
             self._sinks.append(sink)
+            self._eager = True
 
     # ------------------------------------------------------------------
     # phase hooks invoked by EcBusLayer1 (exactly one address, one read
-    # and one write hook per cycle)
+    # and one write hook per cycle); pure packed-lane mask arithmetic
     # ------------------------------------------------------------------
 
-    # signal indices, resolved once for the hot path
-    _A = _INDEX["EB_A"]; _AVALID = _INDEX["EB_AValid"]
-    _INSTR = _INDEX["EB_Instr"]; _WRITE = _INDEX["EB_Write"]
-    _BURST = _INDEX["EB_Burst"]; _BE = _INDEX["EB_BE"]
-    _BFIRST = _INDEX["EB_BFirst"]; _BLAST = _INDEX["EB_BLast"]
-    _ARDY = _INDEX["EB_ARdy"]
-    _RDATA = _INDEX["EB_RData"]; _RDVAL = _INDEX["EB_RdVal"]
-    _RBERR = _INDEX["EB_RBErr"]
-    _WDATA = _INDEX["EB_WData"]; _WDRDY = _INDEX["EB_WDRdy"]
-    _WBERR = _INDEX["EB_WBErr"]
-
-    # per-hook dirty masks (bit i set = value index i may have changed)
-    _ADDR_IDLE_MASK = ((1 << _AVALID) | (1 << _BFIRST) | (1 << _BLAST)
-                       | (1 << _ARDY))
-    _ADDR_ACTIVE_MASK = (_ADDR_IDLE_MASK | (1 << _A) | (1 << _INSTR)
-                         | (1 << _WRITE) | (1 << _BURST) | (1 << _BE))
-    _READ_IDLE_MASK = (1 << _RDVAL) | (1 << _RBERR)
-    _READ_ACTIVE_MASK = _READ_IDLE_MASK | (1 << _RDATA)
-    _WRITE_IDLE_MASK = (1 << _WDRDY) | (1 << _WBERR)
-    _WRITE_ACTIVE_MASK = _WRITE_IDLE_MASK | (1 << _WDATA)
-    _ALL_MASK = (1 << len(EC_SIGNALS)) - 1
-
-    #: mask -> ascending index tuple, shared across instances (at most
-    #: eight phase-hook combinations occur in practice)
-    _DIRTY_INDICES: typing.Dict[int, typing.Tuple[int, ...]] = {}
-
     def address_phase_idle(self) -> None:
-        new = self._new
-        new[self._AVALID] = 0
-        new[self._BFIRST] = 0
-        new[self._BLAST] = 0
-        new[self._ARDY] = 1
-        self._touched |= self._ADDR_IDLE_MASK
+        # AValid/BFirst/BLast low, ARdy high;
+        # EB_A / EB_Instr / EB_Write / EB_Burst / EB_BE hold
+        self._word = (self._word & _ADDR_IDLE_CLEAR) | _ARDY
         self._current_tenure_id = None
-        # EB_A / EB_Instr / EB_Write / EB_Burst / EB_BE hold their values
 
     def address_phase_active(self, transaction: Transaction,
                              completing: bool) -> None:
-        new = self._new
-        first_cycle = self._current_tenure_id != transaction.txn_id
-        self._current_tenure_id = (None if completing
-                                   else transaction.txn_id)
-        new[self._A] = transaction.address
-        new[self._AVALID] = 1
-        new[self._INSTR] = int(transaction.kind.is_instruction)
-        new[self._WRITE] = int(transaction.direction.value == "write")
-        new[self._BURST] = int(transaction.is_burst)
-        new[self._BE] = transaction.byte_enables(0)
-        new[self._BFIRST] = int(first_cycle)
-        new[self._BLAST] = int(completing)
-        new[self._ARDY] = int(completing)
-        self._touched |= self._ADDR_ACTIVE_MASK
+        txn_id = transaction.txn_id
+        first_cycle = self._current_tenure_id != txn_id
+        self._current_tenure_id = None if completing else txn_id
+        word = ((self._word & _ADDR_ACTIVE_CLEAR)
+                | transaction.address          # lane shift 0
+                | _AVALID
+                | (transaction._enables << _BE_SHIFT))
+        kind = transaction.kind
+        if kind is _INSTRUCTION_READ:
+            word |= _INSTR
+        elif kind is _DATA_WRITE:
+            word |= _WRITE
+        if transaction.burst_length > 1:
+            word |= _BURST
+        if first_cycle:
+            word |= _BFIRST
+        if completing:
+            word |= _BLAST | _ARDY
+        self._word = word
 
     def read_phase_idle(self) -> None:
-        new = self._new
-        new[self._RDVAL] = 0
-        new[self._RBERR] = 0
-        self._touched |= self._READ_IDLE_MASK
-        # EB_RData holds
+        self._word &= _READ_IDLE_CLEAR  # EB_RData holds
 
     def read_phase_active(self, transaction: Transaction,
                           response: SlaveResponse) -> None:
-        new = self._new
-        if response.state is BusState.OK:
-            new[self._RDATA] = response.data
-            new[self._RDVAL] = 1
-            new[self._RBERR] = 0
-        elif response.state is BusState.ERROR:
-            new[self._RDVAL] = 0
-            new[self._RBERR] = 1
+        state = response.state
+        if state is BusState.OK:
+            self._word = ((self._word & _READ_OK_CLEAR)
+                          | (response.data << _RDATA_SHIFT) | _RDVAL)
+        elif state is BusState.ERROR:
+            self._word = (self._word & _READ_IDLE_CLEAR) | _RBERR
         else:  # WAIT
-            new[self._RDVAL] = 0
-            new[self._RBERR] = 0
-        self._touched |= self._READ_ACTIVE_MASK
+            self._word &= _READ_IDLE_CLEAR
 
     def write_phase_idle(self) -> None:
-        new = self._new
-        new[self._WDRDY] = 0
-        new[self._WBERR] = 0
-        self._touched |= self._WRITE_IDLE_MASK
-        # EB_WData holds
+        self._word &= _WRITE_IDLE_CLEAR  # EB_WData holds
 
     def write_phase_active(self, transaction: Transaction, data: int,
                            response: SlaveResponse) -> None:
-        new = self._new
-        new[self._WDATA] = data
-        new[self._WDRDY] = int(response.state is BusState.OK)
-        new[self._WBERR] = int(response.state is BusState.ERROR)
-        self._touched |= self._WRITE_ACTIVE_MASK
+        word = ((self._word & _WRITE_ACTIVE_CLEAR)
+                | (data << _WDATA_SHIFT))
+        state = response.state
+        if state is BusState.OK:
+            word |= _WDRDY
+        elif state is BusState.ERROR:
+            word |= _WBERR
+        self._word = word
 
     def end_of_cycle(self, cycle: int) -> None:
-        """Count transitions old -> new and book the cycle's energy.
+        """Commit this cycle's packed word to the transition engine.
 
-        The diff only visits the indices the phase hooks marked dirty
-        this cycle (anything untouched still equals its old value), the
-        popcount is ``int.bit_count``, and the cycle's energy is
-        accumulated locally and committed to the accumulator once.  The
-        per-signal accounting below runs in ascending index order with
-        one float addition per changed signal — the same operations in
-        the same order as the reference scan, so ``transition_counts``
-        and ``group_energy_pj`` stay bit-identical.
+        Eager mode (per-cycle sinks attached): the cycle is accounted
+        immediately and streamed to every sink.  Deferred mode: the
+        word is buffered; the engine replays the whole batch — the
+        identical float operations in the identical order — on the
+        next energy read or at :data:`FLUSH_CAP`.
         """
-        energy = self.table.clock_energy_per_cycle_pj
-        self.group_energy_pj[SignalGroup.CLOCK] += energy
-        old = self._old
-        new = self._new
-        touched = self._touched
-        self._touched = 0
-        if old != new:
-            if touched == 0:
-                # values were poked outside the phase hooks: diff all
-                touched = self._ALL_MASK
-            indices = self._DIRTY_INDICES.get(touched)
-            if indices is None:
-                indices = self._DIRTY_INDICES[touched] = tuple(
-                    i for i in range(len(EC_SIGNALS))
-                    if (touched >> i) & 1)
-            coeffs = self._coeffs
-            counts = self._counts
-            groups = self._groups
-            group_energy = self.group_energy_pj
-            for index in indices:
-                new_value = new[index]
-                toggled = old[index] ^ new_value
-                if toggled:
-                    transitions = toggled.bit_count()
-                    counts[index] += transitions
-                    signal_energy = transitions * coeffs[index]
-                    energy += signal_energy
-                    group_energy[groups[index]] += signal_energy
-                    old[index] = new_value
-            if old != new:
-                # a poke outside the phase hooks slipped past the dirty
-                # mask: sweep the remaining indices (cold path)
-                for index, new_value in enumerate(new):
-                    toggled = old[index] ^ new_value
-                    if toggled:
-                        transitions = toggled.bit_count()
-                        counts[index] += transitions
-                        signal_energy = transitions * coeffs[index]
-                        energy += signal_energy
-                        group_energy[groups[index]] += signal_energy
-                        old[index] = new_value
-        self._last_cycle_energy = energy
-        self._acc.add(energy)
-        if self._sinks:
+        if self._eager:
+            self._engine.flush(self, (self._word,))
+            energy = self._last_cycle_energy
             view = self._view
             for sink in self._sinks:
                 sink(cycle, view, energy)
+        else:
+            pending = self._pending
+            pending.append(self._word)
+            if len(pending) >= FLUSH_CAP:
+                self._flush()
 
     # ------------------------------------------------------------------
     # PowerInterface
@@ -342,14 +344,18 @@ class Layer1PowerModel(CycleAccuratePowerInterface):
 
     @property
     def total_energy_pj(self) -> float:
+        self._flush()
         return self._acc.total
 
     def energy_last_cycle_pj(self) -> float:
+        self._flush()
         return self._last_cycle_energy
 
     def energy_since_last_call_pj(self) -> float:
+        self._flush()
         return self._acc.since_last_call()
 
     def total_transitions(self) -> int:
         """All bit transitions counted so far, across all signals."""
+        self._flush()
         return sum(self._counts)

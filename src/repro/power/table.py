@@ -70,6 +70,42 @@ class CharacterizationTable:
                 raise ValueError(f"negative coefficient for {name!r}")
         if self.clock_energy_per_cycle_pj < 0:
             raise ValueError("negative clock energy")
+        # LUT memo state lives outside the dataclass fields so asdict /
+        # to_json round-trips and equality stay coefficient-only
+        self._lut_cache: typing.Optional[tuple] = None
+        self.lut_version = 0
+
+    # -- transition-energy LUTs ----------------------------------------------
+
+    def transition_luts(self) -> tuple:
+        """Per-signal transition-energy LUTs, EC_SIGNALS index order.
+
+        ``luts[i][t]`` is ``t * coefficient(signal_i)`` — the identical
+        float product the per-cycle accounting historically computed,
+        precomputed once per signal for every possible transition count
+        (0 .. signal width).  Memoized; consumers must key their caches
+        on :attr:`lut_version` and re-fetch after
+        :meth:`invalidate_luts`.
+        """
+        cache = self._lut_cache
+        if cache is None:
+            from repro.ec import EC_SIGNALS
+            cache = tuple(
+                tuple(t * self.coefficient(spec.name)
+                      for t in range(spec.width + 1))
+                for spec in EC_SIGNALS)
+            self._lut_cache = cache
+        return cache
+
+    def invalidate_luts(self) -> None:
+        """Drop the memoized LUTs after an in-place recalibration.
+
+        Bumps :attr:`lut_version` so every engine holding derived
+        tables rebuilds them on its next accounting flush — a stale
+        LUT after recalibration is thereby impossible.
+        """
+        self._lut_cache = None
+        self.lut_version += 1
 
     def coefficient(self, signal_name: str) -> float:
         """pJ per bit transition of *signal_name* (0.0 if not listed)."""

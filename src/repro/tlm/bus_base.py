@@ -61,8 +61,16 @@ class EcBusBase(Module, BusMasterInterface):
     def data_write(self, transaction: Transaction) -> BusState:
         return self._master_call(transaction)
 
+    def issue(self, transaction: Transaction) -> BusState:
+        # all three kind-specific interfaces delegate to _master_call,
+        # so the per-cycle master path can skip the kind dispatch
+        return self._master_call(transaction)
+
     def _master_call(self, transaction: Transaction) -> BusState:
-        if self.finish_pool.collect(transaction):
+        # inlined FinishPool.collect: this runs once per in-flight
+        # transaction per cycle, so the extra call layers matter
+        pool = self.finish_pool
+        if pool._done.pop(transaction.txn_id, None) is not None:
             self.budget.release(transaction)
             self.transactions_completed += 1
             for monitor in self.monitors:

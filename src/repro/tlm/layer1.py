@@ -77,7 +77,12 @@ class EcBusLayer1(EcBusBase):
         self.read_queue = TransactionQueue("read")
         self.write_queue = TransactionQueue("write")
         self._address_fsm = _AddressPhaseFsm()
-        self._regions: typing.Dict[int, Region] = {}  # txn_id -> region
+        #: txn_id -> (region, slave, forward_read, forward_write,
+        #: slave base address) — the route is resolved once when the
+        #: address phase completes, so the per-beat data phases skip
+        #: the bridge-capability getattr and the window containment
+        #: re-check (resolve_checked already validated the full burst)
+        self._routes: typing.Dict[int, tuple] = {}
         self.method(self._bus_process, name="bus_process",
                     sensitive=[clock.negedge_event], dont_initialize=True)
 
@@ -89,12 +94,116 @@ class EcBusLayer1(EcBusBase):
     # ------------------------------------------------------------------
 
     def _bus_process(self) -> None:
-        self.address_phase()
-        self.read_phase()
-        self.write_phase()
-        if self.power_model is not None:
-            self.power_model.end_of_cycle(self.cycle)
-        self.cycle += 1
+        """One bus cycle: the paper's phases 2–4 plus energy commit.
+
+        The phases run inline in one method — they execute every
+        single cycle of every layer-1 simulation, so the former
+        one-method-per-phase layout paid three calls and repeated
+        attribute walks per cycle for structure no caller used.
+        """
+        power_model = self.power_model
+        cycle = self.cycle
+        routes = self._routes
+
+        # -- phase 2: address (the FSM of Figure 3) --------------------
+        fsm = self._address_fsm
+        addr_busy = True
+        if fsm.state == fsm.IDLE:
+            fifo = self.request_queue._fifo
+            if not fifo:
+                addr_busy = False
+            else:
+                head = fifo.popleft()
+                try:
+                    # hierarchical decode: the first hop is the window
+                    # on *this* bus (a local slave, or a bridge to
+                    # another segment); rights are checked end-to-end
+                    # at every hop
+                    route = self.memory_map.resolve_checked(
+                        head.address, head.kind, head.num_bytes)
+                    region = route.regions[0]
+                except DecodeError:
+                    head.fail(cycle, ErrorCause.DECODE)
+                    self.finish_pool.push(head)
+                    addr_busy = False
+                else:
+                    fsm.start(head, region,
+                              self.get_slave_state(region).address)
+        if not addr_busy:
+            if power_model is not None:
+                power_model.address_phase_idle()
+        else:
+            # BUSY: drive the address channel, count down wait states
+            transaction = fsm.current
+            completing = fsm.remaining_wait_states == 0
+            if power_model is not None:
+                power_model.address_phase_active(transaction, completing)
+            if completing:
+                transaction.address_done_cycle = cycle
+                slave = fsm.region.slave
+                routes[transaction.txn_id] = (
+                    fsm.region, slave,
+                    getattr(slave, "forward_read_beat", None),
+                    getattr(slave, "forward_write_beat", None),
+                    slave.base_address)
+                if transaction.direction is Direction.READ:
+                    self.read_queue.push(transaction)
+                else:
+                    self.write_queue.push(transaction)
+                fsm.finish()
+            else:
+                fsm.remaining_wait_states -= 1
+
+        # -- phase 3: read data ----------------------------------------
+        fifo = self.read_queue._fifo
+        if not fifo:
+            if power_model is not None:
+                power_model.read_phase_idle()
+        else:
+            transaction = fifo[0]
+            (_region, slave, forward, _fw,
+             base) = routes[transaction.txn_id]
+            if forward is not None:  # bridge: transaction-aware forward
+                response = forward(transaction)
+            else:
+                # beat_address() inlined: the decode already validated
+                # the whole burst inside the window, no wrap possible
+                response = slave.read_beat(
+                    transaction.address - base
+                    + (transaction.beats_done << 2),
+                    transaction._enables)
+            if power_model is not None:
+                power_model.read_phase_active(transaction, response)
+            self._apply_response(transaction, response,
+                                 self.read_queue, value=response.data)
+
+        # -- phase 4: write data ---------------------------------------
+        fifo = self.write_queue._fifo
+        if not fifo:
+            if power_model is not None:
+                power_model.write_phase_idle()
+        else:
+            transaction = fifo[0]
+            (_region, slave, _fr, forward,
+             base) = routes[transaction.txn_id]
+            beat = transaction.beats_done
+            data = transaction.data[beat]
+            if forward is not None:  # bridge: transaction-aware forward
+                response = forward(transaction, data)
+            else:
+                # beat_address() inlined, as in the read phase
+                response = slave.write_beat(
+                    transaction.address - base + (beat << 2),
+                    transaction._enables, data)
+            if power_model is not None:
+                power_model.write_phase_active(transaction, data,
+                                               response)
+            self._apply_response(transaction, response,
+                                 self.write_queue)
+
+        if power_model is not None:
+            power_model.end_of_cycle(cycle)
+        self.cycle = cycle + 1
 
     def get_slave_state(self, region: Region):
         """Invoke the slave control interface (the paper's phase 1).
@@ -105,103 +214,25 @@ class EcBusLayer1(EcBusBase):
         """
         return region.slave.wait_states
 
-    # -- phase 2 ---------------------------------------------------------
-
-    def address_phase(self) -> None:
-        fsm = self._address_fsm
-        if fsm.state == fsm.IDLE:
-            head = self.request_queue.head()
-            if head is None:
-                self._drive_address_idle()
-                return
-            self.request_queue.pop()
-            try:
-                # hierarchical decode: the first hop is the window on
-                # *this* bus (a local slave, or a bridge to another
-                # segment); rights are checked end-to-end at every hop
-                route = self.memory_map.resolve_checked(
-                    head.address, head.kind, head.num_bytes)
-                region = route.regions[0]
-            except DecodeError:
-                head.fail(self.cycle, ErrorCause.DECODE)
-                self.finish_pool.push(head)
-                self._drive_address_idle()
-                return
-            wait_states = self.get_slave_state(region).address
-            fsm.start(head, region, wait_states)
-        # BUSY: drive the address channel and count down wait states
-        transaction = fsm.current
-        completing = fsm.remaining_wait_states == 0
-        self._drive_address_active(transaction, completing)
-        if completing:
-            transaction.address_done_cycle = self.cycle
-            self._regions[transaction.txn_id] = fsm.region
-            if transaction.direction is Direction.READ:
-                self.read_queue.push(transaction)
-            else:
-                self.write_queue.push(transaction)
-            fsm.finish()
-        else:
-            fsm.remaining_wait_states -= 1
-
-    # -- phases 3 and 4 ----------------------------------------------------
-
-    def read_phase(self) -> None:
-        transaction = self.read_queue.head()
-        if transaction is None:
-            self._drive_read_idle()
-            return
-        region = self._regions[transaction.txn_id]
-        forward = getattr(region.slave, "forward_read_beat", None)
-        if forward is not None:  # bridge: transaction-aware forwarding
-            response = forward(transaction)
-        else:
-            beat = transaction.beats_done
-            offset = region.slave.offset_of(
-                transaction.beat_address(beat))
-            response = region.slave.read_beat(
-                offset, transaction.byte_enables(beat))
-        self._drive_read(transaction, response)
-        self._apply_response(transaction, response, self.read_queue,
-                             value=response.data)
-
-    def write_phase(self) -> None:
-        transaction = self.write_queue.head()
-        if transaction is None:
-            self._drive_write_idle()
-            return
-        region = self._regions[transaction.txn_id]
-        beat = transaction.beats_done
-        data = transaction.data[beat]
-        forward = getattr(region.slave, "forward_write_beat", None)
-        if forward is not None:  # bridge: transaction-aware forwarding
-            response = forward(transaction, data)
-        else:
-            offset = region.slave.offset_of(
-                transaction.beat_address(beat))
-            response = region.slave.write_beat(
-                offset, transaction.byte_enables(beat), data)
-        self._drive_write(transaction, data, response)
-        self._apply_response(transaction, response, self.write_queue)
-
     def _apply_response(self, transaction: Transaction,
                         response: SlaveResponse, queue: TransactionQueue,
                         value: typing.Optional[int] = None) -> None:
-        if response.state is BusState.ERROR:
+        state = response.state
+        if state is BusState.OK:
+            transaction.complete_beat(self.cycle, value)
+            if transaction.finished:
+                queue.pop()
+                del self._routes[transaction.txn_id]
+                self.finish_pool.push(transaction)
+        elif state is BusState.ERROR:
             queue.pop()
-            del self._regions[transaction.txn_id]
+            del self._routes[transaction.txn_id]
             # a cause-carrying response (bridge relaying a downstream
             # fault) keeps its original cause; plain slave errors stay
             # SLAVE_ERROR
             transaction.fail(self.cycle,
                              response.cause or ErrorCause.SLAVE_ERROR)
             self.finish_pool.push(transaction)
-        elif response.state is BusState.OK:
-            transaction.complete_beat(self.cycle, value)
-            if transaction.finished:
-                queue.pop()
-                del self._regions[transaction.txn_id]
-                self.finish_pool.push(transaction)
         # WAIT: beat stays at the head; retried next cycle
 
     # ------------------------------------------------------------------
@@ -217,7 +248,7 @@ class EcBusLayer1(EcBusBase):
         for queue in (self.read_queue, self.write_queue):
             was_head = queue.head() is transaction
             if queue.remove(transaction):
-                region = self._regions.pop(transaction.txn_id)
+                region = self._routes.pop(transaction.txn_id)[0]
                 # the head may have started a paced beat: clear the
                 # slave's wait-state countdown so the next transaction
                 # (or a retry of this one) re-samples from scratch
@@ -231,37 +262,6 @@ class EcBusLayer1(EcBusBase):
                     abandon(transaction)
                 return True
         return False
-
-    # ------------------------------------------------------------------
-    # signal reconstruction hooks (the TL-to-RTL adapter of §3.3)
-    # ------------------------------------------------------------------
-
-    def _drive_address_idle(self) -> None:
-        if self.power_model is not None:
-            self.power_model.address_phase_idle()
-
-    def _drive_address_active(self, transaction: Transaction,
-                              completing: bool) -> None:
-        if self.power_model is not None:
-            self.power_model.address_phase_active(transaction, completing)
-
-    def _drive_read_idle(self) -> None:
-        if self.power_model is not None:
-            self.power_model.read_phase_idle()
-
-    def _drive_read(self, transaction: Transaction,
-                    response: SlaveResponse) -> None:
-        if self.power_model is not None:
-            self.power_model.read_phase_active(transaction, response)
-
-    def _drive_write_idle(self) -> None:
-        if self.power_model is not None:
-            self.power_model.write_phase_idle()
-
-    def _drive_write(self, transaction: Transaction, data: int,
-                     response: SlaveResponse) -> None:
-        if self.power_model is not None:
-            self.power_model.write_phase_active(transaction, data, response)
 
     # ------------------------------------------------------------------
 

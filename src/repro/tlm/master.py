@@ -37,6 +37,8 @@ from repro.ec.interfaces import BusMasterInterface
 from repro.kernel import (BlockedWaiter, Clock, Module, ProgressWatchdog,
                           Simulator, StallError)
 
+from .bus_base import EcBusBase
+
 ScriptItem = typing.Union[Transaction, typing.Tuple[int, Transaction]]
 
 
@@ -82,6 +84,14 @@ class ScriptedMaster(Module):
                  governor=None) -> None:
         super().__init__(simulator, name)
         self.bus = bus
+        # EcBusBase buses complete in-flight transactions only through
+        # the finish pool, so its dict doubles as a "did anything
+        # finish?" probe the per-cycle loops can test before paying
+        # for a full (almost always WAIT) re-issue call.  Foreign
+        # buses (layer 3, arbiter ports) keep the plain re-issue.
+        self._completions: typing.Optional[dict] = (
+            bus.finish_pool._done if isinstance(bus, EcBusBase)
+            else None)
         self.clock = clock
         self.script = normalise_script(script)
         self.retry_policy = retry_policy
@@ -364,52 +374,67 @@ class PipelinedMaster(ScriptedMaster):
     def _on_clock(self) -> None:
         if self.done:
             return
-        finished: typing.List[Transaction] = []
+        in_flight = self._in_flight
+        retry_queue = self._retry_queue
+        issue = self.bus.issue
+        finished: typing.Optional[typing.List[Transaction]] = None
         # watchdog: abort in-flight transactions stuck past the budget
-        if (self.retry_policy is not None
-                and self.retry_policy.timeout_cycles is not None):
-            for transaction in list(self._in_flight):
+        retry_policy = self.retry_policy
+        if (retry_policy is not None
+                and retry_policy.timeout_cycles is not None):
+            for transaction in list(in_flight):
                 meta = self._meta[transaction.txn_id]
                 if self._watchdog_expired(transaction, meta[1]):
                     if self._abort(transaction):
-                        self._in_flight.remove(transaction)
-                        finished.append(transaction)
+                        in_flight.remove(transaction)
+                        (finished := finished or []).append(transaction)
         # advance everything already in flight, collecting completions
-        still_flying: typing.List[Transaction] = []
-        for transaction in self._in_flight:
-            state = self.bus.issue(transaction)
-            if state.finished:
-                finished.append(transaction)
-            else:
-                still_flying.append(transaction)
-        self._in_flight = still_flying
+        completions = self._completions
+        if in_flight and (completions is None or completions):
+            still_flying: typing.List[Transaction] = []
+            for transaction in in_flight:
+                if (completions is not None
+                        and transaction.txn_id not in completions):
+                    still_flying.append(transaction)  # would be WAIT
+                    continue
+                state = issue(transaction)
+                if state.finished:
+                    (finished := finished or []).append(transaction)
+                else:
+                    still_flying.append(transaction)
+            in_flight = self._in_flight = still_flying
         # re-issue retries whose backoff elapsed, window permitting
-        for entry in self._retry_queue:
-            if entry[0] > 0:
-                entry[0] -= 1
-        while (self._retry_queue and self._retry_queue[0][0] <= 0
-               and len(self._in_flight) < self.window):
-            _, clone, rec = self._retry_queue[0]
-            state = self.bus.issue(clone)
-            if state is BusState.WAIT:
-                break  # budget full: retry the same clone next cycle
-            self._retry_queue.pop(0)
-            self._meta[clone.txn_id] = [rec, self.clock.cycles]
-            if state.finished:
-                finished.append(clone)
-            else:
-                self._in_flight.append(clone)
+        if retry_queue:
+            for entry in retry_queue:
+                if entry[0] > 0:
+                    entry[0] -= 1
+            while (retry_queue and retry_queue[0][0] <= 0
+                   and len(in_flight) < self.window):
+                _, clone, rec = retry_queue[0]
+                state = issue(clone)
+                if state is BusState.WAIT:
+                    break  # budget full: retry the same clone next cycle
+                retry_queue.pop(0)
+                self._meta[clone.txn_id] = [rec, self.clock.cycles]
+                if state.finished:
+                    (finished := finished or []).append(clone)
+                else:
+                    in_flight.append(clone)
         # issue new work while the window, gaps and script allow
         if self._idle_remaining > 0:
             self._idle_remaining -= 1
         else:
-            while (len(self._in_flight) < self.window
-                   and self._next_index < len(self.script)
+            script = self.script
+            window = self.window
+            governor = self.governor
+            while (len(in_flight) < window
+                   and self._next_index < len(script)
                    and self._idle_remaining == 0):
-                transaction = self.script[self._next_index][1]
-                if not self._may_issue(transaction):
+                transaction = script[self._next_index][1]
+                if (governor is not None
+                        and not governor.may_issue(transaction)):
                     break  # governor deferral: try again next cycle
-                state = self.bus.issue(transaction)
+                state = issue(transaction)
                 if state is BusState.WAIT:
                     break  # budget full: retry the same item next cycle
                 self._next_index += 1
@@ -417,15 +442,16 @@ class PipelinedMaster(ScriptedMaster):
                 self._meta[transaction.txn_id] = [_Recovery(),
                                                   self.clock.cycles]
                 if state.finished:
-                    finished.append(transaction)
+                    (finished := finished or []).append(transaction)
                 else:
-                    self._in_flight.append(transaction)
-        for transaction in finished:
-            rec = self._meta.pop(transaction.txn_id)[0]
-            clone = self._handle_finished(transaction, rec)
-            if clone is not None:
-                self._retry_queue.append(
-                    [self.retry_policy.backoff_cycles, clone, rec])
+                    in_flight.append(transaction)
+        if finished:
+            for transaction in finished:
+                rec = self._meta.pop(transaction.txn_id)[0]
+                clone = self._handle_finished(transaction, rec)
+                if clone is not None:
+                    retry_queue.append(
+                        [retry_policy.backoff_cycles, clone, rec])
 
 
 def run_script(simulator: Simulator, master: ScriptedMaster,

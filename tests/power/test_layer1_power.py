@@ -6,7 +6,7 @@ import pytest
 from repro.ec import SignalGroup, data_read, data_write
 from repro.kernel import Clock, Simulator
 from repro.power import (CharacterizationTable, Layer1PowerModel,
-                         SignalStateRecorder, default_table, popcount)
+                         SignalStateRecorder, default_table)
 from repro.tlm import BlockingMaster, EcBusLayer1, MemorySlave, run_script
 from repro.ec import MemoryMap, WaitStates
 
@@ -28,15 +28,6 @@ def run(sim, clock, bus, script, max_cycles=1000):
     master = BlockingMaster(sim, clock, bus, script)
     run_script(sim, master, max_cycles, clock)
     return master
-
-
-class TestPopcount:
-    @pytest.mark.parametrize("value,expected", [
-        (0, 0), (1, 1), (0xFFFF, 16), (1 << 35, 1),
-        ((1 << 36) - 1, 36), (0xAAAA_AAAA, 16),
-    ])
-    def test_values(self, value, expected):
-        assert popcount(value) == expected
 
 
 class TestEnergyAccounting:

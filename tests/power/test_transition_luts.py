@@ -1,0 +1,145 @@
+"""Transition-energy LUT memoization and invalidation (PR 10).
+
+The packed-word engines precompute, per EC signal, a table mapping
+"bits toggled" to energy.  Correctness depends on two properties:
+
+* the LUT entry is the *identical* float product the per-signal walk
+  computed (``transitions * coefficient``), so replacing the walk by a
+  lookup cannot move a single bit of any result, and
+* a recalibrated table can never be read through a stale LUT — the
+  memo is keyed to :attr:`CharacterizationTable.lut_version`, bumped by
+  :meth:`invalidate_luts`, which ``calibrate()`` always calls.
+"""
+
+import pytest
+
+from repro.ec import (EC_SIGNALS, SlaveResponse, TransactionKind,
+                      data_write)
+from repro.power import Layer1PowerModel, Layer2PowerModel, default_table
+from repro.power.calibration import default_technology_table
+
+
+class _Txn:
+    """The attribute subset the layer-1 phase hooks read."""
+
+    def __init__(self, txn_id, address, enables=0xF,
+                 kind=TransactionKind.DATA_READ, burst_length=1):
+        self.txn_id = txn_id
+        self.address = address
+        self._enables = enables
+        self.kind = kind
+        self.burst_length = burst_length
+
+
+def _drive(model, cycles):
+    """A fixed activity pattern with address + read-data transitions."""
+    for index in range(cycles):
+        if index % 3 == 0:
+            txn = _Txn(index, 0x5A5A0 ^ (index << 4))
+            model.address_phase_active(txn, completing=True)
+            model.read_phase_active(
+                txn, SlaveResponse.ok(0xDEAD0000 | index))
+        else:
+            model.address_phase_idle()
+            model.read_phase_idle()
+        model.write_phase_idle()
+        model.end_of_cycle(index)
+
+
+class TestLutMemoization:
+
+    def test_luts_are_memoized(self):
+        table = default_table()
+        assert table.transition_luts() is table.transition_luts()
+
+    def test_lut_entries_are_the_walks_float_products(self):
+        table = default_table()
+        luts = table.transition_luts()
+        assert len(luts) == len(EC_SIGNALS)
+        for lut, spec in zip(luts, EC_SIGNALS):
+            assert len(lut) == spec.width + 1
+            coefficient = table.coefficient(spec.name)
+            for transitions in range(spec.width + 1):
+                assert lut[transitions] == transitions * coefficient
+
+    def test_invalidate_rebuilds_and_bumps_version(self):
+        table = default_table()
+        before = table.transition_luts()
+        version = table.lut_version
+        table.invalidate_luts()
+        assert table.lut_version == version + 1
+        after = table.transition_luts()
+        assert after is not before
+        assert after == before  # same coefficients -> same values
+
+    def test_json_round_trip_ignores_memo_state(self):
+        table = default_table()
+        table.transition_luts()
+        clone = type(table).from_json(table.to_json())
+        assert clone.energy_per_transition_pj == \
+            table.energy_per_transition_pj
+
+
+class TestCalibrationFreshness:
+
+    def test_calibrate_invalidates_the_luts(self):
+        table = default_table()
+        table.transition_luts()  # warm the memo on the source table
+        calibrated = default_technology_table().calibrate(
+            table, node_nm=180.0, vdd=2.5)
+        luts = calibrated.transition_luts()
+        for lut, spec in zip(luts, EC_SIGNALS):
+            assert lut[1] == calibrated.coefficient(spec.name)
+        assert calibrated.coefficient("EB_A") != table.coefficient("EB_A")
+
+
+@pytest.mark.parametrize("backend", ["packed", "reference"])
+class TestStaleLutImpossible:
+    """Regression: recalibration mid-run must retire every cached LUT.
+
+    A compiled model and a reference model share one table object; the
+    table's coefficients are then changed *in place* and invalidated.
+    If any engine kept a stale LUT, the post-change energies would
+    diverge from the live-coefficient walk.
+    """
+
+    def _mutate(self, table):
+        for name in table.energy_per_transition_pj:
+            table.energy_per_transition_pj[name] *= 2.0
+        table.invalidate_luts()
+
+    def test_layer1_model_tracks_inplace_recalibration(self, backend):
+        table = default_table()
+        compiled = Layer1PowerModel(table, backend=backend, eager=True)
+        oracle = Layer1PowerModel(table, backend="reference",
+                                  eager=True)
+        _drive(compiled, 30)
+        _drive(oracle, 30)
+        assert compiled.total_energy_pj == oracle.total_energy_pj
+        before = compiled.total_energy_pj
+        self._mutate(table)
+        _drive(compiled, 30)
+        _drive(oracle, 30)
+        assert compiled.total_energy_pj == oracle.total_energy_pj
+        assert compiled.group_energy_pj == oracle.group_energy_pj
+        # the doubled coefficients must actually have been applied
+        assert compiled.total_energy_pj - before > before
+
+    def test_layer2_model_tracks_inplace_recalibration(self, backend):
+        table = default_table()
+        compiled = Layer2PowerModel(table, backend=backend)
+        oracle = Layer2PowerModel(table, backend="reference")
+        script = [data_write(0x100, [0x0F0F0F0F, 0xF0F0F0F0])]
+
+        def account(model):
+            for transaction in script:
+                model.address_phase_finished(transaction)
+                model.data_phase_finished(transaction)
+
+        account(compiled)
+        account(oracle)
+        assert compiled.total_energy_pj == oracle.total_energy_pj
+        self._mutate(table)
+        account(compiled)
+        account(oracle)
+        assert compiled.total_energy_pj == oracle.total_energy_pj
